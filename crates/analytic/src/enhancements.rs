@@ -1,0 +1,111 @@
+//! Models of the section 4.4 enhancements.
+
+use twobit_types::ConfigError;
+
+/// Overhead remaining after the translation-buffer enhancement: a hit in
+/// the buffer replaces a broadcast with targeted (full-map-equivalent)
+/// commands, so "if a 90% hit ratio on this translation buffer could be
+/// maintained, 90% of the added overhead resulting from the broadcasts is
+/// eliminated".
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `hit_ratio` is not a probability or
+/// `base_overhead` is negative.
+pub fn tlb_residual_overhead(base_overhead: f64, hit_ratio: f64) -> Result<f64, ConfigError> {
+    if !(0.0..=1.0).contains(&hit_ratio) || hit_ratio.is_nan() {
+        return Err(ConfigError::new(format!("hit ratio {hit_ratio} is not a probability")));
+    }
+    if base_overhead < 0.0 || base_overhead.is_nan() {
+        return Err(ConfigError::new("overhead must be nonnegative"));
+    }
+    Ok(base_overhead * (1.0 - hit_ratio))
+}
+
+/// Stolen cache cycles per received command under the parallel
+/// (duplicate-directory) cache controller: "only when the broadcast block
+/// is present in the cache would the cache lose a cycle". Given the
+/// fraction of received commands that actually match a cached block,
+/// returns the expected stolen cycles per received command, with and
+/// without the enhancement.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `match_fraction` is not a probability.
+pub fn duplicate_directory_stolen_cycles(
+    match_fraction: f64,
+) -> Result<(f64, f64), ConfigError> {
+    if !(0.0..=1.0).contains(&match_fraction) || match_fraction.is_nan() {
+        return Err(ConfigError::new(format!(
+            "match fraction {match_fraction} is not a probability"
+        )));
+    }
+    // Without: every command steals a directory-search cycle.
+    // With: only matching commands do.
+    Ok((1.0, match_fraction))
+}
+
+/// The fraction of cache cycles visible to the processor as stalls, given
+/// stolen cycles per reference and the cache's idle fraction: "since in
+/// most caches a substantial number of cache cycles (to 50%) are spent in
+/// an idle state … much of the overhead of stolen cycles can be hidden".
+/// A stolen cycle only hurts when it collides with a processor request.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `idle_fraction` is not a probability or
+/// `stolen_per_reference` is negative.
+pub fn visible_stall_fraction(
+    stolen_per_reference: f64,
+    idle_fraction: f64,
+) -> Result<f64, ConfigError> {
+    if !(0.0..=1.0).contains(&idle_fraction) || idle_fraction.is_nan() {
+        return Err(ConfigError::new(format!("idle fraction {idle_fraction} invalid")));
+    }
+    if stolen_per_reference < 0.0 || stolen_per_reference.is_nan() {
+        return Err(ConfigError::new("stolen cycles must be nonnegative"));
+    }
+    Ok(stolen_per_reference * (1.0 - idle_fraction))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_percent_hits_eliminate_ninety_percent() {
+        // The exact sentence from section 4.4.
+        let residual = tlb_residual_overhead(1.0, 0.9).unwrap();
+        assert!((residual - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_buffer_equals_full_map() {
+        assert_eq!(tlb_residual_overhead(3.5, 1.0).unwrap(), 0.0);
+        assert_eq!(tlb_residual_overhead(3.5, 0.0).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn tlb_inputs_validated() {
+        assert!(tlb_residual_overhead(1.0, 1.5).is_err());
+        assert!(tlb_residual_overhead(-1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn duplicate_directory_reduces_to_match_fraction() {
+        let (without, with) = duplicate_directory_stolen_cycles(0.2).unwrap();
+        assert_eq!(without, 1.0);
+        assert!((with - 0.2).abs() < 1e-12);
+        assert!(duplicate_directory_stolen_cycles(-0.1).is_err());
+    }
+
+    #[test]
+    fn idle_cycles_hide_stalls() {
+        // (n-1)·T_SUM = 1.0 with a 50% idle cache: half the overhead is
+        // hidden — the paper's acceptability argument.
+        let visible = visible_stall_fraction(1.0, 0.5).unwrap();
+        assert!((visible - 0.5).abs() < 1e-12);
+        assert_eq!(visible_stall_fraction(2.0, 1.0).unwrap(), 0.0);
+        assert!(visible_stall_fraction(1.0, 2.0).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Closed-form performance models from section 4 of the paper.
+//!
+//! * [`overhead`] — the extra-command expressions `T_RM`, `T_WM`, `T_WH`,
+//!   `T_SUM` of section 4.2 and the three sharing cases of section 4.3;
+//!   regenerates **Table 4-1** exactly (one printed erratum corrected —
+//!   see [`table4_1::PAPER_ERRATUM`]).
+//! * [`dubois_briggs`] — a reconstructed steady-state Markov model in the
+//!   spirit of Dubois & Briggs (the paper's reference \[3\]) for the
+//!   coherence traffic `T_R` under a full map; regenerates the *shape* of
+//!   **Table 4-2** (the original's exact cell values depend on \[3\]'s
+//!   internals, which the paper does not reprint — see DESIGN.md's
+//!   substitution table).
+//! * [`enhancements`] — the section 4.4 models: translation-buffer
+//!   overhead elimination and duplicate-directory cycle stealing.
+//! * [`acceptability`] — section 4.3's acceptability thresholds
+//!   (`(n-1)·T_SUM < 1.0`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptability;
+pub mod dubois_briggs;
+pub mod enhancements;
+pub mod overhead;
+pub mod storage;
+pub mod table4_1;
+
+pub use dubois_briggs::MarkovModel;
+pub use overhead::{OverheadParams, SharingCase};

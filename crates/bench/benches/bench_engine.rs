@@ -1,0 +1,73 @@
+//! Criterion bench of the raw simulation machinery: functional executor
+//! throughput, timed-engine throughput, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use twobit_core::FunctionalSystem;
+use twobit_sim::System;
+use twobit_types::{CacheId, ProtocolKind, SystemConfig};
+use twobit_workload::{SharingModel, SharingParams, Workload};
+
+const REFS: u64 = 5_000;
+
+fn functional_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/functional");
+    group.throughput(Throughput::Elements(REFS * 4));
+    group.bench_function("two_bit_4cpu", |b| {
+        b.iter(|| {
+            let config = SystemConfig::with_defaults(4);
+            let mut sys = FunctionalSystem::new(config).expect("system");
+            let mut workload =
+                SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+            for _ in 0..REFS {
+                for k in CacheId::all(4) {
+                    sys.do_ref(k, workload.next_ref(k)).expect("coherent");
+                }
+            }
+            black_box(sys.stats())
+        });
+    });
+    group.finish();
+}
+
+fn timed_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/timed");
+    group.throughput(Throughput::Elements(REFS * 4));
+    group.bench_function("two_bit_4cpu", |b| {
+        b.iter(|| {
+            let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+            let workload =
+                SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+            let mut system = System::build(config).expect("system");
+            black_box(system.run(workload, REFS).expect("run"))
+        });
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/workload");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("sharing_model", |b| {
+        b.iter(|| {
+            let mut w = SharingModel::new(SharingParams::high(), 4, 13).expect("workload");
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let k = CacheId::new((i % 4) as usize);
+                acc = acc.wrapping_add(w.next_ref(k).addr.block.number());
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = functional_executor, timed_engine, workload_generation
+}
+criterion_main!(benches);

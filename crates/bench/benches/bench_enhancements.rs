@@ -1,0 +1,58 @@
+//! Criterion bench for the section 4.4 enhancement units: the
+//! translation-buffer run and the duplicate-directory run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twobit_bench::run_protocol;
+use twobit_sim::System;
+use twobit_types::{ProtocolKind, SystemConfig};
+use twobit_workload::{SharingModel, SharingParams};
+
+fn tlb_capacities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enhancements/tlb");
+    for entries in [1u32, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
+            b.iter(|| {
+                black_box(
+                    run_protocol(
+                        ProtocolKind::TwoBitTlb { entries },
+                        SharingParams::moderate(),
+                        4,
+                        3,
+                        1_000,
+                    )
+                    .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn duplicate_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enhancements/dupdir");
+    for dup in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(dup), &dup, |b, &dup| {
+            b.iter(|| {
+                let mut config =
+                    SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+                config.duplicate_directory = dup;
+                let workload =
+                    SharingModel::new(SharingParams::high(), 4, 5).expect("workload");
+                let mut system = System::build(config).expect("system");
+                black_box(system.run(workload, 1_000).expect("run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = tlb_capacities, duplicate_directory
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench comparing simulation cost across the protocol
+//! spectrum — the per-protocol unit of the Proto-Zoo experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twobit_bench::run_protocol;
+use twobit_types::ProtocolKind;
+use twobit_workload::SharingParams;
+
+fn protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/moderate_n4");
+    for protocol in [
+        ProtocolKind::TwoBit,
+        ProtocolKind::TwoBitTlb { entries: 16 },
+        ProtocolKind::FullMap,
+        ProtocolKind::FullMapLocal,
+        ProtocolKind::ClassicalWriteThrough,
+        ProtocolKind::StaticSoftware,
+        ProtocolKind::WriteOnce,
+        ProtocolKind::Illinois,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &protocol| {
+                b.iter(|| {
+                    black_box(
+                        run_protocol(protocol, SharingParams::moderate(), 4, 9, 1_000)
+                            .expect("run"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = protocols
+}
+criterion_main!(benches);

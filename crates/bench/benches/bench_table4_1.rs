@@ -1,0 +1,43 @@
+//! Criterion bench for the Table 4-1 pipeline: evaluating the section 4.2
+//! closed forms over the full grid, and a small simulated validation cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twobit_analytic::table4_1;
+use twobit_bench::{extra_commands_per_reference, run_protocol};
+use twobit_types::ProtocolKind;
+use twobit_workload::SharingParams;
+
+fn analytic_grid(c: &mut Criterion) {
+    c.bench_function("table4_1/analytic_grid", |b| {
+        b.iter(|| black_box(table4_1::computed_grid()));
+    });
+    c.bench_function("table4_1/render", |b| {
+        b.iter(|| black_box(table4_1::render().to_string()));
+    });
+}
+
+fn simulated_cell(c: &mut Criterion) {
+    // One representative cell (moderate sharing, n = 4, w = 0.2), both
+    // protocols — the unit of work Sim-4-1 sweeps.
+    c.bench_function("table4_1/sim_cell_n4", |b| {
+        b.iter(|| {
+            let params = SharingParams::moderate().with_w(0.2);
+            let two_bit =
+                run_protocol(ProtocolKind::TwoBit, params, 4, 1, 2_000).expect("run");
+            let full_map =
+                run_protocol(ProtocolKind::FullMap, params, 4, 1, 2_000).expect("run");
+            black_box(extra_commands_per_reference(&two_bit, &full_map))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = analytic_grid, simulated_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Table 4-2 pipeline: solving the reconstructed
+//! Dubois–Briggs Markov chain across the paper's grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twobit_analytic::{dubois_briggs, MarkovModel};
+
+fn solve_single(c: &mut Criterion) {
+    c.bench_function("table4_2/solve_n16", |b| {
+        b.iter(|| {
+            let model = MarkovModel::table4_2_config(16, 0.05, 0.2);
+            black_box(model.solve().expect("solves"))
+        });
+    });
+    c.bench_function("table4_2/solve_n64", |b| {
+        b.iter(|| {
+            let model = MarkovModel::table4_2_config(64, 0.10, 0.4);
+            black_box(model.solve().expect("solves"))
+        });
+    });
+}
+
+fn full_grid(c: &mut Criterion) {
+    c.bench_function("table4_2/full_grid", |b| {
+        b.iter(|| black_box(dubois_briggs::computed_grid()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = solve_single, full_grid
+}
+criterion_main!(benches);

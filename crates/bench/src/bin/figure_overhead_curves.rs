@@ -1,0 +1,60 @@
+//! Figure-Overhead-Curves: machine-readable (TSV) series of the paper's
+//! central relationship — overhead versus system size per sharing level —
+//! from all three computational paths: the Table 4-1 closed form, the
+//! reconstructed Dubois–Briggs model, and (with `--sim`) the simulator.
+//!
+//! Pipe into any plotting tool:
+//!
+//! ```sh
+//! cargo run --release -p twobit-bench --bin figure_overhead_curves > curves.tsv
+//! ```
+
+use twobit_analytic::{MarkovModel, SharingCase};
+use twobit_bench::{extra_commands_per_reference, run_protocol};
+use twobit_types::ProtocolKind;
+use twobit_workload::SharingParams;
+
+fn main() {
+    let with_sim = std::env::args().any(|a| a == "--sim");
+    let ns: Vec<usize> = vec![2, 4, 8, 12, 16, 24, 32, 48, 64];
+    let w = 0.2;
+
+    println!("series\tcase\tn\tvalue");
+
+    // Path 1: the section 4.2 closed form with the paper's parameters.
+    for case in SharingCase::ALL {
+        for &n in &ns {
+            let v = case.params(n, w).per_cache_overhead();
+            println!("table4_1\t{}\t{n}\t{v:.6}", case.label());
+        }
+    }
+
+    // Path 2: the Markov model's (n-1)·T_R.
+    for (label, q) in [("case 1", 0.01), ("case 2", 0.05), ("case 3", 0.10)] {
+        for &n in &ns {
+            let sol = MarkovModel::table4_2_config(n, q, w)
+                .solve()
+                .expect("table configuration solves");
+            println!("dubois_briggs\t{label}\t{n}\t{:.6}", sol.per_cache_overhead(n));
+        }
+    }
+
+    // Path 3 (optional, slow): simulated extra commands per reference.
+    if with_sim {
+        let sim_ns = [2usize, 4, 8, 16];
+        for (label, params) in [
+            ("case 1", SharingParams::low().with_w(w)),
+            ("case 2", SharingParams::moderate().with_w(w)),
+            ("case 3", SharingParams::high().with_w(w)),
+        ] {
+            for &n in &sim_ns {
+                let two_bit = run_protocol(ProtocolKind::TwoBit, params, n, 7, 15_000)
+                    .expect("two-bit run");
+                let full_map = run_protocol(ProtocolKind::FullMap, params, n, 7, 15_000)
+                    .expect("full-map run");
+                let v = extra_commands_per_reference(&two_bit, &full_map);
+                println!("simulated\t{label}\t{n}\t{v:.6}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Sim-4-2: the simulated analog of Table 4-2, using the paper's concrete
+//! configuration — 128-block caches, 16 shared blocks, uniform 1/16
+//! access — and measuring total commands received per cache per memory
+//! reference under the two-bit scheme.
+
+use twobit_bench::sweep;
+use twobit_sim::System;
+use twobit_types::{fmt3, CacheOrg, ProtocolKind, SystemConfig, Table};
+use twobit_workload::{SharingModel, SharingParams};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let ns: &[usize] = if full { &[4, 8, 16, 32] } else { &[4, 8, 16] };
+    let refs_per_cpu: u64 = if full { 30_000 } else { 20_000 };
+    let qs = [0.01, 0.05, 0.10];
+    let ws = [0.1, 0.2, 0.3, 0.4];
+
+    let mut grid = Vec::new();
+    for &q in &qs {
+        for &w in &ws {
+            for &n in ns {
+                grid.push((q, w, n));
+            }
+        }
+    }
+
+    let results = sweep::run(grid, sweep::default_threads(), |&(q, w, n)| {
+        let params = SharingParams::table4_2(q, w);
+        let mut config = SystemConfig::with_defaults(n).with_protocol(ProtocolKind::TwoBit);
+        // The paper's cache: 128 blocks (2-way here).
+        config.cache = CacheOrg::new(64, 2, 4).expect("valid organization");
+        let workload =
+            SharingModel::new(params, n, 0x42_0000 + n as u64).expect("valid workload");
+        let mut system = System::build(config).expect("valid system");
+        let report = system.run(workload, refs_per_cpu).expect("run completes");
+        report.commands_per_reference()
+    });
+
+    let mut headers = vec!["w \\ n".to_string()];
+    headers.extend(ns.iter().map(ToString::to_string));
+    let mut table = Table::new(
+        format!(
+            "Sim-4-2: commands received per cache per memory reference, two-bit scheme \
+             (128-block caches, 16 shared blocks, uniform; {refs_per_cpu} refs/cpu)"
+        ),
+        headers,
+    );
+
+    let mut cursor = 0;
+    for &q in &qs {
+        table.push_section(format!("q = {q}:"));
+        for &w in &ws {
+            let mut row = vec![format!("w = {w:.1}")];
+            for _ in ns {
+                row.push(fmt3(results[cursor]));
+                cursor += 1;
+            }
+            table.push_row(row);
+        }
+    }
+
+    print!("{table}");
+    println!();
+    println!(
+        "Compare the paper's Table 4-2 ((n-1)*T_R): growth with n, w, and q and the saturation \
+         with n should match; absolute values depend on the eviction behaviour of [3]'s model."
+    );
+}

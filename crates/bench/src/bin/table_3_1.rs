@@ -1,0 +1,74 @@
+//! Regenerates Table 3-1: the control commands and data transfers at each
+//! locus of control, as this implementation realizes them.
+
+use twobit_types::{
+    AccessKind, BlockAddr, CacheId, CacheToMemory, MemoryToCache, ProcessorCmd, Table, Version,
+    WordAddr, WritebackKind,
+};
+
+fn main() {
+    let k = CacheId::new(0);
+    let i = CacheId::new(1);
+    let a = BlockAddr::new(0xa);
+    let w = WordAddr::new(0xa, 0xd);
+    let v = Version::new(1);
+
+    let mut table = Table::new(
+        "Table 3-1: Control commands and data transfers (as implemented)",
+        vec!["locus".into(), "command".into(), "paper form".into()],
+    );
+
+    table.push_section("P_k - C_k (processor to cache):");
+    for (cmd, paper) in [
+        (ProcessorCmd::Load(w).to_string(), "LOAD(a,d)"),
+        (ProcessorCmd::Store(w).to_string(), "STORE(a,d)"),
+    ] {
+        table.push_row(vec!["P->C".into(), cmd, paper.into()]);
+    }
+
+    table.push_section("C_k - K_j (cache to memory controller):");
+    for (cmd, paper) in [
+        (
+            CacheToMemory::Request { k, a, rw: AccessKind::Read }.to_string(),
+            "REQUEST(k,a,rw)",
+        ),
+        (CacheToMemory::MRequest { k, a, version: v }.to_string(), "MREQUEST(k,a)"),
+        (
+            CacheToMemory::Eject { k, olda: a, wb: WritebackKind::Dirty }.to_string(),
+            "EJECT(k,olda,wb)",
+        ),
+        (CacheToMemory::PutData { from: k, a, version: v }.to_string(), "put(b_k, olda)"),
+    ] {
+        table.push_row(vec!["C->K".into(), cmd, paper.into()]);
+    }
+
+    table.push_section("K_j - C_i (memory controller to caches):");
+    for (cmd, paper) in [
+        (MemoryToCache::BroadInv { a, exclude: k }.to_string(), "BROADINV(a,i)"),
+        (
+            MemoryToCache::BroadQuery { a, rw: AccessKind::Read }.to_string(),
+            "BROADQUERY(a,rw)",
+        ),
+        (MemoryToCache::MGranted { k, a, granted: true }.to_string(), "MGRANTED(k,yorn)"),
+        (
+            MemoryToCache::GetData { k, a, version: v, exclusive: false }.to_string(),
+            "get(k,a)",
+        ),
+        (MemoryToCache::Inv { a, to: i }.to_string(), "(full map) INVALIDATE"),
+        (
+            MemoryToCache::Purge { a, to: i, rw: AccessKind::Read }.to_string(),
+            "(full map) PURGE(a,i,rw)",
+        ),
+    ] {
+        table.push_row(vec!["K->C".into(), cmd, paper.into()]);
+    }
+
+    print!("{table}");
+    println!();
+    println!(
+        "SETSTATE(a, st) is internal to the controller (a directory action), not a network command."
+    );
+    println!(
+        "MREQUEST carries the requester's copy version to detect stale requests (see DESIGN.md)."
+    );
+}

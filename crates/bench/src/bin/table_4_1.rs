@@ -1,0 +1,15 @@
+//! Regenerates Table 4-1: the analytic added overhead of the two-bit
+//! scheme, `(n-1)·T_SUM`, for the paper's three sharing cases.
+
+use twobit_analytic::table4_1;
+
+fn main() {
+    print!("{}", table4_1::render());
+    println!();
+    let (ci, wi, ni, printed, corrected) = table4_1::PAPER_ERRATUM;
+    println!(
+        "Note: the paper prints {printed} at case {}, w index {wi}, n index {ni}; the formula \
+         gives {corrected} (printed erratum, corrected above).",
+        ci + 1
+    );
+}

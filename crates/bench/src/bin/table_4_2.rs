@@ -1,0 +1,13 @@
+//! Regenerates Table 4-2: the overhead `(n-1)·T_R` from the reconstructed
+//! Dubois–Briggs model, side by side with the paper's printed values.
+
+use twobit_analytic::dubois_briggs;
+
+fn main() {
+    print!("{}", dubois_briggs::render());
+    println!();
+    println!(
+        "Cells are model (paper). The model is a reconstruction of reference [3]'s structure \
+         (see DESIGN.md): absolute values differ, the orderings and saturation with n match."
+    );
+}

@@ -1,0 +1,84 @@
+//! Verify-Protocols: run the bounded model checker over the canonical
+//! race scripts for every directory protocol and print exploration
+//! statistics — the mechanized answer to the paper's closing "the
+//! protocols … need to be refined (and proven correct)".
+
+use twobit_core::ModelChecker;
+use twobit_types::{CacheOrg, MemRef, ProtocolKind, SystemConfig, Table, WordAddr};
+
+fn rd(b: u64) -> MemRef {
+    MemRef::read(WordAddr::new(b, 0))
+}
+
+fn wr(b: u64) -> MemRef {
+    MemRef::write(WordAddr::new(b, 0))
+}
+
+fn main() {
+    let protocols = [
+        ProtocolKind::TwoBit,
+        ProtocolKind::TwoBitTlb { entries: 2 },
+        ProtocolKind::FullMap,
+        ProtocolKind::FullMapLocal,
+    ];
+
+    let scripts: [(&str, Vec<Vec<MemRef>>, Option<CacheOrg>); 3] = [
+        (
+            "3.2.5 write race (rd,wr / rd,wr)",
+            vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]],
+            None,
+        ),
+        (
+            "replacement/recall race (wr,conflict-rd / rd)",
+            vec![vec![wr(1), rd(9)], vec![rd(1)]],
+            Some(CacheOrg::new(2, 1, 4).expect("valid organization")),
+        ),
+        (
+            "upgrade + third reader (rd,wr / wr / rd)",
+            vec![vec![rd(1), wr(1)], vec![wr(1)], vec![rd(1)]],
+            None,
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Verify-Protocols: exhaustive interleaving exploration (budget 500k states/script)",
+        vec![
+            "script".into(),
+            "protocol".into(),
+            "interleavings".into(),
+            "states".into(),
+            "complete".into(),
+            "stale-window reads".into(),
+        ],
+    );
+
+    for (label, script, org) in &scripts {
+        for protocol in protocols {
+            let mut config =
+                SystemConfig::with_defaults(script.len()).with_protocol(protocol);
+            if let Some(org) = org {
+                config.cache = *org;
+            }
+            let checker = ModelChecker::new(config, script.clone()).expect("valid checker");
+            let result = checker.explore_exhaustive(500_000).expect("no violations");
+            table.push_row(vec![
+                (*label).to_string(),
+                protocol.to_string(),
+                result.interleavings.to_string(),
+                result.states_visited.to_string(),
+                if result.truncated { "truncated" } else { "yes" }.to_string(),
+                result.stale_reads_observed.to_string(),
+            ]);
+        }
+    }
+
+    print!("{table}");
+    println!();
+    println!(
+        "Every explored interleaving reached quiescence with all references retired and all \
+         invariants intact (deadlock-freedom + consistency). \"Stale-window reads\" counts the \
+         transient staleness the paper's ack-free invalidation admits (grants are not delayed \
+         until invalidations are acknowledged) — a measured property of the published design, \
+         not an implementation defect."
+    );
+}

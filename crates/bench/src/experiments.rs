@@ -1,0 +1,159 @@
+//! Shared experiment building blocks.
+
+use twobit_analytic::{MarkovModel, OverheadParams};
+use twobit_sim::{Report, System};
+use twobit_types::{AddressMap, ConfigError, ProtocolKind, SystemConfig};
+use twobit_workload::{SharingModel, SharingParams};
+
+/// Runs `protocol` over the sharing-model workload with the given
+/// parameters and returns the drained report.
+///
+/// Bus protocols are automatically given the single-module address map
+/// they require.
+///
+/// # Errors
+///
+/// Returns an error string on configuration or protocol failures.
+pub fn run_protocol(
+    protocol: ProtocolKind,
+    params: SharingParams,
+    n: usize,
+    seed: u64,
+    refs_per_cpu: u64,
+) -> Result<Report, Box<dyn std::error::Error>> {
+    let mut config = SystemConfig::with_defaults(n).with_protocol(protocol);
+    if protocol.is_bus_based() {
+        config.address_map = AddressMap::interleaved(1);
+    }
+    let workload = SharingModel::new(params, n, seed)?;
+    let mut system = System::build(config)?;
+    Ok(system.run(workload, refs_per_cpu)?)
+}
+
+/// The measured analog of the paper's `(n-1)·T_SUM`: the *extra*
+/// commands per cache per memory reference the two-bit scheme pays
+/// relative to the full map on the same workload and seed ("extra
+/// commands necessitated by the two-bit scheme can be viewed as a check
+/// for the absence of a block in a cache", section 4.2).
+#[must_use]
+pub fn extra_commands_per_reference(two_bit: &Report, full_map: &Report) -> f64 {
+    two_bit.commands_per_reference() - full_map.commands_per_reference()
+}
+
+/// The model-predicted extra commands received per cache per memory
+/// reference for a sharing-model workload: the Markov chain supplies the
+/// emergent `h` and state probabilities that section 4.3 treats as free
+/// parameters, and the section 4.2 closed form turns them into `T_SUM`.
+///
+/// Note the normalization: `T_SUM` is the system-wide extra deliveries
+/// per memory request, which by symmetry *is* the per-cache
+/// received-per-own-reference rate — the quantity the simulator measures.
+/// The paper's tables report `(n-1)·T_SUM`, a conservative convention
+/// that charges each cache with every other cache's full fan-out; see
+/// EXPERIMENTS.md for the measured confirmation that `T_SUM` is the
+/// physically realized rate.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the derived parameters are out of range.
+pub fn predicted_overhead(params: &SharingParams, n: usize) -> Result<f64, ConfigError> {
+    let model = MarkovModel {
+        n,
+        q: params.q,
+        w: params.w,
+        shared_blocks: params.shared_blocks,
+        eviction_rate: 0.05 / 128.0,
+    };
+    let solution = model.solve()?;
+    let present =
+        solution.p_present1 + solution.p_present_star + solution.p_present_m;
+    if present == 0.0 {
+        return Err(ConfigError::new("no shared block is ever cached under these parameters"));
+    }
+    let overhead = OverheadParams {
+        n,
+        q: params.q,
+        w: params.w,
+        h: solution.shared_hit_ratio,
+        p_p1: solution.p_present1,
+        p_pstar: solution.p_present_star,
+        p_pm: solution.p_present_m,
+    };
+    overhead.validate()?;
+    Ok(overhead.t_sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_protocol_covers_directory_and_bus() {
+        for protocol in [ProtocolKind::TwoBit, ProtocolKind::Illinois] {
+            let report =
+                run_protocol(protocol, SharingParams::moderate(), 4, 1, 200).unwrap();
+            assert_eq!(report.stats.total_references(), 800, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn extra_commands_is_nonnegative_on_matched_seeds() {
+        let two_bit = run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 4, 7, 2_000)
+            .unwrap();
+        let full_map = run_protocol(ProtocolKind::FullMap, SharingParams::high(), 4, 7, 2_000)
+            .unwrap();
+        assert!(extra_commands_per_reference(&two_bit, &full_map) >= 0.0);
+    }
+
+    #[test]
+    fn predicted_overhead_is_finite_and_positive() {
+        let v = predicted_overhead(&SharingParams::high(), 8).unwrap();
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn prediction_matches_measurement_within_a_band() {
+        // The Markov-parameterized T_SUM tracks the simulated extra
+        // within tens of percent across sharing levels — the strongest
+        // model-vs-simulation cross-check in the repository.
+        for (params, n) in [
+            (SharingParams::moderate().with_w(0.2), 8),
+            (SharingParams::high().with_w(0.4), 8),
+        ] {
+            let tb = run_protocol(ProtocolKind::TwoBit, params, n, 5, 20_000).unwrap();
+            let fm = run_protocol(ProtocolKind::FullMap, params, n, 5, 20_000).unwrap();
+            let measured = extra_commands_per_reference(&tb, &fm);
+            let predicted = predicted_overhead(&params, n).unwrap();
+            let ratio = predicted / measured;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "q={} w={}: predicted {predicted:.4} vs measured {measured:.4}",
+                params.q,
+                params.w
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_and_measurement_agree_in_shape() {
+        // More sharing predicts more overhead, and the sim agrees.
+        let p_low = predicted_overhead(&SharingParams::low(), 8).unwrap();
+        let p_high = predicted_overhead(&SharingParams::high(), 8).unwrap();
+        assert!(p_high > p_low);
+        let m_low = {
+            let tb = run_protocol(ProtocolKind::TwoBit, SharingParams::low(), 8, 3, 3_000)
+                .unwrap();
+            let fm = run_protocol(ProtocolKind::FullMap, SharingParams::low(), 8, 3, 3_000)
+                .unwrap();
+            extra_commands_per_reference(&tb, &fm)
+        };
+        let m_high = {
+            let tb = run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 8, 3, 3_000)
+                .unwrap();
+            let fm = run_protocol(ProtocolKind::FullMap, SharingParams::high(), 8, 3, 3_000)
+                .unwrap();
+            extra_commands_per_reference(&tb, &fm)
+        };
+        assert!(m_high > m_low, "measured {m_high} !> {m_low}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Snooping shared-bus coherence protocols — the section 2.5 comparison
+//! points.
+//!
+//! "These schemes are based on the assumption that the interconnection
+//! network in the multiprocessor is a shared bus. In this case, each
+//! cache can monitor other caches requests by listening to the bus."
+//! Two protocols are implemented:
+//!
+//! * [`BusProtocolKind::WriteOnce`] — Goodman 1983: the first write to a
+//!   clean block is written *through* (hence "write-once"), leaving the
+//!   block `Reserved` (memory still current); a second write makes it
+//!   `Dirty` locally.
+//! * [`BusProtocolKind::Illinois`] — Papamarcos & Patel 1984 (MESI): a
+//!   read miss that finds no other copy fills `Exclusive`, letting the
+//!   first write proceed without a bus transaction; cache-to-cache
+//!   supply on shared misses.
+//!
+//! The paper's key observation about this class — "these signals are only
+//! necessary in the case of actual sharing or task migration and **not on
+//! every cache miss as in the bus schemes**" — is directly measurable
+//! here: every bus transaction is snooped by all `n-1` other caches, and
+//! [`BusSystem`] counts those snoops in the same `commands_received`
+//! currency as the directory schemes, so the Proto-Zoo experiment can put
+//! all of section 2's spectrum on one axis.
+//!
+//! [`BusSystem`] executes references atomically (bus transactions are
+//! serialized by nature), maintains an internal coherence oracle, and
+//! accounts bus occupancy through
+//! [`twobit_interconnect::SharedBus`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod state;
+mod system;
+
+pub use state::SnoopState;
+pub use system::{BusProtocolKind, BusStats, BusSystem};

@@ -1,0 +1,52 @@
+//! Private-cache model for the `twobit` reproduction.
+//!
+//! This crate is the *mechanical* part of a cache — the tag store: a
+//! set-associative array of lines with per-line metadata, replacement
+//! policies, and the probe operations a snooping/invalidating protocol
+//! needs. It deliberately contains **no protocol logic**: what to do on a
+//! write hit to a clean line is the protocol's business (`twobit-core` for
+//! directory schemes, `twobit-bus` for snooping schemes). Keeping the tag
+//! store protocol-agnostic is what lets one cache model serve the paper's
+//! two-bit scheme, the full-map comparators, the classical write-through
+//! scheme, and the section 2.5 bus protocols alike.
+//!
+//! The per-line metadata is a type parameter implementing [`LineMeta`]:
+//! directory protocols use the valid/modified
+//! [`LineState`](twobit_types::LineState) from `twobit-types`; the bus
+//! protocols define richer state enums (write-once `Reserved`, Illinois
+//! `Exclusive`) in their own crate.
+//!
+//! The duplicate-directory (parallel cache controller) enhancement of
+//! section 4.4 corresponds to the [`Cache::contains`] probe: a filter
+//! lookup that costs the cache proper nothing. Whether a received command
+//! steals a cache cycle on a non-matching probe is a *timing* question
+//! answered in `twobit-sim` from
+//! [`SystemConfig::duplicate_directory`](twobit_types::SystemConfig).
+//!
+//! # Example
+//!
+//! ```
+//! use twobit_cache::Cache;
+//! use twobit_types::{BlockAddr, CacheOrg, LineState, Version};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let org = CacheOrg::new(2, 2, 4)?; // 2 sets, 2-way
+//! let mut cache = Cache::new(org);
+//! let a = BlockAddr::new(0x10);
+//! assert!(!cache.contains(a));
+//! cache.insert(a, LineState::Clean, Version::initial());
+//! assert_eq!(cache.state_of(a), LineState::Clean);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod meta;
+mod set;
+mod store;
+
+pub use meta::LineMeta;
+pub use set::{CacheSet, EvictedLine, Line};
+pub use store::Cache;

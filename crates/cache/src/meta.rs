@@ -1,0 +1,50 @@
+//! The [`LineMeta`] abstraction over per-line protocol state.
+
+use twobit_types::LineState;
+
+/// Per-line protocol metadata stored in the tag array.
+///
+/// The tag store needs to know only three things about a line's state:
+/// what the *invalid* state is (for empty ways), whether a state counts as
+/// valid (for hit detection), and whether it is dirty (for write-back on
+/// eviction). Every protocol's local-state enum provides these; everything
+/// richer stays in the protocol crates.
+pub trait LineMeta: Copy + Eq + std::fmt::Debug {
+    /// The state of an empty way.
+    fn invalid() -> Self;
+
+    /// Whether a line in this state holds the block (tag match counts as a
+    /// hit).
+    fn is_valid(self) -> bool;
+
+    /// Whether a line in this state must be written back when evicted.
+    fn is_dirty(self) -> bool;
+}
+
+impl LineMeta for LineState {
+    fn invalid() -> Self {
+        LineState::Invalid
+    }
+
+    fn is_valid(self) -> bool {
+        LineState::is_valid(self)
+    }
+
+    fn is_dirty(self) -> bool {
+        LineState::is_dirty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_state_implements_line_meta() {
+        assert_eq!(<LineState as LineMeta>::invalid(), LineState::Invalid);
+        assert!(LineMeta::is_valid(LineState::Clean));
+        assert!(LineMeta::is_dirty(LineState::Dirty));
+        assert!(!LineMeta::is_dirty(LineState::Clean));
+        assert!(!LineMeta::is_valid(LineState::Invalid));
+    }
+}

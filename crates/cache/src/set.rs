@@ -1,0 +1,334 @@
+//! One associative set: tag match, victim selection, replacement-policy
+//! bookkeeping.
+
+use crate::meta::LineMeta;
+use twobit_types::{BlockAddr, ReplacementPolicy, Version};
+
+/// One cache line: a tag plus protocol metadata and the version standing
+/// in for its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line<S> {
+    /// The cached block.
+    pub addr: BlockAddr,
+    /// Protocol state.
+    pub state: S,
+    /// Data stand-in (see `twobit_types::Version`).
+    pub version: Version,
+    /// Replacement bookkeeping: last-touch stamp (LRU).
+    last_use: u64,
+    /// Replacement bookkeeping: insertion stamp (FIFO).
+    inserted: u64,
+}
+
+/// A line pushed out of a set by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine<S> {
+    /// The replaced block (the paper's `olda`).
+    pub addr: BlockAddr,
+    /// Its state at eviction (dirty states require write-back).
+    pub state: S,
+    /// Its data version.
+    pub version: Version,
+}
+
+/// One associative set.
+#[derive(Debug, Clone)]
+pub struct CacheSet<S> {
+    ways: Vec<Option<Line<S>>>,
+    policy: ReplacementPolicy,
+    /// Per-set xorshift state for `ReplacementPolicy::Random`; seeded from
+    /// the set index so runs are reproducible.
+    rng: u64,
+}
+
+impl<S: LineMeta> CacheSet<S> {
+    /// Creates an empty set of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    #[must_use]
+    pub fn new(assoc: u32, policy: ReplacementPolicy, set_index: u32) -> Self {
+        assert!(assoc > 0, "associativity must be nonzero");
+        CacheSet {
+            ways: vec![None; assoc as usize],
+            policy,
+            rng: u64::from(set_index).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Finds the line caching `a`, if any (valid lines only).
+    #[must_use]
+    pub fn find(&self, a: BlockAddr) -> Option<&Line<S>> {
+        self.ways
+            .iter()
+            .flatten()
+            .find(|line| line.addr == a && line.state.is_valid())
+    }
+
+    fn find_mut(&mut self, a: BlockAddr) -> Option<&mut Line<S>> {
+        self.ways
+            .iter_mut()
+            .flatten()
+            .find(|line| line.addr == a && line.state.is_valid())
+    }
+
+    /// Marks `a` as just used (LRU touch). No-op if absent.
+    pub fn touch(&mut self, a: BlockAddr, now: u64) {
+        if let Some(line) = self.find_mut(a) {
+            line.last_use = now;
+        }
+    }
+
+    /// Updates the state of `a`'s line; returns the previous state, or
+    /// `None` if the block is not cached here.
+    pub fn set_state(&mut self, a: BlockAddr, state: S) -> Option<S> {
+        let line = self.find_mut(a)?;
+        let old = line.state;
+        line.state = state;
+        Some(old)
+    }
+
+    /// Updates the version of `a`'s line; returns false if absent.
+    pub fn set_version(&mut self, a: BlockAddr, version: Version) -> bool {
+        match self.find_mut(a) {
+            Some(line) => {
+                line.version = version;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates `a`'s line; returns its (state, version) at
+    /// invalidation, or `None` if absent.
+    pub fn invalidate(&mut self, a: BlockAddr) -> Option<(S, Version)> {
+        for way in &mut self.ways {
+            if let Some(line) = way {
+                if line.addr == a && line.state.is_valid() {
+                    let out = (line.state, line.version);
+                    *way = None;
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+
+    /// The line that an insertion would displace, without mutating:
+    /// `None` if a free way exists, otherwise the victim per the policy.
+    #[must_use]
+    pub fn peek_victim(&self) -> Option<&Line<S>> {
+        if self.ways.iter().any(Option::is_none) {
+            return None;
+        }
+        let idx = self.victim_index();
+        self.ways[idx].as_ref()
+    }
+
+    /// Inserts a line for `a`, evicting a victim if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is already present — protocols must invalidate or
+    /// update in place, never double-insert.
+    pub fn insert(
+        &mut self,
+        a: BlockAddr,
+        state: S,
+        version: Version,
+        now: u64,
+    ) -> Option<EvictedLine<S>> {
+        assert!(self.find(a).is_none(), "block {a} inserted twice");
+        let line = Line { addr: a, state, version, last_use: now, inserted: now };
+        // Prefer a free way.
+        if let Some(slot) = self.ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(line);
+            return None;
+        }
+        let idx = self.victim_index_mut();
+        let victim = self.ways[idx]
+            .replace(line)
+            .map(|old| EvictedLine { addr: old.addr, state: old.state, version: old.version });
+        victim
+    }
+
+    /// Iterates over the valid lines of this set.
+    pub fn valid_lines(&self) -> impl Iterator<Item = &Line<S>> {
+        self.ways.iter().flatten().filter(|l| l.state.is_valid())
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.valid_lines().count()
+    }
+
+    fn victim_index(&self) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru => self.extreme_by(|l| l.last_use),
+            ReplacementPolicy::Fifo => self.extreme_by(|l| l.inserted),
+            // For peek purposes random uses the *current* rng state without
+            // advancing, so peek followed by insert agree.
+            ReplacementPolicy::Random => (Self::xorshift_peek(self.rng) % self.ways.len() as u64) as usize,
+        }
+    }
+
+    fn victim_index_mut(&mut self) -> usize {
+        match self.policy {
+            ReplacementPolicy::Random => {
+                self.rng = Self::xorshift_peek(self.rng);
+                (self.rng % self.ways.len() as u64) as usize
+            }
+            _ => self.victim_index(),
+        }
+    }
+
+    fn extreme_by(&self, key: impl Fn(&Line<S>) -> u64) -> usize {
+        self.ways
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|l| (i, key(l))))
+            .min_by_key(|&(i, k)| (k, i))
+            .map(|(i, _)| i)
+            .expect("victim_index called on a set with at least one line")
+    }
+
+    fn xorshift_peek(mut x: u64) -> u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::LineState;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn lru_set(assoc: u32) -> CacheSet<LineState> {
+        CacheSet::new(assoc, ReplacementPolicy::Lru, 0)
+    }
+
+    #[test]
+    fn empty_set_finds_nothing() {
+        let s = lru_set(2);
+        assert!(s.find(blk(1)).is_none());
+        assert_eq!(s.occupancy(), 0);
+        assert!(s.peek_victim().is_none());
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let mut s = lru_set(2);
+        assert!(s.insert(blk(1), LineState::Clean, Version::new(3), 0).is_none());
+        let line = s.find(blk(1)).unwrap();
+        assert_eq!(line.state, LineState::Clean);
+        assert_eq!(line.version, Version::new(3));
+    }
+
+    #[test]
+    fn insert_prefers_free_way_over_eviction() {
+        let mut s = lru_set(2);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 0);
+        assert!(s.insert(blk(2), LineState::Clean, Version::initial(), 1).is_none());
+        assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = lru_set(2);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 0);
+        s.insert(blk(2), LineState::Clean, Version::initial(), 1);
+        s.touch(blk(1), 2); // block 2 is now LRU
+        let evicted = s.insert(blk(3), LineState::Clean, Version::initial(), 3).unwrap();
+        assert_eq!(evicted.addr, blk(2));
+        assert!(s.find(blk(1)).is_some());
+        assert!(s.find(blk(3)).is_some());
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut s: CacheSet<LineState> = CacheSet::new(2, ReplacementPolicy::Fifo, 0);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 0);
+        s.insert(blk(2), LineState::Clean, Version::initial(), 1);
+        s.touch(blk(1), 5); // FIFO does not care
+        let evicted = s.insert(blk(3), LineState::Clean, Version::initial(), 6).unwrap();
+        assert_eq!(evicted.addr, blk(1));
+    }
+
+    #[test]
+    fn random_peek_agrees_with_insert() {
+        let mut s: CacheSet<LineState> = CacheSet::new(4, ReplacementPolicy::Random, 7);
+        for n in 0..4 {
+            s.insert(blk(n), LineState::Clean, Version::initial(), n);
+        }
+        let peeked = s.peek_victim().unwrap().addr;
+        let evicted = s.insert(blk(99), LineState::Clean, Version::initial(), 9).unwrap();
+        assert_eq!(peeked, evicted.addr);
+    }
+
+    #[test]
+    fn invalidate_frees_the_way() {
+        let mut s = lru_set(1);
+        s.insert(blk(1), LineState::Dirty, Version::new(2), 0);
+        let (state, version) = s.invalidate(blk(1)).unwrap();
+        assert_eq!(state, LineState::Dirty);
+        assert_eq!(version, Version::new(2));
+        assert_eq!(s.occupancy(), 0);
+        assert!(s.invalidate(blk(1)).is_none(), "second invalidate is a no-op");
+        // The way is reusable without eviction.
+        assert!(s.insert(blk(2), LineState::Clean, Version::initial(), 1).is_none());
+    }
+
+    #[test]
+    fn set_state_returns_previous() {
+        let mut s = lru_set(1);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 0);
+        assert_eq!(s.set_state(blk(1), LineState::Dirty), Some(LineState::Clean));
+        assert_eq!(s.find(blk(1)).unwrap().state, LineState::Dirty);
+        assert_eq!(s.set_state(blk(9), LineState::Dirty), None);
+    }
+
+    #[test]
+    fn set_version_updates_data_standin() {
+        let mut s = lru_set(1);
+        s.insert(blk(1), LineState::Dirty, Version::initial(), 0);
+        assert!(s.set_version(blk(1), Version::new(9)));
+        assert_eq!(s.find(blk(1)).unwrap().version, Version::new(9));
+        assert!(!s.set_version(blk(2), Version::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut s = lru_set(2);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 0);
+        s.insert(blk(1), LineState::Clean, Version::initial(), 1);
+    }
+
+    #[test]
+    fn eviction_carries_dirty_state_and_version() {
+        let mut s = lru_set(1);
+        s.insert(blk(1), LineState::Dirty, Version::new(5), 0);
+        let e = s.insert(blk(2), LineState::Clean, Version::initial(), 1).unwrap();
+        assert_eq!(e.addr, blk(1));
+        assert_eq!(e.state, LineState::Dirty);
+        assert_eq!(e.version, Version::new(5));
+    }
+
+    #[test]
+    fn lru_tie_breaks_deterministically() {
+        let mut s = lru_set(3);
+        for n in 0..3 {
+            s.insert(blk(n), LineState::Clean, Version::initial(), 0); // identical stamps
+        }
+        let e = s.insert(blk(10), LineState::Clean, Version::initial(), 1).unwrap();
+        assert_eq!(e.addr, blk(0), "lowest way wins ties");
+    }
+}

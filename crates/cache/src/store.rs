@@ -1,0 +1,241 @@
+//! The whole tag store: sets indexed by block address.
+
+use crate::meta::LineMeta;
+use crate::set::{CacheSet, EvictedLine, Line};
+use twobit_types::{BlockAddr, CacheOrg, Version};
+
+/// A set-associative cache tag store with per-line protocol metadata `S`.
+///
+/// All mutating operations advance an internal use-clock so LRU ordering
+/// is total and deterministic.
+#[derive(Debug, Clone)]
+pub struct Cache<S> {
+    org: CacheOrg,
+    sets: Vec<CacheSet<S>>,
+    clock: u64,
+}
+
+impl<S: LineMeta> Cache<S> {
+    /// Creates an empty cache with the given organization.
+    #[must_use]
+    pub fn new(org: CacheOrg) -> Self {
+        let sets =
+            (0..org.sets).map(|i| CacheSet::new(org.assoc, org.replacement, i)).collect();
+        Cache { org, sets, clock: 0 }
+    }
+
+    /// The cache's organization.
+    #[must_use]
+    pub fn org(&self) -> CacheOrg {
+        self.org
+    }
+
+    fn set_of(&self, a: BlockAddr) -> usize {
+        self.org.set_of(a.number()) as usize
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Whether `a` is cached here in a valid state — the duplicate
+    /// directory probe of section 4.4.
+    #[must_use]
+    pub fn contains(&self, a: BlockAddr) -> bool {
+        self.sets[self.set_of(a)].find(a).is_some()
+    }
+
+    /// The state of `a`'s line, or [`LineMeta::invalid`] if not cached.
+    #[must_use]
+    pub fn state_of(&self, a: BlockAddr) -> S {
+        self.sets[self.set_of(a)].find(a).map_or_else(S::invalid, |l| l.state)
+    }
+
+    /// The version of `a`'s cached data, if present.
+    #[must_use]
+    pub fn version_of(&self, a: BlockAddr) -> Option<Version> {
+        self.sets[self.set_of(a)].find(a).map(|l| l.version)
+    }
+
+    /// Marks `a` as just used (on a hit).
+    pub fn touch(&mut self, a: BlockAddr) {
+        let now = self.tick();
+        let set = self.set_of(a);
+        self.sets[set].touch(a, now);
+    }
+
+    /// Sets the state of `a`'s line, returning the previous state, or
+    /// `None` if absent (in which case nothing changes).
+    pub fn set_state(&mut self, a: BlockAddr, state: S) -> Option<S> {
+        let set = self.set_of(a);
+        self.sets[set].set_state(a, state)
+    }
+
+    /// Sets the version of `a`'s line; `false` if absent.
+    pub fn set_version(&mut self, a: BlockAddr, version: Version) -> bool {
+        let set = self.set_of(a);
+        self.sets[set].set_version(a, version)
+    }
+
+    /// Invalidates `a`'s line, returning its (state, version), or `None`
+    /// if it was not cached.
+    pub fn invalidate(&mut self, a: BlockAddr) -> Option<(S, Version)> {
+        let set = self.set_of(a);
+        self.sets[set].invalidate(a)
+    }
+
+    /// The line an insertion of `a` would displace (the replacement victim
+    /// of section 3.2.1), or `None` if a free way exists. Does not mutate.
+    #[must_use]
+    pub fn peek_victim(&self, a: BlockAddr) -> Option<&Line<S>> {
+        self.sets[self.set_of(a)].peek_victim()
+    }
+
+    /// Inserts a line for `a` (the fill after a `get`), evicting and
+    /// returning a victim if `a`'s set is full.
+    ///
+    /// Protocols that must *announce* replacements (the `EJECT` protocol)
+    /// should call [`Cache::peek_victim`] first, run the replacement
+    /// protocol, invalidate the victim, and only then insert; this method
+    /// still returns any evicted line as a safety net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is already cached.
+    pub fn insert(&mut self, a: BlockAddr, state: S, version: Version) -> Option<EvictedLine<S>> {
+        let now = self.tick();
+        let set = self.set_of(a);
+        self.sets[set].insert(a, state, version, now)
+    }
+
+    /// Iterates over all valid lines (for invariant checking and
+    /// diagnostics).
+    pub fn valid_lines(&self) -> impl Iterator<Item = &Line<S>> {
+        self.sets.iter().flat_map(CacheSet::valid_lines)
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(CacheSet::occupancy).sum()
+    }
+
+    /// Total capacity in lines.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.org.total_blocks() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::LineState;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn cache(sets: u32, assoc: u32) -> Cache<LineState> {
+        Cache::new(CacheOrg::new(sets, assoc, 4).unwrap())
+    }
+
+    #[test]
+    fn blocks_map_to_their_sets() {
+        let mut c = cache(4, 1);
+        // Blocks 0 and 4 collide in set 0 of a 4-set direct-mapped cache.
+        c.insert(blk(0), LineState::Clean, Version::initial());
+        let evicted = c.insert(blk(4), LineState::Clean, Version::initial()).unwrap();
+        assert_eq!(evicted.addr, blk(0));
+        // Block 1 lives in a different set, no conflict.
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        assert!(c.contains(blk(1)) && c.contains(blk(4)));
+    }
+
+    #[test]
+    fn state_of_absent_block_is_invalid() {
+        let c = cache(2, 2);
+        assert_eq!(c.state_of(blk(77)), LineState::Invalid);
+        assert_eq!(c.version_of(blk(77)), None);
+    }
+
+    #[test]
+    fn peek_victim_is_none_with_free_ways() {
+        let mut c = cache(1, 2);
+        c.insert(blk(0), LineState::Clean, Version::initial());
+        assert!(c.peek_victim(blk(1)).is_none());
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        assert!(c.peek_victim(blk(2)).is_some());
+    }
+
+    #[test]
+    fn peek_victim_matches_actual_eviction() {
+        let mut c = cache(2, 2);
+        for n in [0u64, 2, 4] {
+            if c.peek_victim(blk(n)).is_some() {
+                break;
+            }
+            c.insert(blk(n), LineState::Clean, Version::initial());
+        }
+        c.touch(blk(0));
+        let predicted = c.peek_victim(blk(6)).unwrap().addr;
+        let actual = c.insert(blk(6), LineState::Clean, Version::initial()).unwrap().addr;
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn lru_is_global_per_set_not_per_cache() {
+        let mut c = cache(2, 2);
+        // Set 0 gets blocks 0, 2; set 1 gets block 1.
+        c.insert(blk(0), LineState::Clean, Version::initial());
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        c.insert(blk(2), LineState::Clean, Version::initial());
+        c.touch(blk(0));
+        // Inserting into set 0 evicts block 2 (LRU within set 0), even
+        // though block 1 is older globally.
+        let e = c.insert(blk(4), LineState::Clean, Version::initial()).unwrap();
+        assert_eq!(e.addr, blk(2));
+        assert!(c.contains(blk(1)));
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let mut c = cache(4, 2);
+        assert_eq!(c.capacity(), 8);
+        assert_eq!(c.occupancy(), 0);
+        for n in 0..5 {
+            c.insert(blk(n), LineState::Clean, Version::initial());
+        }
+        assert_eq!(c.occupancy(), 5);
+    }
+
+    #[test]
+    fn valid_lines_reflects_contents() {
+        let mut c = cache(2, 2);
+        c.insert(blk(3), LineState::Dirty, Version::new(9));
+        c.insert(blk(5), LineState::Clean, Version::initial());
+        let mut blocks: Vec<u64> = c.valid_lines().map(|l| l.addr.number()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![3, 5]);
+        c.invalidate(blk(3));
+        assert_eq!(c.valid_lines().count(), 1);
+    }
+
+    #[test]
+    fn invalidate_then_reinsert_is_allowed() {
+        let mut c = cache(1, 1);
+        c.insert(blk(1), LineState::Dirty, Version::new(1));
+        assert_eq!(c.invalidate(blk(1)), Some((LineState::Dirty, Version::new(1))));
+        c.insert(blk(1), LineState::Clean, Version::new(2));
+        assert_eq!(c.state_of(blk(1)), LineState::Clean);
+    }
+
+    #[test]
+    fn set_state_roundtrip() {
+        let mut c = cache(1, 1);
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        assert_eq!(c.set_state(blk(1), LineState::Dirty), Some(LineState::Clean));
+        assert_eq!(c.state_of(blk(1)), LineState::Dirty);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the tag store: invariants that must hold for
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use twobit_cache::Cache;
+use twobit_types::{BlockAddr, CacheOrg, LineState, ReplacementPolicy, Version};
+
+/// The operations a protocol layer can perform on a tag store.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, bool), // block, dirty?
+    Invalidate(u64),
+    Touch(u64),
+    SetDirty(u64),
+}
+
+fn op_strategy(block_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..block_space, any::<bool>()).prop_map(|(b, d)| Op::Insert(b, d)),
+        (0..block_space).prop_map(Op::Invalidate),
+        (0..block_space).prop_map(Op::Touch),
+        (0..block_space).prop_map(Op::SetDirty),
+    ]
+}
+
+fn apply(cache: &mut Cache<LineState>, op: &Op) {
+    match *op {
+        Op::Insert(b, dirty) => {
+            let a = BlockAddr::new(b);
+            if !cache.contains(a) {
+                let state = if dirty { LineState::Dirty } else { LineState::Clean };
+                cache.insert(a, state, Version::initial());
+            }
+        }
+        Op::Invalidate(b) => {
+            cache.invalidate(BlockAddr::new(b));
+        }
+        Op::Touch(b) => cache.touch(BlockAddr::new(b)),
+        Op::SetDirty(b) => {
+            cache.set_state(BlockAddr::new(b), LineState::Dirty);
+        }
+    }
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity, and no block appears twice.
+    #[test]
+    fn capacity_and_uniqueness(
+        ops in prop::collection::vec(op_strategy(64), 1..200),
+        assoc in 1u32..4,
+    ) {
+        let org = CacheOrg::new(8, assoc, 4).unwrap();
+        let mut cache: Cache<LineState> = Cache::new(org);
+        for op in &ops {
+            apply(&mut cache, op);
+            prop_assert!(cache.occupancy() <= cache.capacity());
+            let mut seen = HashSet::new();
+            for line in cache.valid_lines() {
+                prop_assert!(seen.insert(line.addr), "duplicate line for {}", line.addr);
+            }
+        }
+    }
+
+    /// `contains` agrees with `valid_lines` and `state_of`.
+    #[test]
+    fn probe_agrees_with_contents(
+        ops in prop::collection::vec(op_strategy(32), 1..150),
+    ) {
+        let org = CacheOrg::new(4, 2, 4).unwrap();
+        let mut cache: Cache<LineState> = Cache::new(org);
+        for op in &ops {
+            apply(&mut cache, op);
+        }
+        for b in 0..32u64 {
+            let a = BlockAddr::new(b);
+            let listed = cache.valid_lines().any(|l| l.addr == a);
+            prop_assert_eq!(cache.contains(a), listed);
+            prop_assert_eq!(cache.state_of(a).is_valid(), listed);
+        }
+    }
+
+    /// Blocks only ever live in the set their address maps to.
+    #[test]
+    fn set_discipline(
+        ops in prop::collection::vec(op_strategy(128), 1..200),
+    ) {
+        let org = CacheOrg::new(16, 2, 4).unwrap();
+        let mut cache: Cache<LineState> = Cache::new(org);
+        for op in &ops {
+            apply(&mut cache, op);
+        }
+        // Reconstruct per-set occupancy from valid lines; no set may
+        // exceed its associativity.
+        let mut per_set = vec![0usize; 16];
+        for line in cache.valid_lines() {
+            per_set[org.set_of(line.addr.number()) as usize] += 1;
+        }
+        for (i, &n) in per_set.iter().enumerate() {
+            prop_assert!(n <= 2, "set {i} holds {n} lines with associativity 2");
+        }
+    }
+
+    /// A freshly inserted block is always resident (inserting may only
+    /// evict *other* blocks), for every replacement policy.
+    #[test]
+    fn insertion_is_effective(
+        blocks in prop::collection::vec(0u64..256, 1..100),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ][policy_idx];
+        let org = CacheOrg::new(4, 2, 4).unwrap().with_replacement(policy);
+        let mut cache: Cache<LineState> = Cache::new(org);
+        for &b in &blocks {
+            let a = BlockAddr::new(b);
+            if !cache.contains(a) {
+                cache.insert(a, LineState::Clean, Version::initial());
+            }
+            prop_assert!(cache.contains(a), "{a} absent right after insert ({policy})");
+        }
+    }
+
+    /// LRU keeps the most recently touched line when a conflict evicts.
+    #[test]
+    fn lru_protects_recently_used(
+        touch_target in 0u64..4,
+    ) {
+        // Direct conflict set: blocks 0,8,16,24 all map to set 0 of an
+        // 8-set cache; 4-way so all four fit.
+        let org = CacheOrg::new(8, 4, 4).unwrap();
+        let mut cache: Cache<LineState> = Cache::new(org);
+        for i in 0..4u64 {
+            cache.insert(BlockAddr::new(i * 8), LineState::Clean, Version::initial());
+        }
+        let protected = BlockAddr::new(touch_target * 8);
+        cache.touch(protected);
+        cache.insert(BlockAddr::new(4 * 8), LineState::Clean, Version::initial());
+        prop_assert!(cache.contains(protected));
+    }
+}

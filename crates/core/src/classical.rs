@@ -1,0 +1,285 @@
+//! The section 2.2–2.3 comparator schemes, which keep **no** directory:
+//!
+//! * [`ClassicalDirectory`] — the "classical" solution (section 2.3):
+//!   write-through caches; every store updates memory and is broadcast to
+//!   all other caches for invalidation. Simple, software-compatible, and
+//!   exactly as unscalable as the paper says.
+//! * [`NullDirectory`] — the memory-side of the static software scheme
+//!   (section 2.2): sharable-writeable blocks are never cached (the cache
+//!   agent sends `DIRECTREAD`/`WRITETHRU` for them), private blocks are
+//!   write-back cached with no coherence traffic at all.
+
+use crate::directory::{
+    grant_from_memory, DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost,
+};
+use crate::memory::MemoryImage;
+use crate::owner_set::OwnerSet;
+use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
+
+/// The classical write-through broadcast scheme's memory side.
+#[derive(Debug, Default, Clone)]
+pub struct ClassicalDirectory;
+
+impl ClassicalDirectory {
+    /// Creates the (stateless) classical controller logic.
+    #[must_use]
+    pub fn new() -> Self {
+        ClassicalDirectory
+    }
+}
+
+impl DirectoryProtocol for ClassicalDirectory {
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "classical-wt"
+    }
+
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
+        match kind {
+            // Loads fill caches normally; memory is always current under
+            // write-through, so data always comes from memory.
+            OpenKind::ReadMiss => DirStep::done().with_send(grant_from_memory(k, a, mem, false)),
+            // Every store: memory update plus an invalidation broadcast to
+            // every other cache — "each cache broadcasts to all other
+            // caches the address of the block being modified".
+            OpenKind::WriteThrough(version) => DirStep::done()
+                .with_memory_write(a, version)
+                .with_send(DirSend::Broadcast {
+                    cmd: MemoryToCache::BroadInv { a, exclude: k },
+                    exclude: k,
+                    cost: SendCost::Command,
+                }),
+            OpenKind::WriteMiss | OpenKind::Modify(_) | OpenKind::DirectRead => {
+                panic!("write-through caches never send {kind:?}")
+            }
+        }
+    }
+
+    fn supply(
+        &mut self,
+        _a: BlockAddr,
+        _from: CacheId,
+        _version: Version,
+        _retains: bool,
+        _mem: &MemoryImage,
+    ) -> DirStep {
+        unreachable!("the classical scheme never waits for cache data")
+    }
+
+    fn eject_satisfies_wait(&self, _a: BlockAddr, _k: CacheId, _wb: WritebackKind) -> bool {
+        false
+    }
+
+    fn eject_clean(&mut self, _k: CacheId, _a: BlockAddr) {
+        // Write-through lines are never tracked; replacement is silent.
+    }
+
+    fn eject_dirty(&mut self, _k: CacheId, a: BlockAddr, _version: Version) -> DirStep {
+        unreachable!("write-through caches hold no dirty line (block {a})")
+    }
+
+    fn awaiting(&self, _a: BlockAddr) -> bool {
+        false
+    }
+
+    fn global_state(&self, _a: BlockAddr) -> GlobalState {
+        // Memory is always up to date; the scheme tracks nothing.
+        GlobalState::PresentStar
+    }
+
+    fn holders(&self, _a: BlockAddr) -> Option<OwnerSet> {
+        None
+    }
+
+    fn check_consistency(
+        &self,
+        _a: BlockAddr,
+        _clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String> {
+        // The one thing write-through guarantees: no dirty copies, ever.
+        if dirty.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} dirty copies under write-through", dirty.len()))
+        }
+    }
+}
+
+/// The memory side of the static software scheme: plain memory service,
+/// no coherence bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct NullDirectory;
+
+impl NullDirectory {
+    /// Creates the (stateless) null controller logic.
+    #[must_use]
+    pub fn new() -> Self {
+        NullDirectory
+    }
+}
+
+impl DirectoryProtocol for NullDirectory {
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "static-sw"
+    }
+
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
+        match kind {
+            // Private-block misses: plain fills. Write misses fill
+            // exclusively (the block is private; nobody else will care).
+            OpenKind::ReadMiss => DirStep::done().with_send(grant_from_memory(k, a, mem, false)),
+            OpenKind::WriteMiss => DirStep::done().with_send(grant_from_memory(k, a, mem, true)),
+            // Public blocks: served straight from memory, never cached —
+            // "the public data is always up-to-date in main memory".
+            OpenKind::DirectRead => {
+                DirStep::done().with_send(grant_from_memory(k, a, mem, false))
+            }
+            OpenKind::WriteThrough(version) => DirStep::done().with_memory_write(a, version),
+            OpenKind::Modify(_) => {
+                panic!("static-scheme caches upgrade private lines silently, never MREQUEST")
+            }
+        }
+    }
+
+    fn supply(
+        &mut self,
+        _a: BlockAddr,
+        _from: CacheId,
+        _version: Version,
+        _retains: bool,
+        _mem: &MemoryImage,
+    ) -> DirStep {
+        unreachable!("the static scheme never waits for cache data")
+    }
+
+    fn eject_satisfies_wait(&self, _a: BlockAddr, _k: CacheId, _wb: WritebackKind) -> bool {
+        false
+    }
+
+    fn eject_clean(&mut self, _k: CacheId, _a: BlockAddr) {}
+
+    fn eject_dirty(&mut self, _k: CacheId, a: BlockAddr, version: Version) -> DirStep {
+        // Private dirty blocks write back normally.
+        DirStep::done().with_memory_write(a, version)
+    }
+
+    fn awaiting(&self, _a: BlockAddr) -> bool {
+        false
+    }
+
+    fn global_state(&self, _a: BlockAddr) -> GlobalState {
+        GlobalState::PresentStar
+    }
+
+    fn holders(&self, _a: BlockAddr) -> Option<OwnerSet> {
+        None
+    }
+
+    fn check_consistency(
+        &self,
+        _a: BlockAddr,
+        _clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String> {
+        // Private data: at most one cache may hold a dirty copy (the
+        // owner); the workload contract keeps private blocks per-CPU.
+        if dirty.len() <= 1 {
+            Ok(())
+        } else {
+            Err(format!("{} dirty copies of a supposedly private block", dirty.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn cid(n: usize) -> CacheId {
+        CacheId::new(n)
+    }
+
+    #[test]
+    fn classical_write_broadcasts_and_updates_memory() {
+        let mut d = ClassicalDirectory::new();
+        let mem = MemoryImage::new();
+        let s = d.open(cid(0), blk(1), OpenKind::WriteThrough(Version::new(4)), &mem);
+        assert!(s.completes);
+        assert_eq!(s.write_memory, Some((blk(1), Version::new(4))));
+        match &s.sends[0] {
+            DirSend::Broadcast { cmd: MemoryToCache::BroadInv { exclude, .. }, .. } => {
+                assert_eq!(*exclude, cid(0));
+            }
+            other => panic!("expected broadcast invalidate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classical_read_miss_served_from_memory() {
+        let mut d = ClassicalDirectory::new();
+        let mut mem = MemoryImage::new();
+        mem.write(blk(2), Version::new(9));
+        let s = d.open(cid(1), blk(2), OpenKind::ReadMiss, &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::GetData { version, exclusive, .. }, .. } => {
+                assert_eq!(*version, Version::new(9));
+                assert!(!exclusive);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never send")]
+    fn classical_rejects_write_miss() {
+        let mut d = ClassicalDirectory::new();
+        let mem = MemoryImage::new();
+        d.open(cid(0), blk(1), OpenKind::WriteMiss, &mem);
+    }
+
+    #[test]
+    fn classical_consistency_forbids_dirty_copies() {
+        let d = ClassicalDirectory::new();
+        let none = OwnerSet::new(4);
+        let one = OwnerSet::singleton(4, cid(0));
+        assert!(d.check_consistency(blk(0), &one, &none).is_ok());
+        assert!(d.check_consistency(blk(0), &none, &one).is_err());
+    }
+
+    #[test]
+    fn null_directory_serves_private_and_public_paths() {
+        let mut d = NullDirectory::new();
+        let mem = MemoryImage::new();
+        let s = d.open(cid(0), blk(1), OpenKind::WriteMiss, &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, .. }, .. } => {
+                assert!(*exclusive);
+            }
+            other => panic!("expected exclusive grant, got {other:?}"),
+        }
+        let s = d.open(cid(0), blk(2), OpenKind::DirectRead, &mem);
+        assert_eq!(s.sends.len(), 1);
+        let s = d.open(cid(0), blk(2), OpenKind::WriteThrough(Version::new(3)), &mem);
+        assert_eq!(s.write_memory, Some((blk(2), Version::new(3))));
+        assert!(s.sends.is_empty(), "no coherence traffic in the static scheme");
+    }
+
+    #[test]
+    fn null_directory_absorbs_private_writebacks() {
+        let mut d = NullDirectory::new();
+        let s = d.eject_dirty(cid(0), blk(7), Version::new(2));
+        assert_eq!(s.write_memory, Some((blk(7), Version::new(2))));
+    }
+}

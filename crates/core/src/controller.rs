@@ -1,0 +1,601 @@
+//! The memory-module controller (`K_j`): executes a
+//! [`DirectoryProtocol`]'s decisions and enforces the synchronization
+//! discipline of section 3.2.5.
+//!
+//! The paper requires the controller to contain: the bit map (inside the
+//! protocol object here), "a control unit (finite state automaton) to
+//! implement the protocols", "a queue for temporary storing of requests
+//! arriving while the current one is being serviced and logic to insert
+//! and delete (anywhere) elements in the queue" — the *delete anywhere*
+//! power is exactly what the MREQUEST-cancellation scenario of
+//! section 3.2.5 needs, and it is implemented here verbatim: when a
+//! `BROADINV(a, k)` goes out, queued `MREQUEST(j, a)` from other caches
+//! are deleted (cache `j` treats the arriving `BROADINV` as
+//! `MGRANTED(j, false)` and retries as a write miss).
+//!
+//! Two concurrency disciplines are supported
+//! ([`ControllerConcurrency`]): whole-controller serialization
+//! ("only one command at a time", which the paper calls too stringent)
+//! and per-block serialization (the multiprogrammed controller).
+//!
+//! The controller also resolves the replacement/recall race the paper
+//! leaves open: a dirty block's owner may eject it at the same moment the
+//! controller queries for it. The write-back is then *in flight* when the
+//! `BROADQUERY`/`PURGE` finds no owner; the controller accepts the
+//! arriving write-back as the query's answer
+//! ([`DirectoryProtocol::eject_satisfies_wait`]).
+
+use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
+use crate::memory::MemoryImage;
+use std::collections::{HashMap, HashSet, VecDeque};
+use twobit_types::{
+    AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats,
+    Counter, MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
+};
+
+/// A message the controller wants delivered, with its timing class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlEmit {
+    /// To one cache.
+    Unicast {
+        /// Recipient.
+        to: CacheId,
+        /// Command.
+        cmd: MemoryToCache,
+        /// Timing class.
+        cost: SendCost,
+    },
+    /// To every cache except `exclude`.
+    Broadcast {
+        /// Command.
+        cmd: MemoryToCache,
+        /// The initiator, skipped by delivery.
+        exclude: CacheId,
+        /// Timing class.
+        cost: SendCost,
+    },
+}
+
+/// A memory-module controller: protocol FSM + request queue + module
+/// storage.
+#[derive(Debug)]
+pub struct Controller {
+    // NOTE: `Clone` is implemented manually below (Box<dyn …> via
+    // `clone_box`) so the model checker can branch system states.
+    module: ModuleId,
+    protocol: Box<dyn DirectoryProtocol>,
+    memory: MemoryImage,
+    n_caches: usize,
+    concurrency: ControllerConcurrency,
+    /// Blocks whose transaction awaits a data supply, with the miss kind
+    /// (read/write) — needed to tell whether a query responder retains a
+    /// clean copy.
+    awaiting: HashMap<BlockAddr, AccessKind>,
+    /// Dirty ejects announced but whose data has not arrived yet.
+    eject_announced: HashSet<(CacheId, BlockAddr)>,
+    /// Blocks locked by an announced eject (no transaction may start
+    /// until the write-back lands).
+    eject_locked: HashSet<BlockAddr>,
+    queue: VecDeque<CacheToMemory>,
+    stats: ControllerStats,
+}
+
+impl Clone for Controller {
+    fn clone(&self) -> Self {
+        Controller {
+            module: self.module,
+            protocol: self.protocol.clone_box(),
+            memory: self.memory.clone(),
+            n_caches: self.n_caches,
+            concurrency: self.concurrency,
+            awaiting: self.awaiting.clone(),
+            eject_announced: self.eject_announced.clone(),
+            eject_locked: self.eject_locked.clone(),
+            queue: self.queue.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl Controller {
+    /// Creates a controller for `module` running `protocol`, serving a
+    /// system of `n_caches` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_caches` is zero.
+    #[must_use]
+    pub fn new(
+        module: ModuleId,
+        protocol: Box<dyn DirectoryProtocol>,
+        n_caches: usize,
+        concurrency: ControllerConcurrency,
+    ) -> Self {
+        assert!(n_caches > 0, "a controller serves at least one cache");
+        Controller {
+            module,
+            protocol,
+            memory: MemoryImage::new(),
+            n_caches,
+            concurrency,
+            awaiting: HashMap::new(),
+            eject_announced: HashSet::new(),
+            eject_locked: HashSet::new(),
+            queue: VecDeque::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// This controller's module identity.
+    #[must_use]
+    pub fn module(&self) -> ModuleId {
+        self.module
+    }
+
+    /// The module's storage.
+    #[must_use]
+    pub fn memory(&self) -> &MemoryImage {
+        &self.memory
+    }
+
+    /// The protocol's decision logic (for invariant checks and reports).
+    #[must_use]
+    pub fn protocol(&self) -> &dyn DirectoryProtocol {
+        self.protocol.as_ref()
+    }
+
+    /// Accumulated statistics, including translation-buffer counters when
+    /// the protocol has one.
+    #[must_use]
+    pub fn stats(&self) -> ControllerStats {
+        let mut stats = self.stats;
+        if let Some((hits, misses)) = self.protocol.tlb_counters() {
+            stats.tlb_hits = Counter::from(hits);
+            stats.tlb_misses = Counter::from(misses);
+        }
+        stats
+    }
+
+    /// `true` while any transaction awaits data or any request is queued —
+    /// the drain-at-end liveness check.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.awaiting.is_empty() || !self.queue.is_empty() || !self.eject_locked.is_empty()
+    }
+
+    /// Number of queued (conflict-deferred) requests.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Handles one command from a cache, returning the messages to
+    /// deliver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the command is impossible in the
+    /// current state (e.g. unsolicited block data) — these indicate
+    /// protocol bugs or injected faults, never normal operation.
+    pub fn submit(&mut self, cmd: CacheToMemory) -> Result<Vec<CtrlEmit>, ProtocolError> {
+        match cmd {
+            CacheToMemory::Request { .. }
+            | CacheToMemory::MRequest { .. }
+            | CacheToMemory::WriteThrough { .. }
+            | CacheToMemory::DirectRead { .. } => {
+                let a = cmd.block();
+                if self.can_start(a) {
+                    let mut emits = self.process_open(cmd);
+                    emits.extend(self.drain_queue());
+                    Ok(emits)
+                } else {
+                    self.enqueue(cmd);
+                    Ok(Vec::new())
+                }
+            }
+            CacheToMemory::Eject { k, olda, wb } => {
+                self.stats.ejects.inc();
+                match wb {
+                    WritebackKind::Clean => Ok(self.handle_clean_eject(k, olda)),
+                    WritebackKind::Dirty => {
+                        self.eject_announced.insert((k, olda));
+                        if !self.awaiting.contains_key(&olda) {
+                            self.eject_locked.insert(olda);
+                        }
+                        Ok(Vec::new())
+                    }
+                }
+            }
+            CacheToMemory::PutData { from, a, version } => self.handle_put(from, a, version),
+        }
+    }
+
+    fn can_start(&self, a: BlockAddr) -> bool {
+        match self.concurrency {
+            ControllerConcurrency::SingleCommand => {
+                self.awaiting.is_empty() && self.eject_locked.is_empty() && self.queue.is_empty()
+            }
+            ControllerConcurrency::PerBlock => {
+                !self.awaiting.contains_key(&a) && !self.eject_locked.contains(&a)
+            }
+        }
+    }
+
+    fn enqueue(&mut self, cmd: CacheToMemory) {
+        self.stats.conflicts_queued.inc();
+        self.queue.push_back(cmd);
+        let peak = self.stats.queue_peak.get().max(self.queue.len() as u64);
+        self.stats.queue_peak = Counter::from(peak);
+    }
+
+    fn process_open(&mut self, cmd: CacheToMemory) -> Vec<CtrlEmit> {
+        let (k, a, kind) = match cmd {
+            CacheToMemory::Request { k, a, rw } => {
+                self.stats.requests.inc();
+                let kind = match rw {
+                    AccessKind::Read => OpenKind::ReadMiss,
+                    AccessKind::Write => OpenKind::WriteMiss,
+                };
+                (k, a, kind)
+            }
+            CacheToMemory::MRequest { k, a, version } => {
+                self.stats.mrequests.inc();
+                (k, a, OpenKind::Modify(version))
+            }
+            CacheToMemory::WriteThrough { k, a, version } => {
+                self.stats.requests.inc();
+                (k, a, OpenKind::WriteThrough(version))
+            }
+            CacheToMemory::DirectRead { k, a } => {
+                self.stats.requests.inc();
+                (k, a, OpenKind::DirectRead)
+            }
+            other => unreachable!("not an opener: {other}"),
+        };
+        let step = self.protocol.open(k, a, kind, &self.memory);
+        if !step.completes {
+            let rw = match kind {
+                OpenKind::ReadMiss => AccessKind::Read,
+                OpenKind::WriteMiss => AccessKind::Write,
+                other => unreachable!("{other:?} transactions never await data"),
+            };
+            self.awaiting.insert(a, rw);
+        }
+        self.apply_step(a, step)
+    }
+
+    fn handle_clean_eject(&mut self, k: CacheId, olda: BlockAddr) -> Vec<CtrlEmit> {
+        if self.awaiting.contains_key(&olda)
+            && self.protocol.eject_satisfies_wait(olda, k, WritebackKind::Clean)
+        {
+            // A clean eject racing a recall: memory already holds the
+            // data; resolve the wait with it.
+            let version = self.memory.read(olda);
+            let step = self.protocol.supply(olda, k, version, false, &self.memory);
+            self.awaiting.remove(&olda);
+            let mut emits = self.apply_step(olda, step);
+            emits.extend(self.drain_queue());
+            emits
+        } else {
+            self.protocol.eject_clean(k, olda);
+            Vec::new()
+        }
+    }
+
+    fn handle_put(
+        &mut self,
+        from: CacheId,
+        a: BlockAddr,
+        version: Version,
+    ) -> Result<Vec<CtrlEmit>, ProtocolError> {
+        if self.eject_announced.remove(&(from, a)) {
+            // The write-back half of a dirty eject.
+            let step = if self.awaiting.contains_key(&a)
+                && self.protocol.eject_satisfies_wait(a, from, WritebackKind::Dirty)
+            {
+                // …which doubles as the answer to an in-flight query.
+                self.awaiting.remove(&a);
+                self.protocol.supply(a, from, version, false, &self.memory)
+            } else {
+                self.protocol.eject_dirty(from, a, version)
+            };
+            self.eject_locked.remove(&a);
+            let mut emits = self.apply_step(a, step);
+            emits.extend(self.drain_queue());
+            return Ok(emits);
+        }
+        match self.awaiting.remove(&a) {
+            Some(rw) => {
+                // A query/purge response. On a read the responder kept a
+                // clean copy; on a write it invalidated itself.
+                let retains = rw == AccessKind::Read;
+                let step = self.protocol.supply(a, from, version, retains, &self.memory);
+                let mut emits = self.apply_step(a, step);
+                emits.extend(self.drain_queue());
+                Ok(emits)
+            }
+            None => Err(ProtocolError::UnexpectedCommand {
+                state: format!("{} with no transaction on {a}", self.protocol.name()),
+                command: format!("put({from}, {a}, {version})"),
+            }),
+        }
+    }
+
+    fn apply_step(&mut self, a: BlockAddr, step: DirStep) -> Vec<CtrlEmit> {
+        if let Some((addr, version)) = step.write_memory {
+            self.memory.write(addr, version);
+            self.stats.memory_writes.inc();
+        }
+        let mut emits = Vec::with_capacity(step.sends.len());
+        for send in step.sends {
+            match send {
+                DirSend::Unicast { to, cmd, cost } => {
+                    self.stats.unicasts_sent.inc();
+                    self.stats.deliveries.inc();
+                    if cost == SendCost::DataFromMemory {
+                        self.stats.memory_reads.inc();
+                    }
+                    if matches!(cmd, MemoryToCache::Inv { .. }) {
+                        self.cancel_queued_modifies(a, Some(to));
+                    }
+                    emits.push(CtrlEmit::Unicast { to, cmd, cost });
+                }
+                DirSend::Broadcast { cmd, exclude, cost } => {
+                    self.stats.broadcasts_sent.inc();
+                    self.stats.deliveries.add(self.n_caches.saturating_sub(1) as u64);
+                    if matches!(cmd, MemoryToCache::BroadInv { .. }) {
+                        self.cancel_queued_modifies(a, None);
+                    }
+                    emits.push(CtrlEmit::Broadcast { cmd, exclude, cost });
+                }
+            }
+        }
+        emits
+    }
+
+    /// Deletes queued `MREQUEST`s for `a` that an invalidation just made
+    /// stale — the section 3.2.5 scenario. `only` restricts deletion to
+    /// one cache (targeted `INV`); `None` deletes all (broadcast).
+    fn cancel_queued_modifies(&mut self, a: BlockAddr, only: Option<CacheId>) {
+        self.queue.retain(|cmd| match *cmd {
+            CacheToMemory::MRequest { k, a: qa, .. } if qa == a => only.is_some_and(|o| o != k),
+            _ => true,
+        });
+    }
+
+    fn drain_queue(&mut self) -> Vec<CtrlEmit> {
+        let mut emits = Vec::new();
+        loop {
+            let idx = match self.concurrency {
+                ControllerConcurrency::SingleCommand => {
+                    if self.awaiting.is_empty()
+                        && self.eject_locked.is_empty()
+                        && !self.queue.is_empty()
+                    {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+                ControllerConcurrency::PerBlock => self.queue.iter().position(|c| {
+                    let a = c.block();
+                    !self.awaiting.contains_key(&a) && !self.eject_locked.contains(&a)
+                }),
+            };
+            let Some(idx) = idx else { break };
+            let cmd = self.queue.remove(idx).expect("index just found");
+            emits.extend(self.process_open(cmd));
+        }
+        emits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_bit::TwoBitDirectory;
+    use twobit_types::GlobalState;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn cid(n: usize) -> CacheId {
+        CacheId::new(n)
+    }
+
+    fn two_bit_controller(n: usize) -> Controller {
+        Controller::new(
+            ModuleId::new(0),
+            Box::new(TwoBitDirectory::new()),
+            n,
+            ControllerConcurrency::PerBlock,
+        )
+    }
+
+    fn read_miss(k: usize, a: u64) -> CacheToMemory {
+        CacheToMemory::Request { k: cid(k), a: blk(a), rw: AccessKind::Read }
+    }
+
+    fn write_miss(k: usize, a: u64) -> CacheToMemory {
+        CacheToMemory::Request { k: cid(k), a: blk(a), rw: AccessKind::Write }
+    }
+
+    #[test]
+    fn simple_read_miss_grants_immediately() {
+        let mut c = two_bit_controller(4);
+        let emits = c.submit(read_miss(0, 1)).unwrap();
+        assert_eq!(emits.len(), 1);
+        assert!(matches!(
+            emits[0],
+            CtrlEmit::Unicast { cmd: MemoryToCache::GetData { .. }, .. }
+        ));
+        assert!(!c.busy());
+        assert_eq!(c.stats().requests.get(), 1);
+        assert_eq!(c.stats().memory_reads.get(), 1);
+    }
+
+    #[test]
+    fn conflicting_request_queues_until_supply() {
+        let mut c = two_bit_controller(4);
+        c.submit(write_miss(0, 1)).unwrap(); // PresentM at C0
+        let emits = c.submit(read_miss(1, 1)).unwrap();
+        assert!(matches!(emits[0], CtrlEmit::Broadcast { .. }), "BROADQUERY goes out");
+        assert!(c.busy());
+
+        // A third request for the same block must wait (section 3.2.5).
+        let emits = c.submit(read_miss(2, 1)).unwrap();
+        assert!(emits.is_empty());
+        assert_eq!(c.queued(), 1);
+        assert_eq!(c.stats().conflicts_queued.get(), 1);
+
+        // The owner answers; both waiting requests resolve in order.
+        let emits = c
+            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(5) })
+            .unwrap();
+        let grants: Vec<CacheId> = emits
+            .iter()
+            .filter_map(|e| match e {
+                CtrlEmit::Unicast { cmd: MemoryToCache::GetData { k, .. }, .. } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![cid(1), cid(2)], "queued request drains after the supply");
+        assert!(!c.busy());
+        assert_eq!(c.memory().read(blk(1)), Version::new(5), "write-back landed");
+    }
+
+    #[test]
+    fn per_block_concurrency_lets_other_blocks_through() {
+        let mut c = two_bit_controller(4);
+        c.submit(write_miss(0, 1)).unwrap();
+        c.submit(read_miss(1, 1)).unwrap(); // awaiting data on block 1
+        let emits = c.submit(read_miss(2, 2)).unwrap();
+        assert_eq!(emits.len(), 1, "block 2 is not blocked by block 1's wait");
+    }
+
+    #[test]
+    fn single_command_concurrency_serializes_everything() {
+        let mut c = Controller::new(
+            ModuleId::new(0),
+            Box::new(TwoBitDirectory::new()),
+            4,
+            ControllerConcurrency::SingleCommand,
+        );
+        c.submit(write_miss(0, 1)).unwrap();
+        c.submit(read_miss(1, 1)).unwrap(); // awaits
+        let emits = c.submit(read_miss(2, 2)).unwrap();
+        assert!(emits.is_empty(), "unrelated block still waits under single-command");
+        assert_eq!(c.queued(), 1);
+    }
+
+    #[test]
+    fn queued_mrequest_deleted_by_broadcast_invalidate() {
+        // The exact section 3.2.5 scenario: caches 0 and 1 hold copies;
+        // both MREQUEST "at the same time".
+        let mut c = two_bit_controller(4);
+        c.submit(read_miss(0, 1)).unwrap();
+        c.submit(read_miss(1, 1)).unwrap(); // Present*
+        // C0's MREQUEST processed first: BROADINV(1, excl C0) + grant.
+        // To force queueing, make block 1 busy first via a PresentM wait
+        // on… simpler: submit both MREQUESTs back-to-back. The first
+        // completes synchronously, so queueing needs an artificial block —
+        // use SingleCommand with an outstanding wait on another block.
+        let mut c2 = Controller::new(
+            ModuleId::new(0),
+            Box::new(TwoBitDirectory::new()),
+            4,
+            ControllerConcurrency::SingleCommand,
+        );
+        c2.submit(read_miss(0, 1)).unwrap();
+        c2.submit(read_miss(1, 1)).unwrap();
+        c2.submit(write_miss(2, 9)).unwrap(); // block 9: PresentM at C2
+        c2.submit(read_miss(3, 9)).unwrap(); // awaiting on block 9
+        // Both MREQUESTs for block 1 now queue behind the wait.
+        c2.submit(CacheToMemory::MRequest { k: cid(0), a: blk(1), version: Version::initial() })
+            .unwrap();
+        c2.submit(CacheToMemory::MRequest { k: cid(1), a: blk(1), version: Version::initial() })
+            .unwrap();
+        assert_eq!(c2.queued(), 2);
+        // Resolve block 9; the queue drains: C0's MREQUEST broadcasts
+        // BROADINV which deletes C1's queued MREQUEST.
+        let emits = c2
+            .submit(CacheToMemory::PutData { from: cid(2), a: blk(9), version: Version::new(2) })
+            .unwrap();
+        let granted: Vec<(CacheId, bool)> = emits
+            .iter()
+            .filter_map(|e| match e {
+                CtrlEmit::Unicast { cmd: MemoryToCache::MGranted { k, granted, .. }, .. } => {
+                    Some((*k, *granted))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(granted, vec![(cid(0), true)], "C1's MREQUEST was deleted, never answered");
+        assert!(!c2.busy());
+        let _ = c; // silence unused in the simple path
+    }
+
+    #[test]
+    fn racing_dirty_eject_satisfies_broadquery() {
+        let mut c = two_bit_controller(4);
+        c.submit(write_miss(0, 1)).unwrap(); // PresentM at C0
+        c.submit(read_miss(1, 1)).unwrap(); // BROADQUERY out, awaiting
+        // C0 had already ejected: EJECT + put arrive instead of a query
+        // response.
+        c.submit(CacheToMemory::Eject { k: cid(0), olda: blk(1), wb: WritebackKind::Dirty })
+            .unwrap();
+        let emits = c
+            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(7) })
+            .unwrap();
+        assert!(matches!(
+            emits[0],
+            CtrlEmit::Unicast { cmd: MemoryToCache::GetData { .. }, .. }
+        ));
+        assert!(!c.busy());
+        // Owner did not retain: requester is the sole holder.
+        assert_eq!(c.protocol().global_state(blk(1)), GlobalState::Present1);
+    }
+
+    #[test]
+    fn dirty_eject_locks_block_until_data_lands() {
+        let mut c = two_bit_controller(4);
+        c.submit(write_miss(0, 1)).unwrap();
+        c.submit(CacheToMemory::Eject { k: cid(0), olda: blk(1), wb: WritebackKind::Dirty })
+            .unwrap();
+        // A request arriving between the eject notice and its data queues.
+        let emits = c.submit(read_miss(1, 1)).unwrap();
+        assert!(emits.is_empty());
+        let emits = c
+            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(3) })
+            .unwrap();
+        // After the write-back lands, the queued read served from memory
+        // sees the fresh data.
+        match emits.last() {
+            Some(CtrlEmit::Unicast { cmd: MemoryToCache::GetData { version, .. }, .. }) => {
+                assert_eq!(*version, Version::new(3));
+            }
+            other => panic!("expected drained grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsolicited_put_is_a_protocol_error() {
+        let mut c = two_bit_controller(4);
+        let err = c
+            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(1) })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::UnexpectedCommand { .. }));
+    }
+
+    #[test]
+    fn broadcast_delivery_accounting() {
+        let mut c = two_bit_controller(8);
+        c.submit(read_miss(0, 1)).unwrap();
+        c.submit(write_miss(1, 1)).unwrap(); // BROADINV to 7 caches
+        let stats = c.stats();
+        assert_eq!(stats.broadcasts_sent.get(), 1);
+        // 7 broadcast deliveries + 2 grants.
+        assert_eq!(stats.deliveries.get(), 7 + 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! The directory-protocol abstraction: what a memory controller's
+//! finite-state automaton decides, separated from when it runs.
+//!
+//! A [`DirectoryProtocol`] is a pure decision procedure: handed a
+//! transaction-opening command (or owner-supplied data resolving an
+//! earlier one), it returns a [`DirStep`] describing exactly which
+//! commands to send where, what to write to memory, and whether the
+//! transaction is complete. The [`Controller`](crate::Controller) executes
+//! steps and enforces the section 3.2.5 queueing discipline; the timed
+//! simulator adds latencies on top. Nothing in a protocol knows about
+//! time, which is what makes the implementations directly
+//! property-testable.
+
+use crate::memory::MemoryImage;
+use crate::owner_set::OwnerSet;
+use twobit_types::{
+    BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+};
+
+/// The transaction-opening commands a controller can hand a protocol,
+/// i.e. the four protocol instances of section 2.4 plus the write-through
+/// and uncached accesses of the section 2.2–2.3 comparator schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenKind {
+    /// `REQUEST(k, a, "read")` — section 3.2.2.
+    ReadMiss,
+    /// `REQUEST(k, a, "write")` — section 3.2.3.
+    WriteMiss,
+    /// `MREQUEST(k, a)` — section 3.2.4 (write hit on unmodified block),
+    /// carrying the requester's copy version for staleness detection.
+    Modify(Version),
+    /// A store written straight to memory, carrying its data.
+    WriteThrough(Version),
+    /// An uncached read served from memory.
+    DirectRead,
+}
+
+/// How a sent message is costed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendCost {
+    /// A control command (one network command slot).
+    Command,
+    /// A block data transfer whose payload required a memory-module read.
+    DataFromMemory,
+    /// A block data transfer forwarded from data already in hand (an
+    /// owner's `put`), no memory read on the critical path.
+    DataForwarded,
+}
+
+/// One outbound message decided by a protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirSend {
+    /// A message to a single cache.
+    Unicast {
+        /// Recipient.
+        to: CacheId,
+        /// The command.
+        cmd: MemoryToCache,
+        /// Timing classification.
+        cost: SendCost,
+    },
+    /// A message to every cache except `exclude` (the transaction's
+    /// initiator, which the paper notes "is in an idle state and hence
+    /// never loses a cycle").
+    Broadcast {
+        /// The command.
+        cmd: MemoryToCache,
+        /// The initiator, not delivered to.
+        exclude: CacheId,
+        /// Timing classification.
+        cost: SendCost,
+    },
+}
+
+/// The outcome of one protocol decision.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirStep {
+    /// Messages to send, in order.
+    pub sends: Vec<DirSend>,
+    /// A block write into the module's storage (a write-back landing),
+    /// applied before any send is delivered.
+    pub write_memory: Option<(BlockAddr, Version)>,
+    /// `true` when the transaction is finished and the block unlocks;
+    /// `false` when the protocol now awaits a data supply
+    /// (`BROADQUERY`/`PURGE` response or racing write-back).
+    pub completes: bool,
+}
+
+impl DirStep {
+    /// A completed step with no sends and no memory write.
+    #[must_use]
+    pub fn done() -> Self {
+        DirStep { completes: true, ..DirStep::default() }
+    }
+
+    /// A step that leaves the transaction waiting for data.
+    #[must_use]
+    pub fn awaiting(sends: Vec<DirSend>) -> Self {
+        DirStep { sends, write_memory: None, completes: false }
+    }
+
+    /// Builder: add a send.
+    #[must_use]
+    pub fn with_send(mut self, send: DirSend) -> Self {
+        self.sends.push(send);
+        self
+    }
+
+    /// Builder: set the memory write.
+    #[must_use]
+    pub fn with_memory_write(mut self, a: BlockAddr, version: Version) -> Self {
+        self.write_memory = Some((a, version));
+        self
+    }
+}
+
+/// A directory coherence protocol: the decision logic of a memory-module
+/// controller (`K_j`).
+///
+/// Implementations in this crate: [`TwoBitDirectory`](crate::TwoBitDirectory)
+/// (the paper's contribution), [`TwoBitTlbDirectory`](crate::TwoBitTlbDirectory)
+/// (section 4.4 enhancement), [`FullMapDirectory`](crate::FullMapDirectory),
+/// [`FullMapLocalDirectory`](crate::FullMapLocalDirectory),
+/// [`ClassicalDirectory`](crate::ClassicalDirectory), and
+/// [`NullDirectory`](crate::NullDirectory).
+pub trait DirectoryProtocol: std::fmt::Debug + Send {
+    /// Short stable protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Handles a transaction-opening command from cache `k` for block `a`.
+    ///
+    /// The controller guarantees `a` has no other transaction in flight
+    /// (section 3.2.5's per-block serialization).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on [`OpenKind`]s that the protocol's system
+    /// configuration can never produce (e.g. `WriteThrough` at a full-map
+    /// directory); such a call is a wiring bug, not a runtime condition.
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep;
+
+    /// Handles block data arriving for a transaction left waiting by
+    /// [`DirectoryProtocol::open`]. `retains` tells whether the supplier
+    /// kept a clean copy (a `BROADQUERY(read)` response) or gave the block
+    /// up entirely (an invalidating response or a racing write-back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is waiting on `a`.
+    fn supply(
+        &mut self,
+        a: BlockAddr,
+        from: CacheId,
+        version: Version,
+        retains: bool,
+        mem: &MemoryImage,
+    ) -> DirStep;
+
+    /// Whether an eject notice from `k` (clean or dirty) stands in for the
+    /// data supply an in-flight transaction on `a` is waiting for — the
+    /// replacement/recall race resolution (the paper's protocols leave
+    /// this open; see DESIGN.md).
+    fn eject_satisfies_wait(&self, a: BlockAddr, k: CacheId, wb: WritebackKind) -> bool;
+
+    /// Absorbs a clean (advisory) eject notice.
+    fn eject_clean(&mut self, k: CacheId, a: BlockAddr);
+
+    /// Absorbs a dirty eject once its data has arrived; typically writes
+    /// memory and frees the directory entry.
+    fn eject_dirty(&mut self, k: CacheId, a: BlockAddr, version: Version) -> DirStep;
+
+    /// `true` while a transaction on `a` awaits a data supply.
+    fn awaiting(&self, a: BlockAddr) -> bool;
+
+    /// The directory's (possibly conservative) view of `a`, mapped onto
+    /// the paper's four global states for reporting.
+    fn global_state(&self, a: BlockAddr) -> GlobalState;
+
+    /// The exact holder set for `a`, if this scheme tracks identities.
+    fn holders(&self, a: BlockAddr) -> Option<OwnerSet>;
+
+    /// Translation-buffer (hits, misses) counters, for the schemes that
+    /// have one (section 4.4's second enhancement).
+    fn tlb_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Clones the protocol state behind the trait object — used by the
+    /// bounded model checker to branch the system state at every possible
+    /// message-delivery interleaving.
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol>;
+
+    /// Checks that this directory's knowledge of `a` is consistent with
+    /// the ground truth (`clean` = caches holding a clean copy, `dirty` =
+    /// caches holding a dirty copy). Only meaningful at quiescence (no
+    /// in-flight messages). Returns a human-readable description of any
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency when the directory's
+    /// view does not admit the ground truth.
+    fn check_consistency(
+        &self,
+        a: BlockAddr,
+        clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String>;
+}
+
+/// Convenience constructors for the grant messages every protocol sends.
+pub(crate) fn grant_from_memory(
+    k: CacheId,
+    a: BlockAddr,
+    mem: &MemoryImage,
+    exclusive: bool,
+) -> DirSend {
+    DirSend::Unicast {
+        to: k,
+        cmd: MemoryToCache::GetData { k, a, version: mem.read(a), exclusive },
+        cost: SendCost::DataFromMemory,
+    }
+}
+
+/// A grant forwarding data just supplied by an owner.
+pub(crate) fn grant_forwarded(
+    k: CacheId,
+    a: BlockAddr,
+    version: Version,
+    exclusive: bool,
+) -> DirSend {
+    DirSend::Unicast {
+        to: k,
+        cmd: MemoryToCache::GetData { k, a, version, exclusive },
+        cost: SendCost::DataForwarded,
+    }
+}
+
+/// An `MGRANTED` reply.
+pub(crate) fn mgranted(k: CacheId, a: BlockAddr, granted: bool) -> DirSend {
+    DirSend::Unicast {
+        to: k,
+        cmd: MemoryToCache::MGranted { k, a, granted },
+        cost: SendCost::Command,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_step_builders() {
+        let done = DirStep::done();
+        assert!(done.completes && done.sends.is_empty() && done.write_memory.is_none());
+
+        let s = DirStep::done()
+            .with_memory_write(BlockAddr::new(1), Version::new(2))
+            .with_send(mgranted(CacheId::new(0), BlockAddr::new(1), true));
+        assert_eq!(s.write_memory, Some((BlockAddr::new(1), Version::new(2))));
+        assert_eq!(s.sends.len(), 1);
+
+        let w = DirStep::awaiting(vec![]);
+        assert!(!w.completes);
+    }
+
+    #[test]
+    fn grant_helpers_build_expected_commands() {
+        let mem = MemoryImage::new();
+        let k = CacheId::new(3);
+        let a = BlockAddr::new(7);
+        match grant_from_memory(k, a, &mem, true) {
+            DirSend::Unicast { to, cmd: MemoryToCache::GetData { exclusive, version, .. }, cost } => {
+                assert_eq!(to, k);
+                assert!(exclusive);
+                assert_eq!(version, Version::initial());
+                assert_eq!(cost, SendCost::DataFromMemory);
+            }
+            other => panic!("unexpected send {other:?}"),
+        }
+        match grant_forwarded(k, a, Version::new(9), false) {
+            DirSend::Unicast { cmd: MemoryToCache::GetData { version, .. }, cost, .. } => {
+                assert_eq!(version, Version::new(9));
+                assert_eq!(cost, SendCost::DataForwarded);
+            }
+            other => panic!("unexpected send {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! The full map with added local state (section 2.4.3, Yen–Fu): the
+//! directory still keeps an exact presence vector, but a block cached by
+//! exactly one cache in clean state may be held *Exclusive* there, letting
+//! that cache upgrade to Dirty without a directory transaction.
+//!
+//! The price — the "additional synchronization problems (not fully
+//! resolved in [10])" the paper mentions — is that the directory can no
+//! longer tell whether an exclusively held block is clean or silently
+//! modified. We resolve it the way later directory protocols did: the
+//! directory tracks `ExclusiveOrModified(i)` and *always* recalls
+//! (`PURGE`s) cache `i` before serving another requester, accepting the
+//! data whether it turns out clean or dirty.
+
+use crate::directory::{
+    grant_forwarded, grant_from_memory, mgranted, DirSend, DirStep, DirectoryProtocol, OpenKind,
+    SendCost,
+};
+use crate::memory::MemoryImage;
+use crate::owner_set::OwnerSet;
+use crate::two_bit::Waiting;
+use std::collections::HashMap;
+use twobit_types::{
+    AccessKind, BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+};
+
+/// Directory knowledge about one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    /// Cached read-only by the recorded owners.
+    Shared(OwnerSet),
+    /// Held by exactly one cache which may have silently modified it.
+    ExclusiveOrModified(CacheId),
+}
+
+/// The Yen–Fu full-map-with-local-state directory of one memory module.
+#[derive(Debug, Clone)]
+pub struct FullMapLocalDirectory {
+    width: usize,
+    entries: HashMap<BlockAddr, Entry>,
+    waiting: HashMap<BlockAddr, Waiting>,
+}
+
+impl FullMapLocalDirectory {
+    /// An empty directory with a presence vector of `width` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "presence vector needs at least one bit");
+        FullMapLocalDirectory { width, entries: HashMap::new(), waiting: HashMap::new() }
+    }
+
+    fn inv(a: BlockAddr, to: CacheId) -> DirSend {
+        DirSend::Unicast { to, cmd: MemoryToCache::Inv { a, to }, cost: SendCost::Command }
+    }
+
+    fn purge(a: BlockAddr, to: CacheId, rw: AccessKind) -> DirSend {
+        DirSend::Unicast { to, cmd: MemoryToCache::Purge { a, to, rw }, cost: SendCost::Command }
+    }
+}
+
+impl DirectoryProtocol for FullMapLocalDirectory {
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "full-map+local"
+    }
+
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
+        debug_assert!(!self.waiting.contains_key(&a), "open on a waiting block");
+        match kind {
+            OpenKind::ReadMiss => match self.entries.get(&a) {
+                None => {
+                    // Sole reader: grant Exclusive — the whole point of the
+                    // added local state.
+                    self.entries.insert(a, Entry::ExclusiveOrModified(k));
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, true))
+                }
+                Some(Entry::Shared(_)) => {
+                    if let Some(Entry::Shared(owners)) = self.entries.get_mut(&a) {
+                        owners.insert(k);
+                    }
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, false))
+                }
+                Some(&Entry::ExclusiveOrModified(i)) => {
+                    self.waiting.insert(a, Waiting { k, write: false });
+                    DirStep::awaiting(vec![Self::purge(a, i, AccessKind::Read)])
+                }
+            },
+            OpenKind::WriteMiss => match self.entries.get(&a) {
+                None => {
+                    self.entries.insert(a, Entry::ExclusiveOrModified(k));
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, true))
+                }
+                Some(Entry::Shared(owners)) => {
+                    let targets: Vec<CacheId> = owners.iter().filter(|&i| i != k).collect();
+                    let mut step = DirStep::done();
+                    for i in targets {
+                        step = step.with_send(Self::inv(a, i));
+                    }
+                    self.entries.insert(a, Entry::ExclusiveOrModified(k));
+                    step.with_send(grant_from_memory(k, a, mem, true))
+                }
+                Some(&Entry::ExclusiveOrModified(i)) => {
+                    self.waiting.insert(a, Waiting { k, write: true });
+                    DirStep::awaiting(vec![Self::purge(a, i, AccessKind::Write)])
+                }
+            },
+            OpenKind::Modify(_) => match self.entries.get(&a) {
+                Some(Entry::Shared(owners)) if owners.contains(k) => {
+                    let targets: Vec<CacheId> = owners.iter().filter(|&i| i != k).collect();
+                    let mut step = DirStep::done();
+                    for i in targets {
+                        step = step.with_send(Self::inv(a, i));
+                    }
+                    self.entries.insert(a, Entry::ExclusiveOrModified(k));
+                    step.with_send(mgranted(k, a, true))
+                }
+                // Exclusive holders never send MREQUEST; anything else is
+                // a stale request whose copy was invalidated in flight.
+                _ => DirStep::done().with_send(mgranted(k, a, false)),
+            },
+            OpenKind::WriteThrough(_) | OpenKind::DirectRead => {
+                panic!("full-map+local directory serves only write-back caches (got {kind:?})")
+            }
+        }
+    }
+
+    fn supply(
+        &mut self,
+        a: BlockAddr,
+        from: CacheId,
+        version: Version,
+        retains: bool,
+        _mem: &MemoryImage,
+    ) -> DirStep {
+        let waiting = self.waiting.remove(&a).expect("supply without a waiting transaction");
+        if waiting.write {
+            self.entries.insert(a, Entry::ExclusiveOrModified(waiting.k));
+        } else {
+            let mut owners = OwnerSet::new(self.width);
+            if retains {
+                owners.insert(from);
+            }
+            owners.insert(waiting.k);
+            // If the old owner is gone, the requester is a sole clean
+            // holder — but it was granted a *shared* fill, so record
+            // Shared rather than Exclusive (the grant already went out).
+            self.entries.insert(a, Entry::Shared(owners));
+        }
+        DirStep::done()
+            .with_memory_write(a, version)
+            .with_send(grant_forwarded(waiting.k, a, version, waiting.write))
+    }
+
+    fn eject_satisfies_wait(&self, a: BlockAddr, k: CacheId, _wb: WritebackKind) -> bool {
+        // Both clean and dirty ejects from the recalled exclusive holder
+        // satisfy the recall: an Exclusive line may be replaced while still
+        // clean, in which case memory already has the data.
+        self.waiting.contains_key(&a)
+            && matches!(self.entries.get(&a), Some(&Entry::ExclusiveOrModified(i)) if i == k)
+    }
+
+    fn eject_clean(&mut self, k: CacheId, a: BlockAddr) {
+        match self.entries.get_mut(&a) {
+            Some(Entry::Shared(owners)) => {
+                owners.remove(k);
+                if owners.is_empty() {
+                    self.entries.remove(&a);
+                }
+            }
+            Some(&mut Entry::ExclusiveOrModified(i)) if i == k => {
+                self.entries.remove(&a);
+            }
+            _ => {}
+        }
+    }
+
+    fn eject_dirty(&mut self, k: CacheId, a: BlockAddr, version: Version) -> DirStep {
+        if matches!(self.entries.get(&a), Some(&Entry::ExclusiveOrModified(i)) if i == k) {
+            self.entries.remove(&a);
+        }
+        DirStep::done().with_memory_write(a, version)
+    }
+
+    fn awaiting(&self, a: BlockAddr) -> bool {
+        self.waiting.contains_key(&a)
+    }
+
+    fn global_state(&self, a: BlockAddr) -> GlobalState {
+        match self.entries.get(&a) {
+            None => GlobalState::Absent,
+            Some(Entry::Shared(owners)) if owners.len() == 1 => GlobalState::Present1,
+            Some(Entry::Shared(_)) => GlobalState::PresentStar,
+            // Conservatively "modified": the holder may have dirtied it.
+            Some(Entry::ExclusiveOrModified(_)) => GlobalState::PresentM,
+        }
+    }
+
+    fn holders(&self, a: BlockAddr) -> Option<OwnerSet> {
+        Some(match self.entries.get(&a) {
+            None => OwnerSet::new(self.width),
+            Some(Entry::Shared(owners)) => owners.clone(),
+            Some(&Entry::ExclusiveOrModified(i)) => OwnerSet::singleton(self.width, i),
+        })
+    }
+
+    fn check_consistency(
+        &self,
+        a: BlockAddr,
+        clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String> {
+        let recorded = self.holders(a).expect("always has a holder view");
+        let mut actual = OwnerSet::new(self.width);
+        for id in clean.iter().chain(dirty.iter()) {
+            actual.insert(id);
+        }
+        if recorded != actual {
+            return Err(format!("presence vector {recorded} but actual holders {actual}"));
+        }
+        match self.entries.get(&a) {
+            Some(Entry::Shared(_)) if !dirty.is_empty() => {
+                Err("directory says Shared but a dirty copy exists".to_string())
+            }
+            Some(&Entry::ExclusiveOrModified(i)) => {
+                // The holder may be clean (Exclusive) or dirty (Modified);
+                // either way it must be exactly cache i, alone.
+                let sole_clean = clean.sole_member() == Some(i) && dirty.is_empty();
+                let sole_dirty = dirty.sole_member() == Some(i) && clean.is_empty();
+                if sole_clean || sole_dirty {
+                    Ok(())
+                } else {
+                    Err(format!("exclusive-or-modified at {i} but holders are clean {clean} / dirty {dirty}"))
+                }
+            }
+            _ => {
+                if dirty.is_empty() {
+                    Ok(())
+                } else {
+                    Err("dirty copy exists outside an exclusive entry".to_string())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn cid(n: usize) -> CacheId {
+        CacheId::new(n)
+    }
+
+    #[test]
+    fn first_read_grants_exclusive() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(1);
+        let s = d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, .. }, .. } => {
+                assert!(*exclusive, "sole reader gets an exclusive fill");
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(d.global_state(a), GlobalState::PresentM, "conservatively maybe-modified");
+    }
+
+    #[test]
+    fn second_reader_triggers_recall_and_sharing() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(2);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        let s = d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        assert!(!s.completes, "must recall the exclusive holder — it may be dirty");
+        match &s.sends[0] {
+            DirSend::Unicast { to, cmd: MemoryToCache::Purge { rw, .. }, .. } => {
+                assert_eq!(*to, cid(0));
+                assert_eq!(*rw, AccessKind::Read);
+            }
+            other => panic!("expected PURGE, got {other:?}"),
+        }
+        let s = d.supply(a, cid(0), Version::new(3), true, &mem);
+        assert!(s.completes);
+        let holders = d.holders(a).unwrap();
+        assert!(holders.contains(cid(0)) && holders.contains(cid(1)));
+        assert_eq!(d.global_state(a), GlobalState::PresentStar);
+    }
+
+    #[test]
+    fn modify_from_shared_holder_invalidates_others() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(3);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        d.supply(a, cid(0), Version::initial(), true, &mem);
+        let s = d.open(cid(1), a, OpenKind::Modify(mem.read(a)), &mem);
+        let invs: Vec<CacheId> = s
+            .sends
+            .iter()
+            .filter_map(|snd| match snd {
+                DirSend::Unicast { cmd: MemoryToCache::Inv { to, .. }, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(invs, vec![cid(0)]);
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn clean_eject_of_exclusive_clears_entry() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(4);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        d.eject_clean(cid(0), a);
+        assert_eq!(d.global_state(a), GlobalState::Absent);
+    }
+
+    #[test]
+    fn clean_eject_from_recalled_holder_satisfies_wait() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(5);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem); // exclusive at C0
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem); // recall in flight
+        assert!(d.eject_satisfies_wait(a, cid(0), WritebackKind::Clean));
+        assert!(!d.eject_satisfies_wait(a, cid(1), WritebackKind::Clean));
+        // The racing clean eject supplies memory's (current) data.
+        let s = d.supply(a, cid(0), mem.read(a), false, &mem);
+        assert!(s.completes);
+        assert_eq!(d.global_state(a), GlobalState::Present1);
+    }
+
+    #[test]
+    fn write_miss_on_exclusive_recalls_with_write_intent() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(6);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        let s = d.open(cid(1), a, OpenKind::WriteMiss, &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::Purge { rw, .. }, .. } => {
+                assert_eq!(*rw, AccessKind::Write);
+            }
+            other => panic!("expected PURGE(write), got {other:?}"),
+        }
+        let s = d.supply(a, cid(0), Version::new(7), false, &mem);
+        assert_eq!(s.write_memory, Some((a, Version::new(7))));
+        assert_eq!(d.holders(a).unwrap().sole_member(), Some(cid(1)));
+    }
+
+    #[test]
+    fn stale_modify_denied() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let s = d.open(cid(2), blk(7), OpenKind::Modify(mem.read(blk(7))), &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, .. }, .. } => {
+                assert!(!granted);
+            }
+            other => panic!("expected denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consistency_accepts_silently_dirtied_exclusive() {
+        let mut d = FullMapLocalDirectory::new(4);
+        let mem = MemoryImage::new();
+        let a = blk(8);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem); // ExclusiveOrModified(C0)
+        let none = OwnerSet::new(4);
+        let c0 = OwnerSet::singleton(4, cid(0));
+        // Clean at C0: fine. Dirty at C0 (silent upgrade): also fine.
+        assert!(d.check_consistency(a, &c0, &none).is_ok());
+        assert!(d.check_consistency(a, &none, &c0).is_ok());
+        // Dirty at someone else: violation.
+        let c1 = OwnerSet::singleton(4, cid(1));
+        assert!(d.check_consistency(a, &none, &c1).is_err());
+    }
+}

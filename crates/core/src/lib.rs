@@ -1,0 +1,79 @@
+//! The paper's contribution: the **two-bit directory cache-coherence
+//! scheme** of Archibald & Baer (ISCA 1984), together with the directory
+//! schemes it is evaluated against and the memory-controller machinery
+//! that runs them.
+//!
+//! # Layout
+//!
+//! * Protocol decision logic — pure, untimed state machines implementing
+//!   [`DirectoryProtocol`]:
+//!   [`TwoBitDirectory`] (section 3), [`TwoBitTlbDirectory`]
+//!   (section 4.4's translation buffer), [`FullMapDirectory`]
+//!   (section 2.4.2), [`FullMapLocalDirectory`] (section 2.4.3),
+//!   [`ClassicalDirectory`] (section 2.3), [`NullDirectory`]
+//!   (section 2.2).
+//! * [`Controller`] — the memory-module controller `K_j`: request queue
+//!   with per-block conflict serialization and MREQUEST cancellation
+//!   (section 3.2.5), module storage, race resolution for replacements
+//!   crossing recalls.
+//! * [`CacheAgent`] — the cache controller `C_k`: hit/miss
+//!   classification, the replacement protocol (section 3.2.1), snoop
+//!   servicing, and the BROADINV-as-MGRANTED(false) conversion.
+//! * [`FunctionalSystem`] — an untimed whole-system executor with a
+//!   coherence [`Oracle`]; the reference semantics that the timed
+//!   simulator in `twobit-sim` must agree with.
+//! * [`invariants`] — SWMR and directory-soundness checking.
+//!
+//! # Example: the section 3.2.5 write race, end to end
+//!
+//! ```
+//! use twobit_core::FunctionalSystem;
+//! use twobit_types::{CacheId, MemRef, SystemConfig, WordAddr};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut system = FunctionalSystem::new(SystemConfig::with_defaults(2))?;
+//! let (c0, c1) = (CacheId::new(0), CacheId::new(1));
+//! let a = WordAddr::new(0x40, 0);
+//! // Both caches read, then both write "at the same time".
+//! system.do_ref(c0, MemRef::read(a))?;
+//! system.do_ref(c1, MemRef::read(a))?;
+//! system.do_ref(c0, MemRef::write(a))?;
+//! system.do_ref(c1, MemRef::write(a))?;
+//! // Coherent: the second write won.
+//! let fin = system.do_ref(c0, MemRef::read(a))?;
+//! assert_eq!(fin.observed.raw(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod classical;
+mod controller;
+mod directory;
+mod exec;
+mod full_map;
+mod full_map_local;
+mod local;
+pub mod invariants;
+pub mod model_check;
+mod memory;
+mod owner_set;
+mod tlb;
+mod two_bit;
+
+pub use agent::{AgentPolicy, CacheAgent, Completion, NetOutcome, StartOutcome};
+pub use classical::{ClassicalDirectory, NullDirectory};
+pub use controller::{Controller, CtrlEmit};
+pub use directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
+pub use exec::{FunctionalSystem, Oracle, DEFAULT_STATIC_SHARED_FROM};
+pub use full_map::FullMapDirectory;
+pub use full_map_local::FullMapLocalDirectory;
+pub use local::LocalState;
+pub use memory::MemoryImage;
+pub use model_check::{Exploration, ModelChecker};
+pub use owner_set::OwnerSet;
+pub use tlb::{TranslationBuffer, TwoBitTlbDirectory};
+pub use two_bit::TwoBitDirectory;

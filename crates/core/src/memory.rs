@@ -1,0 +1,82 @@
+//! A memory module's storage, in the data-as-version model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use twobit_types::{BlockAddr, Version};
+
+/// The block storage of one memory module (`M_j` in Figure 3-1).
+///
+/// Blocks never written still hold their initial image
+/// ([`Version::initial`]); only written blocks occupy space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryImage {
+    blocks: HashMap<BlockAddr, Version>,
+}
+
+impl MemoryImage {
+    /// An all-initial memory image.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryImage::default()
+    }
+
+    /// The current content (version) of block `a`.
+    #[must_use]
+    pub fn read(&self, a: BlockAddr) -> Version {
+        self.blocks.get(&a).copied().unwrap_or_else(Version::initial)
+    }
+
+    /// Overwrites block `a` (a write-back or write-through landing).
+    pub fn write(&mut self, a: BlockAddr, version: Version) {
+        self.blocks.insert(a, version);
+    }
+
+    /// Iterates over blocks that have ever been written.
+    pub fn written_blocks(&self) -> impl Iterator<Item = (BlockAddr, Version)> + '_ {
+        self.blocks.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Number of blocks ever written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_initial() {
+        let m = MemoryImage::new();
+        assert_eq!(m.read(BlockAddr::new(99)), Version::initial());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = MemoryImage::new();
+        m.write(BlockAddr::new(1), Version::new(5));
+        assert_eq!(m.read(BlockAddr::new(1)), Version::new(5));
+        m.write(BlockAddr::new(1), Version::new(7));
+        assert_eq!(m.read(BlockAddr::new(1)), Version::new(7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn written_blocks_enumerates() {
+        let mut m = MemoryImage::new();
+        m.write(BlockAddr::new(1), Version::new(2));
+        m.write(BlockAddr::new(3), Version::new(4));
+        let mut got: Vec<_> = m.written_blocks().map(|(a, v)| (a.number(), v.raw())).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 2), (3, 4)]);
+    }
+}

@@ -1,0 +1,497 @@
+//! The two-bit directory scheme — the paper's contribution (section 3).
+//!
+//! Each block owned by the module carries exactly two bits encoding
+//! `Absent` / `Present1` / `Present*` / `PresentM`. The directory never
+//! knows *which* caches hold copies, so any command that must reach a
+//! non-initiating cache is broadcast (`BROADINV`, `BROADQUERY`); the
+//! protocol's entire cost model is the stream of broadcasts this forces.
+//!
+//! Protocol cases implemented exactly per sections 3.2.1–3.2.5:
+//!
+//! | event | state | actions |
+//! |-------|-------|---------|
+//! | read miss | Absent | `get`, → Present1 |
+//! | read miss | Present1 / Present\* | `get`, → Present\* |
+//! | read miss | PresentM | `BROADQUERY(read)`; on supply: write-back, `get`, → Present\* (owner keeps a clean copy)¹ |
+//! | write miss | Absent | `get`, → PresentM |
+//! | write miss | Present1 / Present\* | `BROADINV(a,k)`, `get`, → PresentM |
+//! | write miss | PresentM | `BROADQUERY(write)`; on supply: write-back, `get`, → PresentM |
+//! | MREQUEST | Present1 | `MGRANTED(true)`, → PresentM |
+//! | MREQUEST | Present\* | `BROADINV(a,k)`, `MGRANTED(true)`, → PresentM |
+//! | MREQUEST | PresentM / Absent | `MGRANTED(false)` (stale request; the requester's copy was invalidated in flight — section 3.2.5) |
+//! | clean eject | Present1 | → Absent (the optimization the paper notes makes keeping Present1 worthwhile) |
+//! | dirty eject | any | write-back, → Absent |
+//!
+//! ¹ The paper's read-miss case 2 prints `SETSTATE(a,"Present!")`, an
+//! OCR-ambiguous token. Since the responding owner "will also reset the
+//! modified bit" — i.e. *keeps* a clean copy — two clean copies exist and
+//! the only sound successor state is `Present*`. When the data instead
+//! arrives via a racing write-back (the owner ejected the block), only the
+//! requester holds a copy and the state becomes `Present1`.
+
+use crate::directory::{
+    grant_forwarded, grant_from_memory, mgranted, DirSend, DirStep, DirectoryProtocol, OpenKind,
+    SendCost,
+};
+use crate::memory::MemoryImage;
+use crate::owner_set::OwnerSet;
+use std::collections::HashMap;
+use twobit_types::{
+    AccessKind, BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+};
+
+/// What an in-flight transaction awaits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Waiting {
+    /// The requester to grant once data arrives.
+    pub k: CacheId,
+    /// Whether the triggering miss was a write.
+    pub write: bool,
+}
+
+/// The two-bit global directory of one memory module.
+#[derive(Debug, Default, Clone)]
+pub struct TwoBitDirectory {
+    states: HashMap<BlockAddr, GlobalState>,
+    waiting: HashMap<BlockAddr, Waiting>,
+}
+
+impl TwoBitDirectory {
+    /// An empty directory: every block starts `Absent`.
+    #[must_use]
+    pub fn new() -> Self {
+        TwoBitDirectory::default()
+    }
+
+    fn state(&self, a: BlockAddr) -> GlobalState {
+        self.states.get(&a).copied().unwrap_or_default()
+    }
+
+    fn set_state(&mut self, a: BlockAddr, s: GlobalState) {
+        if s == GlobalState::Absent {
+            self.states.remove(&a);
+        } else {
+            self.states.insert(a, s);
+        }
+    }
+
+    fn broad_inv(a: BlockAddr, k: CacheId) -> DirSend {
+        DirSend::Broadcast {
+            cmd: MemoryToCache::BroadInv { a, exclude: k },
+            exclude: k,
+            cost: SendCost::Command,
+        }
+    }
+
+    fn broad_query(a: BlockAddr, rw: AccessKind, requester: CacheId) -> DirSend {
+        DirSend::Broadcast {
+            cmd: MemoryToCache::BroadQuery { a, rw },
+            exclude: requester,
+            cost: SendCost::Command,
+        }
+    }
+}
+
+impl DirectoryProtocol for TwoBitDirectory {
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "two-bit"
+    }
+
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
+        debug_assert!(!self.waiting.contains_key(&a), "open on a waiting block");
+        match kind {
+            OpenKind::ReadMiss => match self.state(a) {
+                GlobalState::Absent => {
+                    self.set_state(a, GlobalState::Present1);
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, false))
+                }
+                GlobalState::Present1 | GlobalState::PresentStar => {
+                    self.set_state(a, GlobalState::PresentStar);
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, false))
+                }
+                GlobalState::PresentM => {
+                    self.waiting.insert(a, Waiting { k, write: false });
+                    DirStep::awaiting(vec![Self::broad_query(a, AccessKind::Read, k)])
+                }
+            },
+            OpenKind::WriteMiss => match self.state(a) {
+                GlobalState::Absent => {
+                    self.set_state(a, GlobalState::PresentM);
+                    DirStep::done().with_send(grant_from_memory(k, a, mem, true))
+                }
+                GlobalState::Present1 | GlobalState::PresentStar => {
+                    self.set_state(a, GlobalState::PresentM);
+                    DirStep::done()
+                        .with_send(Self::broad_inv(a, k))
+                        .with_send(grant_from_memory(k, a, mem, true))
+                }
+                GlobalState::PresentM => {
+                    self.waiting.insert(a, Waiting { k, write: true });
+                    DirStep::awaiting(vec![Self::broad_query(a, AccessKind::Write, k)])
+                }
+            },
+            OpenKind::Modify(version) => match self.state(a) {
+                // The version check detects the crossing-window race the
+                // two-bit map cannot see by identity: a clean copy's
+                // version equals memory's unless an invalidation for it
+                // is in flight (see the `MREQUEST` docs in twobit-types).
+                GlobalState::Present1 if version == mem.read(a) => {
+                    self.set_state(a, GlobalState::PresentM);
+                    DirStep::done().with_send(mgranted(k, a, true))
+                }
+                GlobalState::PresentStar if version == mem.read(a) => {
+                    self.set_state(a, GlobalState::PresentM);
+                    DirStep::done()
+                        .with_send(Self::broad_inv(a, k))
+                        .with_send(mgranted(k, a, true))
+                }
+                // The requester's copy has been invalidated while its
+                // MREQUEST was in flight (section 3.2.5), or carries a
+                // stale version: deny; it will come back with a write
+                // miss.
+                _ => DirStep::done().with_send(mgranted(k, a, false)),
+            },
+            OpenKind::WriteThrough(_) | OpenKind::DirectRead => {
+                panic!("two-bit directory serves only write-back caches (got {kind:?})")
+            }
+        }
+    }
+
+    fn supply(
+        &mut self,
+        a: BlockAddr,
+        _from: CacheId,
+        version: Version,
+        retains: bool,
+        _mem: &MemoryImage,
+    ) -> DirStep {
+        let waiting = self.waiting.remove(&a).expect("supply without a waiting transaction");
+        let next = if waiting.write {
+            GlobalState::PresentM
+        } else if retains {
+            // Owner downgraded to a clean copy; requester gets another.
+            GlobalState::PresentStar
+        } else {
+            // Owner's copy left via a racing write-back; requester alone.
+            GlobalState::Present1
+        };
+        self.set_state(a, next);
+        DirStep::done()
+            .with_memory_write(a, version)
+            .with_send(grant_forwarded(waiting.k, a, version, waiting.write))
+    }
+
+    fn eject_satisfies_wait(&self, a: BlockAddr, _k: CacheId, wb: WritebackKind) -> bool {
+        // A dirty eject of a PresentM block can only come from the sole
+        // owner, which is exactly the cache whose data the wait needs. A
+        // clean eject can never carry the modified data a two-bit wait is
+        // for.
+        self.waiting.contains_key(&a) && wb == WritebackKind::Dirty
+    }
+
+    fn eject_clean(&mut self, _k: CacheId, a: BlockAddr) {
+        // Only the Present1 → Absent transition is sound: under Present*
+        // other copies may remain, and under PresentM/Absent the eject is
+        // stale information.
+        if self.state(a) == GlobalState::Present1 {
+            self.set_state(a, GlobalState::Absent);
+        }
+    }
+
+    fn eject_dirty(&mut self, _k: CacheId, a: BlockAddr, version: Version) -> DirStep {
+        self.set_state(a, GlobalState::Absent);
+        DirStep::done().with_memory_write(a, version)
+    }
+
+    fn awaiting(&self, a: BlockAddr) -> bool {
+        self.waiting.contains_key(&a)
+    }
+
+    fn global_state(&self, a: BlockAddr) -> GlobalState {
+        self.state(a)
+    }
+
+    fn holders(&self, _a: BlockAddr) -> Option<OwnerSet> {
+        None // the economy of the scheme: identities are not kept
+    }
+
+    fn check_consistency(
+        &self,
+        a: BlockAddr,
+        clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String> {
+        let state = self.state(a);
+        if state.admits(clean.len(), dirty.len()) {
+            Ok(())
+        } else {
+            Err(format!(
+                "two-bit state {state} does not admit {} clean / {} dirty copies",
+                clean.len(),
+                dirty.len()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    fn cid(n: usize) -> CacheId {
+        CacheId::new(n)
+    }
+
+    fn grants_to(step: &DirStep) -> Vec<CacheId> {
+        step.sends
+            .iter()
+            .filter_map(|s| match s {
+                DirSend::Unicast { cmd: MemoryToCache::GetData { k, .. }, .. } => Some(*k),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn has_broadcast(step: &DirStep) -> bool {
+        step.sends.iter().any(|s| matches!(s, DirSend::Broadcast { .. }))
+    }
+
+    #[test]
+    fn read_miss_progression_absent_to_present_star() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(1);
+
+        let s = d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        assert!(s.completes && !has_broadcast(&s));
+        assert_eq!(grants_to(&s), vec![cid(0)]);
+        assert_eq!(d.global_state(a), GlobalState::Present1);
+
+        let s = d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        assert!(s.completes && !has_broadcast(&s));
+        assert_eq!(d.global_state(a), GlobalState::PresentStar);
+
+        let s = d.open(cid(2), a, OpenKind::ReadMiss, &mem);
+        assert!(s.completes);
+        assert_eq!(d.global_state(a), GlobalState::PresentStar, "Present* is absorbing for reads");
+    }
+
+    #[test]
+    fn read_miss_on_modified_broadcasts_query_and_waits() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(2);
+        d.open(cid(0), a, OpenKind::WriteMiss, &mem);
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+
+        let s = d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        assert!(!s.completes);
+        assert!(d.awaiting(a));
+        match &s.sends[0] {
+            DirSend::Broadcast { cmd: MemoryToCache::BroadQuery { rw, .. }, exclude, .. } => {
+                assert_eq!(*rw, AccessKind::Read);
+                assert_eq!(*exclude, cid(1), "requester is never delivered its own broadcast");
+            }
+            other => panic!("expected BROADQUERY, got {other:?}"),
+        }
+
+        // Owner supplies, keeping a clean copy.
+        let s = d.supply(a, cid(0), Version::new(5), true, &mem);
+        assert!(s.completes);
+        assert_eq!(s.write_memory, Some((a, Version::new(5))), "write-back to memory");
+        assert_eq!(grants_to(&s), vec![cid(1)]);
+        assert_eq!(d.global_state(a), GlobalState::PresentStar, "two clean copies now exist");
+        assert!(!d.awaiting(a));
+    }
+
+    #[test]
+    fn read_miss_supply_via_racing_writeback_yields_present1() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(3);
+        d.open(cid(0), a, OpenKind::WriteMiss, &mem);
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        assert!(d.eject_satisfies_wait(a, cid(0), WritebackKind::Dirty));
+        assert!(!d.eject_satisfies_wait(a, cid(0), WritebackKind::Clean));
+        let s = d.supply(a, cid(0), Version::new(9), false, &mem);
+        assert!(s.completes);
+        assert_eq!(d.global_state(a), GlobalState::Present1, "only the requester holds a copy");
+    }
+
+    #[test]
+    fn write_miss_on_shared_broadcasts_invalidate() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(4);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem); // Present*
+
+        let s = d.open(cid(2), a, OpenKind::WriteMiss, &mem);
+        assert!(s.completes, "invalidation needs no response");
+        match &s.sends[0] {
+            DirSend::Broadcast { cmd: MemoryToCache::BroadInv { exclude, .. }, .. } => {
+                assert_eq!(*exclude, cid(2));
+            }
+            other => panic!("expected BROADINV, got {other:?}"),
+        }
+        assert_eq!(grants_to(&s), vec![cid(2)]);
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn write_miss_on_present1_also_broadcasts() {
+        // Present1 knows the copy count but not its identity, so the
+        // invalidation must still be broadcast — the n-2 overhead of the
+        // paper's write-miss case 2.
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(5);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem); // Present1
+        let s = d.open(cid(1), a, OpenKind::WriteMiss, &mem);
+        assert!(has_broadcast(&s));
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn write_miss_on_modified_queries_then_grants_exclusive() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(6);
+        d.open(cid(0), a, OpenKind::WriteMiss, &mem);
+        let s = d.open(cid(1), a, OpenKind::WriteMiss, &mem);
+        assert!(!s.completes);
+        match &s.sends[0] {
+            DirSend::Broadcast { cmd: MemoryToCache::BroadQuery { rw, .. }, .. } => {
+                assert_eq!(*rw, AccessKind::Write);
+            }
+            other => panic!("expected BROADQUERY(write), got {other:?}"),
+        }
+        let s = d.supply(a, cid(0), Version::new(2), false, &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, version, .. }, cost, .. } => {
+                assert!(exclusive);
+                assert_eq!(*version, Version::new(2));
+                assert_eq!(*cost, SendCost::DataForwarded);
+            }
+            other => panic!("expected exclusive grant, got {other:?}"),
+        }
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn mrequest_on_present1_grants_without_broadcast() {
+        // "This justifies keeping the encoding of Present1" (3.2.4 case 1).
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(7);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        let s = d.open(cid(0), a, OpenKind::Modify(mem.read(a)), &mem);
+        assert!(!has_broadcast(&s));
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, .. }, .. } => {
+                assert!(granted);
+            }
+            other => panic!("expected MGRANTED, got {other:?}"),
+        }
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn mrequest_on_present_star_broadcasts_then_grants() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(8);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem); // Present*
+        let s = d.open(cid(0), a, OpenKind::Modify(mem.read(a)), &mem);
+        assert!(has_broadcast(&s));
+        assert!(s.completes);
+        assert_eq!(d.global_state(a), GlobalState::PresentM);
+    }
+
+    #[test]
+    fn stale_mrequest_is_denied() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(9);
+        d.open(cid(0), a, OpenKind::WriteMiss, &mem); // PresentM at C0
+        let s = d.open(cid(1), a, OpenKind::Modify(mem.read(a)), &mem);
+        match &s.sends[0] {
+            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, k, .. }, .. } => {
+                assert!(!granted);
+                assert_eq!(*k, cid(1));
+            }
+            other => panic!("expected MGRANTED(false), got {other:?}"),
+        }
+        assert_eq!(d.global_state(a), GlobalState::PresentM, "state untouched by stale request");
+    }
+
+    #[test]
+    fn clean_eject_shrinks_only_present1() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(10);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem); // Present1
+        d.eject_clean(cid(0), a);
+        assert_eq!(d.global_state(a), GlobalState::Absent);
+
+        // Present* never shrinks on clean ejects (identities unknown).
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem);
+        d.open(cid(1), a, OpenKind::ReadMiss, &mem);
+        d.eject_clean(cid(0), a);
+        d.eject_clean(cid(1), a);
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::PresentStar,
+            "Present* admits zero copies; only a later write miss resets it"
+        );
+    }
+
+    #[test]
+    fn dirty_eject_writes_back_and_clears() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(11);
+        d.open(cid(0), a, OpenKind::WriteMiss, &mem);
+        let s = d.eject_dirty(cid(0), a, Version::new(3));
+        assert_eq!(s.write_memory, Some((a, Version::new(3))));
+        assert_eq!(d.global_state(a), GlobalState::Absent);
+    }
+
+    #[test]
+    fn consistency_check_uses_admits() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        let a = blk(12);
+        d.open(cid(0), a, OpenKind::ReadMiss, &mem); // Present1
+        let one = OwnerSet::singleton(4, cid(0));
+        let none = OwnerSet::new(4);
+        assert!(d.check_consistency(a, &one, &none).is_ok());
+        let two: OwnerSet = [cid(0), cid(1)].into_iter().collect();
+        assert!(d.check_consistency(a, &two, &none).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "write-back caches")]
+    fn write_through_is_a_wiring_bug() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        d.open(cid(0), blk(0), OpenKind::WriteThrough(Version::new(1)), &mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply without a waiting transaction")]
+    fn unsolicited_supply_panics() {
+        let mut d = TwoBitDirectory::new();
+        let mem = MemoryImage::new();
+        d.supply(blk(0), cid(0), Version::new(1), true, &mem);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the network models: the ordering guarantees
+//! the protocols build on.
+
+use proptest::prelude::*;
+use twobit_interconnect::{Crossbar, MessageSize, Network, NodeId, SharedBus};
+use twobit_types::{CacheId, ModuleId};
+
+fn node(sel: bool, idx: usize) -> NodeId {
+    if sel {
+        NodeId::Cache(CacheId::new(idx))
+    } else {
+        NodeId::Module(ModuleId::new(idx))
+    }
+}
+
+proptest! {
+    /// Per-destination FIFO: deliveries to one destination arrive in
+    /// schedule order, regardless of sources, sizes, and injection times
+    /// (as long as injection times are nondecreasing, which the event
+    /// loop guarantees).
+    #[test]
+    fn crossbar_per_destination_fifo(
+        sends in prop::collection::vec(
+            (any::<bool>(), 0usize..4, any::<bool>(), 0u64..5), 1..60),
+        cmd_lat in 0u64..4,
+        data_lat in 0u64..8,
+        occupancy in 0u64..3,
+    ) {
+        let mut x = Crossbar::new(cmd_lat, data_lat, occupancy);
+        let mut now = 0u64;
+        let mut last_arrival: std::collections::HashMap<NodeId, u64> = Default::default();
+        for (is_cache, idx, data, dt) in sends {
+            now += dt;
+            let dst = node(is_cache, idx);
+            let size = if data { MessageSize::Data } else { MessageSize::Command };
+            let arrival = x.schedule(node(!is_cache, 0), dst, size, now);
+            prop_assert!(arrival >= now, "no time travel");
+            if let Some(&prev) = last_arrival.get(&dst) {
+                prop_assert!(arrival >= prev, "FIFO violated at {dst}");
+            }
+            last_arrival.insert(dst, arrival);
+        }
+    }
+
+    /// Queueing statistics equal the sum of imposed delays.
+    #[test]
+    fn crossbar_queueing_accounting(count in 1usize..30, occupancy in 1u64..4) {
+        let mut x = Crossbar::new(0, 0, occupancy);
+        // All messages to one port at time 0: message i waits i*occupancy.
+        for _ in 0..count {
+            x.schedule(node(false, 0), node(true, 0), MessageSize::Command, 0);
+        }
+        let expected: u64 = (0..count as u64).map(|i| i * occupancy).sum();
+        prop_assert_eq!(x.stats().queueing_cycles.get(), expected);
+        prop_assert_eq!(x.stats().deliveries.get(), count as u64);
+    }
+
+    /// The bus is a total order: completion times strictly increase for
+    /// nonzero occupancies.
+    #[test]
+    fn bus_is_a_total_order(
+        sends in prop::collection::vec((any::<bool>(), 0u64..5), 1..50),
+    ) {
+        let mut bus = SharedBus::new(2, 6);
+        let mut now = 0u64;
+        let mut last = 0u64;
+        for (data, dt) in sends {
+            now += dt;
+            let size = if data { MessageSize::Data } else { MessageSize::Command };
+            let done = bus.acquire(size, now);
+            prop_assert!(done > last, "bus transactions must serialize");
+            last = done;
+        }
+        prop_assert_eq!(bus.next_free(), last);
+    }
+
+    /// Bus utilization never exceeds wall-clock: busy time <= final time.
+    #[test]
+    fn bus_busy_time_bounded(sends in prop::collection::vec(0u64..5, 1..40)) {
+        let mut bus = SharedBus::new(2, 6);
+        let mut now = 0u64;
+        let mut busy = 0u64;
+        for dt in sends {
+            now += dt;
+            let before = bus.next_free().max(now);
+            let done = bus.acquire(MessageSize::Command, now);
+            busy += done - before;
+        }
+        prop_assert!(bus.next_free() >= busy);
+    }
+}

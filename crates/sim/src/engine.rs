@@ -1,0 +1,144 @@
+//! The event queue: a deterministic discrete-event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use twobit_types::{CacheId, CacheToMemory, MemoryToCache, ModuleId};
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Processor `cpu` attempts to issue its next reference.
+    ProcessorIssue {
+        /// The issuing processor–cache pair.
+        cpu: CacheId,
+    },
+    /// A network message arrives at a cache.
+    DeliverToCache {
+        /// Recipient.
+        cache: CacheId,
+        /// The command.
+        msg: MemoryToCache,
+    },
+    /// A network message arrives at a memory-module controller.
+    DeliverToModule {
+        /// Recipient.
+        module: ModuleId,
+        /// The command.
+        cmd: CacheToMemory,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first;
+        // ties break by insertion order (seq) for determinism and FIFO.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue. Events at equal times pop in
+/// insertion order, which (together with the network's per-destination
+/// FIFO) gives the protocols the ordering guarantees they rely on.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+    }
+
+    /// Pops the earliest event, with its time.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(n: usize) -> Event {
+        Event::ProcessorIssue { cpu: CacheId::new(n) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5, issue(0));
+        q.push(1, issue(1));
+        q.push(3, issue(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(7, issue(i));
+        }
+        let cpus: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::ProcessorIssue { cpu } => cpu.index(),
+                other => panic!("unexpected {other:?}"),
+            })
+        })
+        .collect();
+        assert_eq!(cpus, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, issue(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Core vocabulary for the `twobit` cache-coherence reproduction.
+//!
+//! This crate defines the types shared by every other crate in the
+//! workspace: identities of processor–cache pairs and memory modules,
+//! block/word addresses and their mapping onto memory modules, the local
+//! and global protocol states, the command set of Table 3-1 of Archibald &
+//! Baer (ISCA 1984), system configuration, and statistics containers.
+//!
+//! Nothing in this crate contains protocol *logic*; it is pure data
+//! vocabulary. Protocol state machines live in [`twobit-core`] (directory
+//! schemes) and [`twobit-bus`] (snooping schemes), timing in
+//! [`twobit-sim`].
+//!
+//! # Example
+//!
+//! ```
+//! use twobit_types::{BlockAddr, CacheId, GlobalState, AccessKind};
+//!
+//! let a = BlockAddr::new(0x40);
+//! let k = CacheId::new(3);
+//! assert_eq!(GlobalState::Absent.bits(), 0b00);
+//! assert!(AccessKind::Write.is_write());
+//! # let _ = (a, k);
+//! ```
+//!
+//! [`twobit-core`]: ../twobit_core/index.html
+//! [`twobit-bus`]: ../twobit_bus/index.html
+//! [`twobit-sim`]: ../twobit_sim/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod addr;
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod state;
+pub mod stats;
+pub mod table;
+pub mod version;
+
+pub use access::{AccessKind, MemRef, WritebackKind};
+pub use addr::{AddressMap, BlockAddr, WordAddr};
+pub use command::{CacheReply, CacheToMemory, DataTransfer, MemoryToCache, ProcessorCmd};
+pub use config::{
+    CacheOrg, ControllerConcurrency, LatencyConfig, ProtocolKind, ReplacementPolicy, SystemConfig,
+};
+pub use error::{ConfigError, ProtocolError};
+pub use ids::{CacheId, ModuleId, TxnId};
+pub use state::{GlobalState, LineState};
+pub use stats::{CacheStats, CommandClass, ControllerStats, Counter, NetworkStats, SystemStats};
+pub use table::{fmt3, Align, Table};
+pub use version::Version;

@@ -1,0 +1,108 @@
+//! Property-based tests over the vocabulary types.
+
+use proptest::prelude::*;
+use twobit_types::{
+    AddressMap, BlockAddr, CacheOrg, GlobalState, LineState, SystemConfig, Table, Version,
+};
+
+proptest! {
+    /// Interleaved maps partition the address space: every block has
+    /// exactly one owner, and slots are dense per module.
+    #[test]
+    fn interleaved_map_partitions(blocks in prop::collection::vec(0u64..1_000_000, 1..100),
+                                  modules in 1usize..64) {
+        let map = AddressMap::interleaved(modules);
+        for &b in &blocks {
+            let a = BlockAddr::new(b);
+            let owner = map.module_of(a);
+            prop_assert!(owner.index() < modules);
+            // Reconstruct the block number from (module, slot): the map
+            // must be injective.
+            let slot = map.slot_of(a);
+            prop_assert_eq!(slot * modules as u64 + owner.index() as u64, b);
+        }
+    }
+
+    /// Blocked maps agree with their definition inside the covered range.
+    #[test]
+    fn blocked_map_is_contiguous(modules in 1usize..16, per in 1u64..1000, b in 0u64..10_000) {
+        let map = AddressMap::blocked(modules, per);
+        let owner = map.module_of(BlockAddr::new(b)).index() as u64;
+        let expected = (b / per).min(modules as u64 - 1);
+        prop_assert_eq!(owner, expected);
+        if owner < modules as u64 - 1 {
+            prop_assert_eq!(map.slot_of(BlockAddr::new(b)), b % per);
+        }
+    }
+
+    /// Global-state encodings round-trip and admit() is monotone in
+    /// permissiveness: anything Absent admits, Present1 admits; anything
+    /// Present1 admits (clean-wise), Present* admits.
+    #[test]
+    fn global_state_admission_hierarchy(clean in 0usize..10, dirty in 0usize..3) {
+        for s in GlobalState::ALL {
+            prop_assert_eq!(GlobalState::from_bits(s.bits()), Some(s));
+        }
+        if GlobalState::Absent.admits(clean, dirty) {
+            prop_assert!(GlobalState::Present1.admits(clean, dirty));
+        }
+        if GlobalState::Present1.admits(clean, dirty) {
+            prop_assert!(GlobalState::PresentStar.admits(clean, dirty));
+        }
+    }
+
+    /// Line states project consistently onto valid/modified bits.
+    #[test]
+    fn line_state_bit_roundtrip(valid in any::<bool>(), modified in any::<bool>()) {
+        let s = LineState::from_bits(valid, modified);
+        prop_assert_eq!(s.is_valid(), valid);
+        if valid {
+            prop_assert_eq!(s.is_dirty(), modified);
+        } else {
+            prop_assert!(!s.is_dirty());
+        }
+    }
+
+    /// Cache set indexing stays in range and uses exactly the low bits.
+    #[test]
+    fn cache_set_indexing(sets_pow in 0u32..10, block in any::<u64>()) {
+        let sets = 1u32 << sets_pow;
+        let org = CacheOrg::new(sets, 2, 4).unwrap();
+        let set = org.set_of(block);
+        prop_assert!(set < sets);
+        prop_assert_eq!(u64::from(set), block % u64::from(sets));
+    }
+
+    /// Versions are strictly monotone under bump.
+    #[test]
+    fn version_bump_monotone(raw in 0u64..u64::MAX - 1) {
+        let v = Version::new(raw);
+        prop_assert!(v.bump() > v);
+    }
+
+    /// Tables render every cell they are given.
+    #[test]
+    fn table_renders_all_cells(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z0-9]{1,8}", 3..4), 1..10),
+    ) {
+        let mut t = Table::new("p", vec!["a".into(), "b".into(), "c".into()]);
+        for row in &rows {
+            t.push_row(row.clone());
+        }
+        let rendered = t.to_string();
+        let tsv = t.to_tsv();
+        for row in &rows {
+            for cell in row {
+                prop_assert!(rendered.contains(cell.as_str()), "missing {cell}");
+                prop_assert!(tsv.contains(cell.as_str()));
+            }
+        }
+    }
+
+    /// Default configurations validate across the full size range.
+    #[test]
+    fn default_configs_validate(n in 1usize..512) {
+        SystemConfig::with_defaults(n).validate().unwrap();
+    }
+}

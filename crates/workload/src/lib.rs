@@ -1,0 +1,53 @@
+//! Synthetic memory-reference workloads for the coherence studies.
+//!
+//! The paper's evaluation model (section 4.2, after Dubois–Briggs) views
+//! each processor's reference stream as "the merging of a stream of
+//! references to private or read-only shared blocks … with a stream of
+//! references to writeable shared blocks", governed by three parameters:
+//!
+//! * `q` — probability the next reference is to a shared block,
+//! * `w` — probability a shared reference is a write,
+//! * `h` — hit ratio of shared blocks (emergent in simulation; an input
+//!   to the closed forms).
+//!
+//! [`SharingModel`] implements exactly that stream, with presets matching
+//! the paper's three sharing cases and the Table 4-2 configuration
+//! (16 shared blocks, uniform 1/16 access). [`scenarios`] adds concrete
+//! sharing patterns (producer/consumer, lock contention, migratory
+//! ownership) that stress specific protocol paths, and [`trace`] provides
+//! a compact binary trace format so runs are replayable byte-for-byte.
+//!
+//! # Address layout
+//!
+//! Shared blocks live at [`SHARED_BASE`] and above; each CPU's private
+//! blocks live in a disjoint region below it. The static software scheme
+//! (section 2.2) distinguishes public from private data by exactly this
+//! address threshold — the "tag appended at compile or link time".
+//!
+//! # Example
+//!
+//! ```
+//! use twobit_workload::{SharingModel, SharingParams, Workload};
+//! use twobit_types::CacheId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut w = SharingModel::new(SharingParams::moderate(), 4, 42)?;
+//! let r = w.next_ref(CacheId::new(0));
+//! assert!(r.addr.block.number() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod params;
+pub mod scenarios;
+pub mod trace;
+mod zipf;
+
+pub use model::{SharingModel, Workload, SHARED_BASE};
+pub use params::SharingParams;
+pub use trace::{Trace, TraceEntry};
+pub use zipf::Zipf;

@@ -1,0 +1,456 @@
+//! Concrete sharing scenarios.
+//!
+//! Where [`SharingModel`](crate::SharingModel) draws references from a
+//! parameterized distribution, these scenarios reproduce the *patterns*
+//! the paper's introduction worries about — each one stresses a specific
+//! protocol path:
+//!
+//! * [`IndependentProcesses`] — no write sharing at all: the
+//!   multiprogramming case for which the paper judges the two-bit scheme
+//!   "acceptable with up to 64 processors";
+//! * [`ProducerConsumer`] — one writer, many readers: exercises
+//!   `BROADQUERY(read)` / owner-downgrade on every handoff;
+//! * [`LockContention`] — test-and-set on a handful of lock blocks:
+//!   exercises `MREQUEST`/`BROADINV` storms and the section 3.2.5 race;
+//! * [`Migratory`] — read-modify-write ownership migrating around the
+//!   machine: exercises `BROADQUERY(write)` chains.
+//!
+//! Each mixes its sharing pattern with a private-reference background so
+//! hit ratios stay realistic.
+
+use crate::model::{SharingModel, Workload, SHARED_BASE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twobit_types::{CacheId, ConfigError, MemRef, WordAddr};
+
+fn private_ref(rng: &mut StdRng, k: CacheId, pool: u64, write_prob: f64) -> MemRef {
+    let idx = rng.gen_range(0..pool);
+    let addr = WordAddr { block: SharingModel::private_block(k, idx), offset: 0 };
+    if rng.gen_bool(write_prob) {
+        MemRef::write(addr)
+    } else {
+        MemRef::read(addr)
+    }
+}
+
+fn shared_addr(i: u64) -> WordAddr {
+    WordAddr { block: twobit_types::BlockAddr::new(SHARED_BASE + i), offset: 0 }
+}
+
+/// Pure multiprogramming: every reference is private (`q = 0`).
+#[derive(Debug)]
+pub struct IndependentProcesses {
+    rngs: Vec<StdRng>,
+    pool: u64,
+    write_prob: f64,
+}
+
+impl IndependentProcesses {
+    /// `pool` private blocks per CPU, with the given write probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero CPUs or an empty pool.
+    pub fn new(cpus: usize, pool: u64, seed: u64) -> Result<Self, ConfigError> {
+        if cpus == 0 || pool == 0 {
+            return Err(ConfigError::new("independent-processes needs cpus and a pool"));
+        }
+        Ok(IndependentProcesses {
+            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            pool,
+            write_prob: 0.3,
+        })
+    }
+}
+
+impl Workload for IndependentProcesses {
+    fn next_ref(&mut self, k: CacheId) -> MemRef {
+        let pool = self.pool;
+        let wp = self.write_prob;
+        private_ref(&mut self.rngs[k.index()], k, pool, wp)
+    }
+
+    fn name(&self) -> &'static str {
+        "independent-processes"
+    }
+}
+
+/// CPU 0 produces into a circular buffer of shared blocks; the others
+/// consume. `sharing_fraction` of references touch the buffer.
+#[derive(Debug)]
+pub struct ProducerConsumer {
+    rngs: Vec<StdRng>,
+    buffer_blocks: u64,
+    sharing_fraction: f64,
+    produce_cursor: u64,
+    consume_cursors: Vec<u64>,
+    private_pool: u64,
+}
+
+impl ProducerConsumer {
+    /// A `buffer_blocks`-deep buffer shared by `cpus` CPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for fewer than two CPUs or an empty buffer.
+    pub fn new(cpus: usize, buffer_blocks: u64, seed: u64) -> Result<Self, ConfigError> {
+        if cpus < 2 {
+            return Err(ConfigError::new("producer/consumer needs at least two cpus"));
+        }
+        if buffer_blocks == 0 {
+            return Err(ConfigError::new("buffer must be nonempty"));
+        }
+        Ok(ProducerConsumer {
+            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            buffer_blocks,
+            sharing_fraction: 0.2,
+            produce_cursor: 0,
+            consume_cursors: vec![0; cpus],
+            private_pool: 96,
+        })
+    }
+}
+
+impl Workload for ProducerConsumer {
+    fn next_ref(&mut self, k: CacheId) -> MemRef {
+        let frac = self.sharing_fraction;
+        let pool = self.private_pool;
+        let shared = self.rngs[k.index()].gen_bool(frac);
+        if !shared {
+            return private_ref(&mut self.rngs[k.index()], k, pool, 0.3);
+        }
+        if k.index() == 0 {
+            // Produce: write the next slot.
+            let slot = self.produce_cursor % self.buffer_blocks;
+            self.produce_cursor += 1;
+            MemRef::write(shared_addr(slot))
+        } else {
+            // Consume: read my next slot.
+            let cursor = &mut self.consume_cursors[k.index()];
+            let slot = *cursor % self.buffer_blocks;
+            *cursor += 1;
+            MemRef::read(shared_addr(slot))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "producer-consumer"
+    }
+}
+
+/// Test-and-set contention on a few lock blocks: a "lock acquire" is a
+/// read of the lock block immediately followed (on the next reference)
+/// by a write to it — the write-hit-on-unmodified-block path of
+/// section 3.2.4, from many CPUs at once.
+#[derive(Debug)]
+pub struct LockContention {
+    rngs: Vec<StdRng>,
+    locks: u64,
+    lock_fraction: f64,
+    pending_write: Vec<Option<u64>>,
+    private_pool: u64,
+}
+
+impl LockContention {
+    /// `locks` lock blocks contended by `cpus` CPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero CPUs or zero locks.
+    pub fn new(cpus: usize, locks: u64, seed: u64) -> Result<Self, ConfigError> {
+        if cpus == 0 || locks == 0 {
+            return Err(ConfigError::new("lock contention needs cpus and locks"));
+        }
+        Ok(LockContention {
+            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            locks,
+            lock_fraction: 0.1,
+            pending_write: vec![None; cpus],
+            private_pool: 96,
+        })
+    }
+}
+
+impl Workload for LockContention {
+    fn next_ref(&mut self, k: CacheId) -> MemRef {
+        // Second half of a test-and-set?
+        if let Some(lock) = self.pending_write[k.index()].take() {
+            return MemRef::write(shared_addr(lock));
+        }
+        let frac = self.lock_fraction;
+        let pool = self.private_pool;
+        if self.rngs[k.index()].gen_bool(frac) {
+            let lock = self.rngs[k.index()].gen_range(0..self.locks);
+            self.pending_write[k.index()] = Some(lock);
+            MemRef::read(shared_addr(lock))
+        } else {
+            private_ref(&mut self.rngs[k.index()], k, pool, 0.3)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lock-contention"
+    }
+}
+
+/// Migratory ownership: a region of shared blocks is read-modified-
+/// written by one CPU at a time, ownership rotating every `phase_len`
+/// references.
+#[derive(Debug)]
+pub struct Migratory {
+    rngs: Vec<StdRng>,
+    region_blocks: u64,
+    phase_len: u64,
+    counters: Vec<u64>,
+    cpus: usize,
+    private_pool: u64,
+}
+
+impl Migratory {
+    /// A `region_blocks` migratory region over `cpus` CPUs with ownership
+    /// phases of `phase_len` references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero CPUs, an empty region, or a zero
+    /// phase length.
+    pub fn new(
+        cpus: usize,
+        region_blocks: u64,
+        phase_len: u64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if cpus == 0 || region_blocks == 0 || phase_len == 0 {
+            return Err(ConfigError::new("migratory needs cpus, a region, and a phase"));
+        }
+        Ok(Migratory {
+            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            region_blocks,
+            phase_len,
+            counters: vec![0; cpus],
+            cpus,
+            private_pool: 96,
+        })
+    }
+
+    /// Which CPU owns the region during `my_count`-th reference of CPU k.
+    fn owner_at(&self, count: u64) -> usize {
+        ((count / self.phase_len) % self.cpus as u64) as usize
+    }
+}
+
+impl Workload for Migratory {
+    fn next_ref(&mut self, k: CacheId) -> MemRef {
+        let count = self.counters[k.index()];
+        self.counters[k.index()] += 1;
+        let owner = self.owner_at(count);
+        let pool = self.private_pool;
+        if owner == k.index() {
+            // My phase: read-modify-write the region.
+            let slot = count % self.region_blocks;
+            if count % 2 == 0 {
+                MemRef::read(shared_addr(slot))
+            } else {
+                MemRef::write(shared_addr(slot))
+            }
+        } else {
+            private_ref(&mut self.rngs[k.index()], k, pool, 0.3)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "migratory"
+    }
+}
+
+/// Process migration: each *process* owns a private working set, but
+/// processes rotate across CPUs every `phase_len` references.
+///
+/// After a migration, the new host CPU touches blocks still dirty in the
+/// previous host's cache — pure coherence traffic with **no logical
+/// sharing at all**. This is the effect section 2.2 warns about ("this
+/// software solution is not sufficient by itself if we allow process
+/// migration") and section 4.2 folds into the sharing level ("effects due
+/// to process migration are not included but could be accounted for by
+/// adjusting the level of sharing"). Directory schemes handle it
+/// transparently; the static software scheme, which assumes private data
+/// never moves, becomes **incoherent** under it — a property the test
+/// suite demonstrates.
+#[derive(Debug)]
+pub struct ProcessMigration {
+    rngs: Vec<StdRng>,
+    phase_len: u64,
+    counters: Vec<u64>,
+    cpus: usize,
+    working_set: u64,
+    write_prob: f64,
+}
+
+impl ProcessMigration {
+    /// `cpus` processes on `cpus` CPUs, rotating every `phase_len`
+    /// references, each with a `working_set`-block private region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero CPUs, an empty working set, or a
+    /// zero phase length.
+    pub fn new(
+        cpus: usize,
+        working_set: u64,
+        phase_len: u64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if cpus == 0 || working_set == 0 || phase_len == 0 {
+            return Err(ConfigError::new("migration needs cpus, a working set, and a phase"));
+        }
+        Ok(ProcessMigration {
+            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            phase_len,
+            counters: vec![0; cpus],
+            cpus,
+            working_set,
+            write_prob: 0.3,
+        })
+    }
+
+    /// The process currently hosted on CPU `k` after `count` references.
+    fn process_on(&self, k: CacheId, count: u64) -> usize {
+        let phase = count / self.phase_len;
+        (k.index() + self.cpus - (phase as usize % self.cpus)) % self.cpus
+    }
+}
+
+impl Workload for ProcessMigration {
+    fn next_ref(&mut self, k: CacheId) -> MemRef {
+        let count = self.counters[k.index()];
+        self.counters[k.index()] += 1;
+        let process = self.process_on(k, count);
+        // The process's working set lives in *its* region, regardless of
+        // which CPU currently runs it.
+        let idx = self.rngs[k.index()].gen_range(0..self.working_set);
+        let block = SharingModel::private_block(CacheId::new(process), idx);
+        let addr = WordAddr { block, offset: 0 };
+        if self.rngs[k.index()].gen_bool(self.write_prob) {
+            MemRef::write(addr)
+        } else {
+            MemRef::read(addr)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "process-migration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::AccessKind;
+
+    #[test]
+    fn independent_processes_never_share() {
+        let mut w = IndependentProcesses::new(4, 64, 1).unwrap();
+        for i in 0..4 {
+            for _ in 0..500 {
+                let r = w.next_ref(CacheId::new(i));
+                assert!(!SharingModel::is_shared(r.addr.block));
+            }
+        }
+    }
+
+    #[test]
+    fn producer_writes_consumers_read() {
+        let mut w = ProducerConsumer::new(3, 8, 2).unwrap();
+        for _ in 0..2000 {
+            let r = w.next_ref(CacheId::new(0));
+            if SharingModel::is_shared(r.addr.block) {
+                assert_eq!(r.kind, AccessKind::Write, "producer only writes the buffer");
+            }
+            for i in 1..3 {
+                let r = w.next_ref(CacheId::new(i));
+                if SharingModel::is_shared(r.addr.block) {
+                    assert_eq!(r.kind, AccessKind::Read, "consumers only read the buffer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn producer_covers_all_buffer_slots() {
+        let mut w = ProducerConsumer::new(2, 4, 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let r = w.next_ref(CacheId::new(0));
+            if SharingModel::is_shared(r.addr.block) {
+                seen.insert(r.addr.block.number() - SHARED_BASE);
+            }
+        }
+        assert_eq!(seen.len(), 4, "all slots produced: {seen:?}");
+    }
+
+    #[test]
+    fn lock_acquire_is_read_then_write_of_same_block() {
+        let mut w = LockContention::new(2, 2, 4).unwrap();
+        let k = CacheId::new(0);
+        let mut last: Option<MemRef> = None;
+        let mut acquisitions = 0;
+        for _ in 0..5000 {
+            let r = w.next_ref(k);
+            if let Some(prev) = last.take() {
+                if SharingModel::is_shared(prev.addr.block) && prev.kind == AccessKind::Read {
+                    assert_eq!(r.addr.block, prev.addr.block, "write follows its read");
+                    assert_eq!(r.kind, AccessKind::Write);
+                    acquisitions += 1;
+                }
+            }
+            last = Some(r);
+        }
+        assert!(acquisitions > 100, "locks were contended {acquisitions} times");
+    }
+
+    #[test]
+    fn migratory_ownership_rotates() {
+        let mut w = Migratory::new(3, 4, 10, 5).unwrap();
+        // During CPU 1's phase (counts 10..20), only CPU 1 touches shared.
+        for count in 0..30u64 {
+            for i in 0..3usize {
+                let r = w.next_ref(CacheId::new(i));
+                let owner = ((count / 10) % 3) as usize;
+                if SharingModel::is_shared(r.addr.block) {
+                    assert_eq!(i, owner, "count {count}: only the owner touches the region");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(IndependentProcesses::new(0, 4, 1).is_err());
+        assert!(ProducerConsumer::new(1, 4, 1).is_err());
+        assert!(LockContention::new(2, 0, 1).is_err());
+        assert!(Migratory::new(2, 4, 0, 1).is_err());
+        assert!(ProcessMigration::new(2, 0, 8, 1).is_err());
+    }
+
+    #[test]
+    fn migration_rotates_processes_across_cpus() {
+        let mut w = ProcessMigration::new(2, 4, 10, 3).unwrap();
+        // Phase 0: cpu 0 runs process 0. Phase 1: cpu 0 runs process 1.
+        let phase0: Vec<u64> =
+            (0..10).map(|_| w.next_ref(CacheId::new(0)).addr.block.number()).collect();
+        let phase1: Vec<u64> =
+            (0..10).map(|_| w.next_ref(CacheId::new(0)).addr.block.number()).collect();
+        let region = |b: u64| b >> 20; // PRIVATE_REGION_STRIDE = 1 << 20
+        assert!(phase0.iter().all(|&b| region(b) == 0), "phase 0 runs process 0");
+        assert!(phase1.iter().all(|&b| region(b) == 1), "phase 1 runs process 1");
+    }
+
+    #[test]
+    fn migration_never_touches_shared_region() {
+        let mut w = ProcessMigration::new(3, 8, 5, 7).unwrap();
+        for i in 0..300 {
+            let r = w.next_ref(CacheId::new(i % 3));
+            assert!(!SharingModel::is_shared(r.addr.block), "migration data is logically private");
+        }
+    }
+}

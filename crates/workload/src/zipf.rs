@@ -1,0 +1,100 @@
+//! A small Zipf-distributed index sampler (inverse-CDF over a
+//! precomputed table), for skewed shared-block popularity.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to
+/// `1 / (i + 1)^s`. `s = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "zipf skew must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler covers a single item.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_skew_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_indices() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[3] && counts[3] > counts[7], "{counts:?}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

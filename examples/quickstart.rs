@@ -1,0 +1,48 @@
+//! Quickstart: build the Figure 3-1 system, run the paper's workload
+//! model on it, and read the results in the paper's units.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use twobit::sim::System;
+use twobit::types::{ProtocolKind, SystemConfig};
+use twobit::workload::{SharingModel, SharingParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-processor machine: 8 private caches, 8 interleaved memory
+    // modules, each module's controller holding a 2-bit entry per block.
+    let config = SystemConfig::with_defaults(8).with_protocol(ProtocolKind::TwoBit);
+    println!(
+        "topology: {} processor-cache pairs, {} memory modules, {} / {}-way caches, protocol {}",
+        config.caches,
+        config.address_map.modules(),
+        config.cache.total_blocks(),
+        config.cache.assoc,
+        config.protocol,
+    );
+
+    // The paper's moderate-sharing workload: q = 0.05 of references touch
+    // writeable shared blocks, 20% of those are writes.
+    let workload = SharingModel::new(SharingParams::moderate(), config.caches, 42)?;
+
+    let mut system = System::build(config)?;
+    let report = system.run(workload, 50_000)?;
+
+    println!();
+    println!("ran {} references in {} cycles", report.stats.total_references(), report.cycles);
+    println!("hit ratio:                 {:.3}", report.hit_ratio());
+    println!("commands received/ref:     {:.4}  (the Table 4-1/4-2 axis)", report.commands_per_reference());
+    println!("  of which useless:        {:.4}  (broadcast probes finding nothing)", report.useless_per_reference());
+    println!("stolen cache cycles/ref:   {:.4}", report.stolen_per_reference());
+    println!("broadcasts sent/ref:       {:.4}", report.broadcasts_per_reference());
+    println!("network deliveries/ref:    {:.4}", report.deliveries_per_reference());
+
+    let totals = report.stats.controller_totals();
+    println!();
+    println!(
+        "controller activity: {} REQUESTs, {} MREQUESTs, {} EJECTs, {} broadcasts, {} queued conflicts",
+        totals.requests, totals.mrequests, totals.ejects, totals.broadcasts_sent, totals.conflicts_queued,
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Walkthrough of the section 4.4 translation-buffer enhancement.
+//!
+//! The enhancement keeps a small cache of *owner identities* at each
+//! memory controller. When the two-bit scheme would broadcast, a buffer
+//! hit lets the controller send targeted commands instead — "selective
+//! message handling can be performed just as with the n+1 bit approach".
+//!
+//! ```sh
+//! cargo run --release --example translation_buffer
+//! ```
+
+use twobit::sim::System;
+use twobit::types::{fmt3, ProtocolKind, SystemConfig, Table};
+use twobit::workload::{SharingModel, SharingParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8;
+    let refs_per_cpu = 30_000;
+    let params = SharingParams::high().with_w(0.3);
+
+    let mut table = Table::new(
+        "Translation buffer: from two-bit to (almost) full map",
+        vec![
+            "configuration".into(),
+            "cmds/ref".into(),
+            "useless/ref".into(),
+            "tlb hit ratio".into(),
+        ],
+    );
+
+    let mut run = |label: String, protocol: ProtocolKind| -> Result<(), Box<dyn std::error::Error>> {
+        let config = SystemConfig::with_defaults(n).with_protocol(protocol);
+        let workload = SharingModel::new(params, n, 99)?;
+        let mut system = System::build(config)?;
+        let report = system.run(workload, refs_per_cpu)?;
+        let hit_ratio = report.stats.controller_totals().tlb_hit_ratio();
+        table.push_row(vec![
+            label,
+            fmt3(report.commands_per_reference()),
+            fmt3(report.useless_per_reference()),
+            if hit_ratio > 0.0 { fmt3(hit_ratio) } else { "-".into() },
+        ]);
+        Ok(())
+    };
+
+    run("two-bit (no buffer)".into(), ProtocolKind::TwoBit)?;
+    for entries in [2u32, 4, 8, 16, 32] {
+        run(format!("two-bit + {entries}-entry buffer"), ProtocolKind::TwoBitTlb { entries })?;
+    }
+    run("full map (the target)".into(), ProtocolKind::FullMap)?;
+
+    print!("{table}");
+    println!();
+    println!(
+        "The workload's shared working set is 16 blocks: once the buffer covers it, hit ratios \
+         approach 1 and the useless-command column collapses toward the full map's zero — \
+         \"the performance can achieve any desired approximation of the full bit map approach\"."
+    );
+    Ok(())
+}

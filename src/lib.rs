@@ -1,0 +1,53 @@
+//! # twobit — Archibald & Baer's economical cache-coherence scheme, reproduced
+//!
+//! This is the umbrella crate of a full reproduction of:
+//!
+//! > James Archibald and Jean-Loup Baer,
+//! > *An Economical Solution to the Cache Coherence Problem*,
+//! > Proc. 11th Int. Symp. on Computer Architecture (ISCA), 1984.
+//!
+//! It re-exports every sub-crate under one roof so applications can depend
+//! on a single crate:
+//!
+//! * [`types`] — addresses, identities, protocol states, the Table 3-1
+//!   command set, configuration, statistics;
+//! * [`cache`] — set-associative private write-back caches with snooping
+//!   and the duplicate-directory enhancement;
+//! * [`core`] — the two-bit directory protocol (the paper's contribution)
+//!   and the comparator directory schemes;
+//! * [`bus`] — snooping-bus protocols (write-once, Illinois) for the
+//!   section 2.5 comparison;
+//! * [`interconnect`] — crossbar and shared-bus network models;
+//! * [`sim`] — the discrete-event multiprocessor simulator of Figure 3-1;
+//! * [`workload`] — synthetic reference streams (the paper's q/w/h model)
+//!   and sharing scenarios;
+//! * [`analytic`] — the closed-form overhead models behind Tables 4-1 and
+//!   4-2.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use twobit::sim::System;
+//! use twobit::types::{ProtocolKind, SystemConfig};
+//! use twobit::workload::{SharingModel, SharingParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+//! let workload = SharingModel::new(SharingParams::moderate(), config.caches, 42)?;
+//! let mut system = System::build(config)?;
+//! let report = system.run(workload, 20_000)?;
+//! assert!(report.stats.total_references() >= 20_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use twobit_analytic as analytic;
+pub use twobit_bus as bus;
+pub use twobit_cache as cache;
+pub use twobit_core as core;
+pub use twobit_interconnect as interconnect;
+pub use twobit_sim as sim;
+pub use twobit_types as types;
+pub use twobit_workload as workload;

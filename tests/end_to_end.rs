@@ -1,0 +1,162 @@
+//! End-to-end integration: every protocol × every scenario workload runs
+//! to completion through the umbrella API, stays live, and reports sane
+//! statistics.
+
+use twobit::sim::System;
+use twobit::types::{AddressMap, ProtocolKind, SystemConfig};
+use twobit::workload::scenarios::{
+    IndependentProcesses, LockContention, Migratory, ProducerConsumer,
+};
+use twobit::workload::{SharingModel, SharingParams, Workload};
+
+const ALL_PROTOCOLS: [ProtocolKind; 8] = [
+    ProtocolKind::TwoBit,
+    ProtocolKind::TwoBitTlb { entries: 8 },
+    ProtocolKind::FullMap,
+    ProtocolKind::FullMapLocal,
+    ProtocolKind::ClassicalWriteThrough,
+    ProtocolKind::StaticSoftware,
+    ProtocolKind::WriteOnce,
+    ProtocolKind::Illinois,
+];
+
+fn config_for(protocol: ProtocolKind, n: usize) -> SystemConfig {
+    let mut config = SystemConfig::with_defaults(n).with_protocol(protocol);
+    if protocol.is_bus_based() {
+        config.address_map = AddressMap::interleaved(1);
+    }
+    config
+}
+
+fn scenarios(n: usize) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(SharingModel::new(SharingParams::moderate(), n, 5).unwrap()),
+        Box::new(IndependentProcesses::new(n, 64, 6).unwrap()),
+        Box::new(ProducerConsumer::new(n, 8, 7).unwrap()),
+        Box::new(LockContention::new(n, 3, 8).unwrap()),
+        Box::new(Migratory::new(n, 6, 32, 9).unwrap()),
+    ]
+}
+
+#[test]
+fn every_protocol_runs_every_scenario() {
+    let n = 4;
+    let refs = 1_500;
+    for protocol in ALL_PROTOCOLS {
+        for workload in scenarios(n) {
+            let name = workload.name();
+            let mut system = System::build(config_for(protocol, n)).unwrap();
+            let report = system
+                .run(workload, refs)
+                .unwrap_or_else(|e| panic!("{protocol} on {name}: {e}"));
+            assert_eq!(
+                report.stats.total_references(),
+                refs * n as u64,
+                "{protocol} on {name}: all references must retire"
+            );
+            let totals = report.stats.cache_totals();
+            assert_eq!(
+                totals.references(),
+                totals.hits() + totals.misses(),
+                "{protocol} on {name}: hits + misses account for every reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_systems_stay_live_under_contention() {
+    // 16 caches hammering 2 lock blocks: the worst-case controller
+    // queueing and race pressure.
+    for protocol in [ProtocolKind::TwoBit, ProtocolKind::FullMap] {
+        let n = 16;
+        let workload = LockContention::new(n, 2, 17).unwrap();
+        let mut system = System::build(config_for(protocol, n)).unwrap();
+        let report = system.run(workload, 2_000).unwrap();
+        assert_eq!(report.stats.total_references(), 32_000, "{protocol}");
+        let conflicts: u64 =
+            report.stats.controllers.iter().map(|c| c.conflicts_queued.get()).sum();
+        assert!(conflicts > 0, "{protocol}: contention must exercise the 3.2.5 queue");
+    }
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    for protocol in [ProtocolKind::TwoBit, ProtocolKind::Illinois] {
+        let run = || {
+            let workload = SharingModel::new(SharingParams::high(), 4, 77).unwrap();
+            let mut system = System::build(config_for(protocol, 4)).unwrap();
+            system.run(workload, 2_000).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats, "{protocol}: simulation must be deterministic");
+        assert_eq!(a.cycles, b.cycles, "{protocol}");
+    }
+}
+
+#[test]
+fn two_bit_overhead_grows_with_system_size() {
+    // The paper's core scaling claim, measured end to end.
+    let mut previous = 0.0;
+    for n in [2usize, 4, 8, 16] {
+        let workload = SharingModel::new(SharingParams::high().with_w(0.3), n, 3).unwrap();
+        let mut system = System::build(config_for(ProtocolKind::TwoBit, n)).unwrap();
+        let report = system.run(workload, 5_000).unwrap();
+        let overhead = report.commands_per_reference();
+        assert!(
+            overhead >= previous,
+            "overhead should not shrink with n: {overhead} at n={n} after {previous}"
+        );
+        previous = overhead;
+    }
+}
+
+#[test]
+fn directory_cost_hierarchy_holds() {
+    // full-map <= two-bit+tlb <= two-bit in received commands, on the
+    // same seeds.
+    let n = 8;
+    let run = |protocol| {
+        let workload = SharingModel::new(SharingParams::moderate(), n, 21).unwrap();
+        let mut system = System::build(config_for(protocol, n)).unwrap();
+        system.run(workload, 10_000).unwrap().commands_per_reference()
+    };
+    let full_map = run(ProtocolKind::FullMap);
+    let tlb = run(ProtocolKind::TwoBitTlb { entries: 16 });
+    let two_bit = run(ProtocolKind::TwoBit);
+    assert!(full_map <= tlb + 1e-9, "full map {full_map} vs tlb {tlb}");
+    assert!(tlb <= two_bit + 1e-9, "tlb {tlb} vs two-bit {two_bit}");
+}
+
+#[test]
+fn static_scheme_trades_hits_for_silence() {
+    // A read-mostly, heavily shared workload — where caching shared data
+    // pays and the static scheme's refusal to cache it costs the most.
+    let n = 4;
+    let params = SharingParams {
+        q: 0.3,
+        w: 0.05,
+        shared_blocks: 8,
+        ..SharingParams::high()
+    };
+    let run = |protocol| {
+        let workload = SharingModel::new(params, n, 31).unwrap();
+        let mut system = System::build(config_for(protocol, n)).unwrap();
+        system.run(workload, 8_000).unwrap()
+    };
+    let static_sw = run(ProtocolKind::StaticSoftware);
+    let two_bit = run(ProtocolKind::TwoBit);
+    assert_eq!(static_sw.commands_per_reference(), 0.0, "no coherence commands at all");
+    // Every shared reference goes to memory: at least ~q of references
+    // miss under the static scheme.
+    let totals = static_sw.stats.cache_totals();
+    let miss_rate = totals.misses() as f64 / totals.references() as f64;
+    assert!(miss_rate >= params.q * 0.9, "shared traffic never hits (miss rate {miss_rate})");
+    assert!(
+        static_sw.hit_ratio() < two_bit.hit_ratio(),
+        "read-mostly sharing: caching shared data wins ({} vs {})",
+        static_sw.hit_ratio(),
+        two_bit.hit_ratio()
+    );
+}

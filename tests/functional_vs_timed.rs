@@ -1,0 +1,150 @@
+//! Cross-executor validation: the timed simulator and the functional
+//! executor drive the *same* protocol machines, so wherever timing cannot
+//! change behaviour they must agree exactly.
+
+use twobit::core::FunctionalSystem;
+use twobit::sim::System;
+use twobit::types::{CacheId, LatencyConfig, ProtocolKind, SystemConfig};
+use twobit::workload::{SharingModel, SharingParams, Trace, Workload};
+
+/// Replays a pre-recorded trace (implements `Workload` by cursor).
+struct Replay {
+    trace: Trace,
+    cursors: Vec<usize>,
+    per_cpu: Vec<Vec<usize>>, // entry indices per cpu
+}
+
+impl Replay {
+    fn new(trace: Trace, cpus: usize) -> Self {
+        let mut per_cpu = vec![Vec::new(); cpus];
+        for (i, entry) in trace.entries().iter().enumerate() {
+            per_cpu[entry.cpu.index()].push(i);
+        }
+        Replay { trace, cursors: vec![0; cpus], per_cpu }
+    }
+}
+
+impl Workload for Replay {
+    fn next_ref(&mut self, k: CacheId) -> twobit::types::MemRef {
+        let cursor = self.cursors[k.index()];
+        self.cursors[k.index()] += 1;
+        let indices = &self.per_cpu[k.index()];
+        self.trace.entries()[indices[cursor % indices.len()]].op
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// With a single CPU there is no concurrency: the timed simulator must
+/// produce *identical* cache statistics to the functional executor on the
+/// same reference stream.
+#[test]
+fn single_cpu_timed_equals_functional() {
+    for protocol in [
+        ProtocolKind::TwoBit,
+        ProtocolKind::TwoBitTlb { entries: 4 },
+        ProtocolKind::FullMap,
+        ProtocolKind::FullMapLocal,
+    ] {
+        let refs = 5_000usize;
+        let mut gen = SharingModel::new(SharingParams::high(), 1, 13).unwrap();
+        let trace = Trace::record(&mut gen, 1, refs);
+
+        // Functional.
+        let config = SystemConfig::with_defaults(1).with_protocol(protocol);
+        let mut functional = FunctionalSystem::new(config).unwrap();
+        functional.run(trace.iter()).unwrap();
+        let f_stats = functional.stats();
+
+        // Timed.
+        let mut timed = System::build(config).unwrap();
+        let report = timed.run(Replay::new(trace, 1), refs as u64).unwrap();
+
+        let f = &f_stats.caches[0];
+        let t = &report.stats.caches[0];
+        assert_eq!(f.read_hits, t.read_hits, "{protocol}: read hits");
+        assert_eq!(f.read_misses, t.read_misses, "{protocol}: read misses");
+        assert_eq!(f.write_misses, t.write_misses, "{protocol}: write misses");
+        assert_eq!(f.write_hits_clean, t.write_hits_clean, "{protocol}: MREQUESTs");
+        assert_eq!(f.evictions_dirty, t.evictions_dirty, "{protocol}: write-backs");
+        assert_eq!(
+            f_stats.controllers.iter().map(|c| c.requests.get()).sum::<u64>(),
+            report.stats.controllers.iter().map(|c| c.requests.get()).sum::<u64>(),
+            "{protocol}: controller requests"
+        );
+    }
+}
+
+/// Multi-CPU: interleavings differ, but conservation laws hold in both
+/// executors — total references, and the invariant that every broadcast
+/// delivery is received by exactly the caches it was sent to.
+#[test]
+fn multi_cpu_conservation_laws() {
+    let n = 4;
+    let refs = 3_000usize;
+    let protocol = ProtocolKind::TwoBit;
+    let config = SystemConfig::with_defaults(n).with_protocol(protocol);
+
+    let mut gen = SharingModel::new(SharingParams::moderate(), n, 29).unwrap();
+    let trace = Trace::record(&mut gen, n, refs);
+
+    let mut functional = FunctionalSystem::new(config).unwrap();
+    functional.run(trace.iter()).unwrap();
+    let f_stats = functional.stats();
+
+    let mut timed = System::build(config).unwrap();
+    let report = timed.run(Replay::new(trace, n), refs as u64).unwrap();
+
+    for stats in [&f_stats, &report.stats] {
+        assert_eq!(stats.total_references(), (refs * n) as u64);
+        // Broadcast conservation: deliveries recorded at controllers equal
+        // commands received at caches plus grants/replies.
+        let delivered: u64 = stats.controllers.iter().map(|c| c.deliveries.get()).sum();
+        let received: u64 = stats.caches.iter().map(|c| c.commands_received.get()).sum();
+        assert!(
+            delivered >= received,
+            "every received command was delivered ({received} / {delivered})"
+        );
+    }
+    // The two executors see the same workload, so gross per-protocol
+    // activity lands in the same ballpark (interleaving changes details).
+    let f_recv: u64 = f_stats.caches.iter().map(|c| c.commands_received.get()).sum();
+    let t_recv: u64 = report.stats.caches.iter().map(|c| c.commands_received.get()).sum();
+    let ratio = f_recv.max(1) as f64 / t_recv.max(1) as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "executors diverge wildly: functional {f_recv} vs timed {t_recv}"
+    );
+}
+
+/// Zero-latency timed simulation still retires everything (degenerate
+/// timing must not break event ordering).
+#[test]
+fn zero_latency_timed_run_completes() {
+    let mut config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+    config.latency = LatencyConfig::zero();
+    config.think_time = 0;
+    let workload = SharingModel::new(SharingParams::high(), 4, 41).unwrap();
+    let mut system = System::build(config).unwrap();
+    let report = system.run(workload, 2_000).unwrap();
+    assert_eq!(report.stats.total_references(), 8_000);
+}
+
+/// Functional executor with invariant checking on, across a long
+/// high-sharing run — the deepest single soak test in the suite.
+#[test]
+fn functional_soak_with_invariants() {
+    let n = 6;
+    let config = SystemConfig::with_defaults(n).with_protocol(ProtocolKind::TwoBit);
+    let mut system = FunctionalSystem::new(config).unwrap();
+    system.set_check_invariants(true);
+    let mut workload = SharingModel::new(SharingParams::high().with_w(0.4), n, 53).unwrap();
+    for round in 0..4_000 {
+        for k in CacheId::all(n) {
+            let op = workload.next_ref(k);
+            system.do_ref(k, op).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation-vs-analytic agreement: the strongest cross-validation in
+//! the repository. The Markov workload model predicts the two-bit
+//! scheme's extra command rate; the discrete-event simulator measures it.
+//! Both derive from the same workload parameters through entirely
+//! different machinery.
+
+use twobit::analytic::{MarkovModel, OverheadParams};
+use twobit::sim::System;
+use twobit::types::{ProtocolKind, SystemConfig};
+use twobit::workload::{SharingModel, SharingParams};
+
+fn measure_extra(params: SharingParams, n: usize, seed: u64, refs: u64) -> f64 {
+    let run = |protocol| {
+        let config = SystemConfig::with_defaults(n).with_protocol(protocol);
+        let workload = SharingModel::new(params, n, seed).unwrap();
+        let mut system = System::build(config).unwrap();
+        system.run(workload, refs).unwrap().commands_per_reference()
+    };
+    run(ProtocolKind::TwoBit) - run(ProtocolKind::FullMap)
+}
+
+fn predict_t_sum(params: &SharingParams, n: usize) -> f64 {
+    let model = MarkovModel {
+        n,
+        q: params.q,
+        w: params.w,
+        shared_blocks: params.shared_blocks,
+        eviction_rate: 0.05 / 128.0,
+    };
+    let s = model.solve().unwrap();
+    OverheadParams {
+        n,
+        q: params.q,
+        w: params.w,
+        h: s.shared_hit_ratio,
+        p_p1: s.p_present1,
+        p_pstar: s.p_present_star,
+        p_pm: s.p_present_m,
+    }
+    .t_sum()
+}
+
+/// Across a grid of sharing levels and system sizes, the model's T_SUM
+/// tracks the measured extra within ±50% — usually within 10%.
+#[test]
+fn model_tracks_simulation_across_grid() {
+    for (q, w) in [(0.05, 0.2), (0.10, 0.1), (0.10, 0.4)] {
+        for n in [4usize, 8] {
+            let params = SharingParams::table4_2(q, w);
+            let measured = measure_extra(params, n, 0xaa + n as u64, 15_000);
+            let predicted = predict_t_sum(&params, n);
+            let ratio = predicted / measured;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "q={q} w={w} n={n}: predicted {predicted:.4} vs measured {measured:.4}"
+            );
+        }
+    }
+}
+
+/// The normalization finding (EXPERIMENTS.md): the measured per-cache
+/// received rate matches T_SUM, and is far below the paper's
+/// (n-1)-scaled table figure at larger n.
+#[test]
+fn received_rate_is_t_sum_not_n_minus_1_t_sum() {
+    let params = SharingParams::table4_2(0.10, 0.4);
+    let n = 16;
+    let measured = measure_extra(params, n, 0x1234, 15_000);
+    let t_sum = predict_t_sum(&params, n);
+    let scaled = (n as f64 - 1.0) * t_sum;
+    let to_t_sum = (measured - t_sum).abs() / t_sum;
+    let to_scaled = (measured - scaled).abs() / scaled;
+    assert!(
+        to_t_sum < to_scaled,
+        "measured {measured:.3} is closer to T_SUM {t_sum:.3} than to (n-1)T_SUM {scaled:.3}"
+    );
+    assert!(to_t_sum < 0.5, "and within 50% of T_SUM (got {to_t_sum:.2})");
+}
+
+/// The model's emergent shared hit ratio also matches simulation: a
+/// second, independent axis of agreement. A pure-shared workload
+/// (`q = 1`) makes the simulated hit ratio directly comparable.
+#[test]
+fn model_hit_ratio_matches_pure_shared_simulation() {
+    let n = 8;
+    let w = 0.2;
+    let params = SharingParams {
+        q: 1.0,
+        w,
+        shared_blocks: 16,
+        ..SharingParams::table4_2(1.0, w)
+    };
+    // Sixteen shared blocks fit every cache: replacement is negligible,
+    // so the model's eviction rate goes to (almost) zero.
+    let model = MarkovModel { n, q: 1.0, w, shared_blocks: 16, eviction_rate: 1e-9 };
+    let s = model.solve().unwrap();
+
+    let config = SystemConfig::with_defaults(n).with_protocol(ProtocolKind::TwoBit);
+    let workload = SharingModel::new(params, n, 0x5151).unwrap();
+    let mut system = System::build(config).unwrap();
+    let report = system.run(workload, 30_000).unwrap();
+
+    let diff = (report.hit_ratio() - s.shared_hit_ratio).abs();
+    assert!(
+        diff < 0.15,
+        "shared hit ratio: simulated {:.3} vs model {:.3}",
+        report.hit_ratio(),
+        s.shared_hit_ratio
+    );
+}
