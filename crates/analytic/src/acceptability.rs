@@ -80,8 +80,11 @@ mod tests {
     /// processors at low sharing, 16 at moderate, 8 at high.
     #[test]
     fn paper_thresholds_reproduce() {
-        assert_eq!(max_acceptable_n(SharingCase::Low, 256), Some(32),
-            "all-w low sharing tops out at 32 (w=.3,.4 exceed 1.0 at 64)");
+        assert_eq!(
+            max_acceptable_n(SharingCase::Low, 256),
+            Some(32),
+            "all-w low sharing tops out at 32 (w=.3,.4 exceed 1.0 at 64)"
+        );
         // The paper's 64-processor claim is for "a low level of sharing
         // such as … independent processes" — the light-write column.
         assert_eq!(max_acceptable_n_at(SharingCase::Low, 0.1, 256), Some(64));

@@ -94,7 +94,13 @@ impl MarkovModel {
     /// 128-block caches at a nominal 5% miss ratio.
     #[must_use]
     pub fn table4_2_config(n: usize, q: f64, w: f64) -> Self {
-        MarkovModel { n, q, w, shared_blocks: 16, eviction_rate: 0.05 / 128.0 }
+        MarkovModel {
+            n,
+            q,
+            w,
+            shared_blocks: 16,
+            eviction_rate: 0.05 / 128.0,
+        }
     }
 
     /// Validates inputs.
@@ -110,9 +116,15 @@ impl MarkovModel {
         if self.n > 4096 {
             return Err(ConfigError::new("model capped at n = 4096 states"));
         }
-        for (name, p) in [("q", self.q), ("w", self.w), ("eviction_rate", self.eviction_rate)] {
+        for (name, p) in [
+            ("q", self.q),
+            ("w", self.w),
+            ("eviction_rate", self.eviction_rate),
+        ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(ConfigError::new(format!("{name} = {p} is not a probability")));
+                return Err(ConfigError::new(format!(
+                    "{name} = {p} is not a probability"
+                )));
             }
         }
         if self.q == 0.0 {
@@ -129,6 +141,8 @@ impl MarkovModel {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the inputs are invalid.
+    // Index loops below mirror the paper's subscripted equations.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self) -> Result<ModelSolution, ConfigError> {
         self.validate()?;
         let n = self.n;
@@ -237,6 +251,7 @@ impl MarkovModel {
 /// Solves `π T = π`, `Σ π = 1` for a row-stochastic `t` by Gaussian
 /// elimination with partial pivoting on the transposed system, replacing
 /// one redundant equation with the normalization constraint.
+#[allow(clippy::needless_range_loop)] // matrix subscripts, as in the paper
 fn solve_stationary(t: &[Vec<f64>]) -> Vec<f64> {
     let n = t.len();
     // Build A = T^T - I, then overwrite the last row with ones (Σπ = 1).
@@ -257,7 +272,12 @@ fn solve_stationary(t: &[Vec<f64>]) -> Vec<f64> {
     // Forward elimination with partial pivoting.
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).expect("finite"))
+            .max_by(|&x, &y| {
+                a[x][col]
+                    .abs()
+                    .partial_cmp(&a[y][col].abs())
+                    .expect("finite")
+            })
             .expect("nonempty range");
         a.swap(col, pivot);
         let diag = a[col][col];
@@ -394,7 +414,10 @@ mod tests {
     #[test]
     fn t_r_grows_with_n_and_saturates() {
         let t = |n| {
-            MarkovModel::table4_2_config(n, 0.01, 0.1).solve().unwrap().t_r
+            MarkovModel::table4_2_config(n, 0.01, 0.1)
+                .solve()
+                .unwrap()
+                .t_r
         };
         assert!(t(8) > t(4));
         assert!(t(64) > t(32));
@@ -403,6 +426,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn overhead_orders_match_paper() {
         let grid = computed_grid();
         for qi in 0..3 {
@@ -474,24 +498,39 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_inputs() {
-        assert!(MarkovModel { n: 1, ..MarkovModel::table4_2_config(4, 0.05, 0.2) }
-            .validate()
-            .is_err());
-        assert!(MarkovModel { q: 0.0, ..MarkovModel::table4_2_config(4, 0.05, 0.2) }
-            .validate()
-            .is_err());
-        assert!(MarkovModel { w: 2.0, ..MarkovModel::table4_2_config(4, 0.05, 0.2) }
-            .validate()
-            .is_err());
-        assert!(MarkovModel { shared_blocks: 0, ..MarkovModel::table4_2_config(4, 0.05, 0.2) }
-            .validate()
-            .is_err());
+        assert!(MarkovModel {
+            n: 1,
+            ..MarkovModel::table4_2_config(4, 0.05, 0.2)
+        }
+        .validate()
+        .is_err());
+        assert!(MarkovModel {
+            q: 0.0,
+            ..MarkovModel::table4_2_config(4, 0.05, 0.2)
+        }
+        .validate()
+        .is_err());
+        assert!(MarkovModel {
+            w: 2.0,
+            ..MarkovModel::table4_2_config(4, 0.05, 0.2)
+        }
+        .validate()
+        .is_err());
+        assert!(MarkovModel {
+            shared_blocks: 0,
+            ..MarkovModel::table4_2_config(4, 0.05, 0.2)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn render_shows_both_model_and_paper() {
         let s = render().to_string();
         assert!(s.contains("q = 0.01:"));
-        assert!(s.contains("(0.599)"), "paper value shown for comparison:\n{s}");
+        assert!(
+            s.contains("(0.599)"),
+            "paper value shown for comparison:\n{s}"
+        );
     }
 }

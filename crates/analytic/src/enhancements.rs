@@ -14,7 +14,9 @@ use twobit_types::ConfigError;
 /// `base_overhead` is negative.
 pub fn tlb_residual_overhead(base_overhead: f64, hit_ratio: f64) -> Result<f64, ConfigError> {
     if !(0.0..=1.0).contains(&hit_ratio) || hit_ratio.is_nan() {
-        return Err(ConfigError::new(format!("hit ratio {hit_ratio} is not a probability")));
+        return Err(ConfigError::new(format!(
+            "hit ratio {hit_ratio} is not a probability"
+        )));
     }
     if base_overhead < 0.0 || base_overhead.is_nan() {
         return Err(ConfigError::new("overhead must be nonnegative"));
@@ -32,9 +34,7 @@ pub fn tlb_residual_overhead(base_overhead: f64, hit_ratio: f64) -> Result<f64, 
 /// # Errors
 ///
 /// Returns [`ConfigError`] if `match_fraction` is not a probability.
-pub fn duplicate_directory_stolen_cycles(
-    match_fraction: f64,
-) -> Result<(f64, f64), ConfigError> {
+pub fn duplicate_directory_stolen_cycles(match_fraction: f64) -> Result<(f64, f64), ConfigError> {
     if !(0.0..=1.0).contains(&match_fraction) || match_fraction.is_nan() {
         return Err(ConfigError::new(format!(
             "match fraction {match_fraction} is not a probability"
@@ -60,7 +60,9 @@ pub fn visible_stall_fraction(
     idle_fraction: f64,
 ) -> Result<f64, ConfigError> {
     if !(0.0..=1.0).contains(&idle_fraction) || idle_fraction.is_nan() {
-        return Err(ConfigError::new(format!("idle fraction {idle_fraction} invalid")));
+        return Err(ConfigError::new(format!(
+            "idle fraction {idle_fraction} invalid"
+        )));
     }
     if stolen_per_reference < 0.0 || stolen_per_reference.is_nan() {
         return Err(ConfigError::new("stolen cycles must be nonnegative"));

@@ -64,7 +64,9 @@ impl OverheadParams {
             ("P(PM)", self.p_pm),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(ConfigError::new(format!("{name} = {p} is not a probability")));
+                return Err(ConfigError::new(format!(
+                    "{name} = {p} is not a probability"
+                )));
             }
         }
         if self.p_p1 + self.p_pstar + self.p_pm > 1.0 + 1e-12 {
@@ -144,7 +146,15 @@ impl SharingCase {
             SharingCase::Moderate => (0.05, 0.90, 0.25, 0.05, 0.10),
             SharingCase::High => (0.10, 0.80, 0.35, 0.10, 0.35),
         };
-        OverheadParams { n, q, w, h, p_p1, p_pstar, p_pm }
+        OverheadParams {
+            n,
+            q,
+            w,
+            h,
+            p_p1,
+            p_pstar,
+            p_pm,
+        }
     }
 
     /// The label used in the paper's table.

@@ -94,8 +94,10 @@ mod tests {
                     let computed = grid[ci][wi][ni];
                     let paper = PAPER_TABLE_4_1[ci][wi][ni];
                     if (ci, wi, ni) == (eci, ewi, eni) {
-                        assert!((computed - corrected).abs() < 0.0015,
-                            "erratum cell should compute to {corrected}, got {computed}");
+                        assert!(
+                            (computed - corrected).abs() < 0.0015,
+                            "erratum cell should compute to {corrected}, got {computed}"
+                        );
                         assert!((paper - printed).abs() < 1e-12);
                         continue;
                     }
@@ -112,7 +114,10 @@ mod tests {
     fn render_contains_every_corrected_value() {
         let s = render().to_string();
         for needle in ["case 1:", "case 3:", "0.449", "57.330", "0.070"] {
-            assert!(s.contains(needle), "missing {needle} in rendered table:\n{s}");
+            assert!(
+                s.contains(needle),
+                "missing {needle} in rendered table:\n{s}"
+            );
         }
         assert!(!s.contains("0.970"), "the typo must not be reproduced");
     }

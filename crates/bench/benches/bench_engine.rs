@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use twobit_core::FunctionalSystem;
+use twobit_obs::{JsonlTracer, RingTracer, Tracer};
 use twobit_sim::System;
 use twobit_types::{CacheId, ProtocolKind, SystemConfig};
 use twobit_workload::{SharingModel, SharingParams, Workload};
@@ -36,12 +37,39 @@ fn timed_engine(c: &mut Criterion) {
     group.bench_function("two_bit_4cpu", |b| {
         b.iter(|| {
             let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
-            let workload =
-                SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+            let workload = SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
             let mut system = System::build(config).expect("system");
             black_box(system.run(workload, REFS).expect("run"))
         });
     });
+    group.finish();
+}
+
+type SinkFactory = fn() -> Box<dyn Tracer>;
+
+fn tracer_overhead(c: &mut Criterion) {
+    // The zero-cost claim, measured: a run with the default NullTracer
+    // must not be meaningfully slower than `engine/timed` above, while
+    // ring and JSONL sinks show what full tracing costs.
+    let mut group = c.benchmark_group("engine/tracer");
+    group.throughput(Throughput::Elements(REFS * 4));
+    let sinks: [(&str, SinkFactory); 3] = [
+        ("null", || Box::new(twobit_obs::NullTracer)),
+        ("ring_4k", || Box::new(RingTracer::new(4096))),
+        ("jsonl_sink", || Box::new(JsonlTracer::new(std::io::sink()))),
+    ];
+    for (name, make) in sinks {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+                let workload =
+                    SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+                let mut system = System::build(config).expect("system");
+                system.set_tracer(make());
+                black_box(system.run(workload, REFS).expect("run"))
+            });
+        });
+    }
     group.finish();
 }
 
@@ -68,6 +96,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = functional_executor, timed_engine, workload_generation
+    targets = functional_executor, timed_engine, tracer_overhead, workload_generation
 }
 criterion_main!(benches);

@@ -11,20 +11,24 @@ use twobit_workload::{SharingModel, SharingParams};
 fn tlb_capacities(c: &mut Criterion) {
     let mut group = c.benchmark_group("enhancements/tlb");
     for entries in [1u32, 8, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
-            b.iter(|| {
-                black_box(
-                    run_protocol(
-                        ProtocolKind::TwoBitTlb { entries },
-                        SharingParams::moderate(),
-                        4,
-                        3,
-                        1_000,
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    black_box(
+                        run_protocol(
+                            ProtocolKind::TwoBitTlb { entries },
+                            SharingParams::moderate(),
+                            4,
+                            3,
+                            1_000,
+                        )
+                        .expect("run"),
                     )
-                    .expect("run"),
-                )
-            });
-        });
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -34,11 +38,9 @@ fn duplicate_directory(c: &mut Criterion) {
     for dup in [false, true] {
         group.bench_with_input(BenchmarkId::from_parameter(dup), &dup, |b, &dup| {
             b.iter(|| {
-                let mut config =
-                    SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+                let mut config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
                 config.duplicate_directory = dup;
-                let workload =
-                    SharingModel::new(SharingParams::high(), 4, 5).expect("workload");
+                let workload = SharingModel::new(SharingParams::high(), 4, 5).expect("workload");
                 let mut system = System::build(config).expect("system");
                 black_box(system.run(workload, 1_000).expect("run"))
             });

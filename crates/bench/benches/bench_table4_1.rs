@@ -23,10 +23,8 @@ fn simulated_cell(c: &mut Criterion) {
     c.bench_function("table4_1/sim_cell_n4", |b| {
         b.iter(|| {
             let params = SharingParams::moderate().with_w(0.2);
-            let two_bit =
-                run_protocol(ProtocolKind::TwoBit, params, 4, 1, 2_000).expect("run");
-            let full_map =
-                run_protocol(ProtocolKind::FullMap, params, 4, 1, 2_000).expect("run");
+            let two_bit = run_protocol(ProtocolKind::TwoBit, params, 4, 1, 2_000).expect("run");
+            let full_map = run_protocol(ProtocolKind::FullMap, params, 4, 1, 2_000).expect("run");
             black_box(extra_commands_per_reference(&two_bit, &full_map))
         });
     });

@@ -52,8 +52,12 @@ fn main() {
 
     for (bias, report) in capacities.iter().zip(&results) {
         let refs = report.stats.total_references() as f64;
-        let filtered: u64 =
-            report.stats.caches.iter().map(|c| c.bias_filtered.get()).sum();
+        let filtered: u64 = report
+            .stats
+            .caches
+            .iter()
+            .map(|c| c.bias_filtered.get())
+            .sum();
         table.push_row(vec![
             bias.to_string(),
             fmt3(report.commands_per_reference()),

@@ -16,7 +16,10 @@ fn main() {
     let refs_per_cpu = 20_000;
 
     let mut grid: Vec<(&str, ControllerConcurrency)> = Vec::new();
-    for concurrency in [ControllerConcurrency::SingleCommand, ControllerConcurrency::PerBlock] {
+    for concurrency in [
+        ControllerConcurrency::SingleCommand,
+        ControllerConcurrency::PerBlock,
+    ] {
         grid.push(("sharing-model (moderate)", concurrency));
         grid.push(("lock-contention", concurrency));
     }

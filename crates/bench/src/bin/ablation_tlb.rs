@@ -30,8 +30,14 @@ fn main() {
 
     let capacities: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64];
     let runs = sweep::run(capacities.clone(), sweep::default_threads(), |&entries| {
-        run_protocol(ProtocolKind::TwoBitTlb { entries }, params, n, seed, refs_per_cpu)
-            .expect("tlb run")
+        run_protocol(
+            ProtocolKind::TwoBitTlb { entries },
+            params,
+            n,
+            seed,
+            refs_per_cpu,
+        )
+        .expect("tlb run")
     });
 
     let mut table = Table::new(
@@ -53,9 +59,13 @@ fn main() {
         let extra = extra_commands_per_reference(report, full_map);
         let controller_totals = report.stats.controller_totals();
         let hit_ratio = controller_totals.tlb_hit_ratio();
-        let eliminated = if base_extra > 0.0 { 1.0 - extra / base_extra } else { 0.0 };
-        let paper_model = enhancements::tlb_residual_overhead(base_extra, hit_ratio)
-            .expect("valid hit ratio");
+        let eliminated = if base_extra > 0.0 {
+            1.0 - extra / base_extra
+        } else {
+            0.0
+        };
+        let paper_model =
+            enhancements::tlb_residual_overhead(base_extra, hit_ratio).expect("valid hit ratio");
         table.push_row(vec![
             entries.to_string(),
             fmt3(hit_ratio),

@@ -35,7 +35,10 @@ fn main() {
             let sol = MarkovModel::table4_2_config(n, q, w)
                 .solve()
                 .expect("table configuration solves");
-            println!("dubois_briggs\t{label}\t{n}\t{:.6}", sol.per_cache_overhead(n));
+            println!(
+                "dubois_briggs\t{label}\t{n}\t{:.6}",
+                sol.per_cache_overhead(n)
+            );
         }
     }
 
@@ -48,8 +51,8 @@ fn main() {
             ("case 3", SharingParams::high().with_w(w)),
         ] {
             for &n in &sim_ns {
-                let two_bit = run_protocol(ProtocolKind::TwoBit, params, n, 7, 15_000)
-                    .expect("two-bit run");
+                let two_bit =
+                    run_protocol(ProtocolKind::TwoBit, params, n, 7, 15_000).expect("two-bit run");
                 let full_map = run_protocol(ProtocolKind::FullMap, params, n, 7, 15_000)
                     .expect("full-map run");
                 let v = extra_commands_per_reference(&two_bit, &full_map);

@@ -46,10 +46,17 @@ fn main() {
 
     for (phase, protocol, report) in &results {
         let refs = report.stats.total_references() as f64;
-        let writebacks: u64 =
-            report.stats.controllers.iter().map(|c| c.memory_writes.get()).sum();
-        let phase_label =
-            if *phase > refs_per_cpu { "never".to_string() } else { phase.to_string() };
+        let writebacks: u64 = report
+            .stats
+            .controllers
+            .iter()
+            .map(|c| c.memory_writes.get())
+            .sum();
+        let phase_label = if *phase > refs_per_cpu {
+            "never".to_string()
+        } else {
+            phase.to_string()
+        };
         table.push_row(vec![
             phase_label,
             protocol.to_string(),

@@ -1,12 +1,14 @@
 //! Proto-Zoo: section 2's qualitative spectrum made quantitative — every
 //! implemented scheme on common workloads, in common units.
 
-use twobit_bench::sweep;
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_bench::run_protocol;
+use twobit_bench::sweep;
 use twobit_types::{fmt3, ProtocolKind, Table};
 use twobit_workload::SharingParams;
 
 fn main() {
+    let obs = ObsArgs::from_env();
     let refs_per_cpu = 20_000;
     let n = 8;
     let protocols = [
@@ -32,11 +34,15 @@ fn main() {
         }
     }
 
-    let results = sweep::run(grid, sweep::default_threads(), |&(label, params, protocol)| {
-        let report =
-            run_protocol(protocol, params, n, 0x200, refs_per_cpu).expect("protocol run");
-        (label, protocol, report)
-    });
+    let results = sweep::run(
+        grid,
+        sweep::default_threads(),
+        |&(label, params, protocol)| {
+            let report =
+                run_protocol(protocol, params, n, 0x200, refs_per_cpu).expect("protocol run");
+            (label, protocol, report)
+        },
+    );
 
     let mut table = Table::new(
         format!("Proto-Zoo: the section 2 spectrum (n={n}, {refs_per_cpu} refs/cpu)"),
@@ -67,6 +73,37 @@ fn main() {
     }
 
     print!("{table}");
+
+    if obs.metrics {
+        println!();
+        println!("Observability (latency percentiles in cycles; peakQ = controller queue):");
+        for (label, protocol, report) in &results {
+            print!(
+                "{}",
+                obs_cli::metrics_block(&format!("{label}/{protocol}"), report)
+            );
+        }
+    }
+
+    if let Some(path) = &obs.trace_out {
+        let tracer = obs_cli::jsonl_file_tracer(path).expect("create trace file");
+        twobit_bench::run_protocol_traced(
+            ProtocolKind::TwoBit,
+            SharingParams::moderate(),
+            4,
+            0x200,
+            200,
+            tracer,
+        )
+        .expect("traced run");
+        println!();
+        println!(
+            "JSONL trace of a representative run (two-bit, moderate sharing, n=4, 200 \
+             refs/cpu) written to {}",
+            path.display()
+        );
+    }
+
     println!();
     println!("Expected shape (section 2's qualitative claims, now measured):");
     println!(" - static-sw: zero coherence commands, but shared accesses never hit;");

@@ -11,6 +11,7 @@
 //! Pass `--full` to include n = 32 (slower); the default grid covers
 //! n ∈ {4, 8, 16}.
 
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_bench::sweep;
 use twobit_bench::{extra_commands_per_reference, predicted_overhead, run_protocol};
 use twobit_types::{fmt3, ProtocolKind, Table};
@@ -24,6 +25,7 @@ struct Cell {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     let full = std::env::args().any(|a| a == "--full");
     let ns: &[usize] = if full { &[4, 8, 16, 32] } else { &[4, 8, 16] };
     let refs_per_cpu: u64 = if full { 30_000 } else { 20_000 };
@@ -39,22 +41,37 @@ fn main() {
     for (label, params) in cases {
         for &w in &ws {
             for &n in ns {
-                grid.push(Cell { label, params: params.with_w(w), n, w });
+                grid.push(Cell {
+                    label,
+                    params: params.with_w(w),
+                    n,
+                    w,
+                });
             }
         }
     }
 
     let results = sweep::run(grid, sweep::default_threads(), |cell| {
-        let seed = 0x7ab1e_41 + cell.n as u64;
-        let two_bit =
-            run_protocol(ProtocolKind::TwoBit, cell.params, cell.n, seed, refs_per_cpu)
-                .expect("two-bit run");
-        let full_map =
-            run_protocol(ProtocolKind::FullMap, cell.params, cell.n, seed, refs_per_cpu)
-                .expect("full-map run");
+        let seed = 0x07ab_1e41 + cell.n as u64;
+        let two_bit = run_protocol(
+            ProtocolKind::TwoBit,
+            cell.params,
+            cell.n,
+            seed,
+            refs_per_cpu,
+        )
+        .expect("two-bit run");
+        let full_map = run_protocol(
+            ProtocolKind::FullMap,
+            cell.params,
+            cell.n,
+            seed,
+            refs_per_cpu,
+        )
+        .expect("full-map run");
         let measured = extra_commands_per_reference(&two_bit, &full_map);
         let predicted = predicted_overhead(&cell.params, cell.n).expect("model solves");
-        (cell.label, cell.w, cell.n, measured, predicted)
+        (cell.label, cell.w, cell.n, measured, predicted, two_bit)
     });
 
     let mut headers = vec!["w \\ n".to_string()];
@@ -77,8 +94,8 @@ fn main() {
         for &w in &ws {
             let mut row = vec![format!("w = {w:.1}")];
             for _ in ns {
-                let (_, _, _, measured, predicted) = results[cursor];
-                row.push(format!("{} ({})", fmt3(measured), fmt3(predicted)));
+                let (_, _, _, measured, predicted, _) = &results[cursor];
+                row.push(format!("{} ({})", fmt3(*measured), fmt3(*predicted)));
                 cursor += 1;
             }
             table.push_row(row);
@@ -86,6 +103,37 @@ fn main() {
     }
 
     print!("{table}");
+
+    if obs.metrics {
+        println!();
+        println!("Observability, two-bit runs (latency in cycles; peakQ = controller queue):");
+        for (label, w, n, _, _, two_bit) in &results {
+            print!(
+                "{}",
+                obs_cli::metrics_block(&format!("{label} w={w:.1} n={n}"), two_bit)
+            );
+        }
+    }
+
+    if let Some(path) = &obs.trace_out {
+        let tracer = obs_cli::jsonl_file_tracer(path).expect("create trace file");
+        twobit_bench::run_protocol_traced(
+            ProtocolKind::TwoBit,
+            SharingParams::moderate().with_w(0.2),
+            4,
+            0x07ab_1e41 + 4,
+            200,
+            tracer,
+        )
+        .expect("traced run");
+        println!();
+        println!(
+            "JSONL trace of a representative cell (two-bit, moderate w=0.2, n=4, 200 \
+             refs/cpu) written to {}",
+            path.display()
+        );
+    }
+
     println!();
     println!(
         "Predictions are T_SUM evaluated at the Markov model's emergent h and state \

@@ -29,34 +29,84 @@ fn main() {
     table.push_section("C_k - K_j (cache to memory controller):");
     for (cmd, paper) in [
         (
-            CacheToMemory::Request { k, a, rw: AccessKind::Read }.to_string(),
+            CacheToMemory::Request {
+                k,
+                a,
+                rw: AccessKind::Read,
+            }
+            .to_string(),
             "REQUEST(k,a,rw)",
         ),
-        (CacheToMemory::MRequest { k, a, version: v }.to_string(), "MREQUEST(k,a)"),
         (
-            CacheToMemory::Eject { k, olda: a, wb: WritebackKind::Dirty }.to_string(),
+            CacheToMemory::MRequest { k, a, version: v }.to_string(),
+            "MREQUEST(k,a)",
+        ),
+        (
+            CacheToMemory::Eject {
+                k,
+                olda: a,
+                wb: WritebackKind::Dirty,
+            }
+            .to_string(),
             "EJECT(k,olda,wb)",
         ),
-        (CacheToMemory::PutData { from: k, a, version: v }.to_string(), "put(b_k, olda)"),
+        (
+            CacheToMemory::PutData {
+                from: k,
+                a,
+                version: v,
+            }
+            .to_string(),
+            "put(b_k, olda)",
+        ),
     ] {
         table.push_row(vec!["C->K".into(), cmd, paper.into()]);
     }
 
     table.push_section("K_j - C_i (memory controller to caches):");
     for (cmd, paper) in [
-        (MemoryToCache::BroadInv { a, exclude: k }.to_string(), "BROADINV(a,i)"),
         (
-            MemoryToCache::BroadQuery { a, rw: AccessKind::Read }.to_string(),
+            MemoryToCache::BroadInv { a, exclude: k }.to_string(),
+            "BROADINV(a,i)",
+        ),
+        (
+            MemoryToCache::BroadQuery {
+                a,
+                rw: AccessKind::Read,
+            }
+            .to_string(),
             "BROADQUERY(a,rw)",
         ),
-        (MemoryToCache::MGranted { k, a, granted: true }.to_string(), "MGRANTED(k,yorn)"),
         (
-            MemoryToCache::GetData { k, a, version: v, exclusive: false }.to_string(),
+            MemoryToCache::MGranted {
+                k,
+                a,
+                granted: true,
+            }
+            .to_string(),
+            "MGRANTED(k,yorn)",
+        ),
+        (
+            MemoryToCache::GetData {
+                k,
+                a,
+                version: v,
+                exclusive: false,
+            }
+            .to_string(),
             "get(k,a)",
         ),
-        (MemoryToCache::Inv { a, to: i }.to_string(), "(full map) INVALIDATE"),
         (
-            MemoryToCache::Purge { a, to: i, rw: AccessKind::Read }.to_string(),
+            MemoryToCache::Inv { a, to: i }.to_string(),
+            "(full map) INVALIDATE",
+        ),
+        (
+            MemoryToCache::Purge {
+                a,
+                to: i,
+                rw: AccessKind::Read,
+            }
+            .to_string(),
             "(full map) PURGE(a,i,rw)",
         ),
     ] {

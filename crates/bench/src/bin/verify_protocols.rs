@@ -2,9 +2,19 @@
 //! race scripts for every directory protocol and print exploration
 //! statistics — the mechanized answer to the paper's closing "the
 //! protocols … need to be refined (and proven correct)".
+//!
+//! Every exploration records its applied actions into a bounded ring
+//! buffer; if the checker ever reports a violation, the last actions
+//! leading up to it are dumped before exiting non-zero — the
+//! counterexample, not just the verdict.
 
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_core::ModelChecker;
+use twobit_obs::RingTracer;
 use twobit_types::{CacheOrg, MemRef, ProtocolKind, SystemConfig, Table, WordAddr};
+
+/// Actions retained for the post-mortem dump.
+const RING_CAPACITY: usize = 256;
 
 fn rd(b: u64) -> MemRef {
     MemRef::read(WordAddr::new(b, 0))
@@ -14,7 +24,12 @@ fn wr(b: u64) -> MemRef {
     MemRef::write(WordAddr::new(b, 0))
 }
 
+/// A named race script: per-cpu reference lists plus an optional cache
+/// organization override (for scripts that need conflict misses).
+type RaceScript = (&'static str, Vec<Vec<MemRef>>, Option<CacheOrg>);
+
 fn main() {
+    let obs = ObsArgs::from_env();
     let protocols = [
         ProtocolKind::TwoBit,
         ProtocolKind::TwoBitTlb { entries: 2 },
@@ -22,7 +37,7 @@ fn main() {
         ProtocolKind::FullMapLocal,
     ];
 
-    let scripts: [(&str, Vec<Vec<MemRef>>, Option<CacheOrg>); 3] = [
+    let scripts: [RaceScript; 3] = [
         (
             "3.2.5 write race (rd,wr / rd,wr)",
             vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]],
@@ -52,15 +67,29 @@ fn main() {
         ],
     );
 
+    let mut actions_applied: Vec<(String, u64)> = Vec::new();
     for (label, script, org) in &scripts {
         for protocol in protocols {
-            let mut config =
-                SystemConfig::with_defaults(script.len()).with_protocol(protocol);
+            let mut config = SystemConfig::with_defaults(script.len()).with_protocol(protocol);
             if let Some(org) = org {
                 config.cache = *org;
             }
             let checker = ModelChecker::new(config, script.clone()).expect("valid checker");
-            let result = checker.explore_exhaustive(500_000).expect("no violations");
+            let mut ring = RingTracer::new(RING_CAPACITY);
+            let result = match checker.explore_exhaustive_traced(500_000, &mut ring) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("VIOLATION in script \"{label}\" under {protocol}: {e}");
+                    eprintln!(
+                        "last {} of {} recorded actions:",
+                        ring.events().len(),
+                        ring.total_recorded()
+                    );
+                    eprint!("{}", ring.dump());
+                    std::process::exit(1);
+                }
+            };
+            actions_applied.push((format!("{label} / {protocol}"), ring.total_recorded()));
             table.push_row(vec![
                 (*label).to_string(),
                 protocol.to_string(),
@@ -73,6 +102,32 @@ fn main() {
     }
 
     print!("{table}");
+
+    if obs.metrics {
+        println!();
+        println!("Observability: actions applied (DFS transitions traced) per exploration:");
+        for (label, actions) in &actions_applied {
+            println!("  {label}: {actions}");
+        }
+    }
+
+    if let Some(path) = &obs.trace_out {
+        let (label, script, _) = &scripts[0];
+        let config = SystemConfig::with_defaults(script.len());
+        let checker = ModelChecker::new(config, script.clone()).expect("valid checker");
+        let mut tracer = obs_cli::jsonl_file_tracer(path).expect("create trace file");
+        checker
+            .explore_exhaustive_traced(500_000, tracer.as_mut())
+            .expect("no violations");
+        tracer.flush();
+        println!();
+        println!(
+            "JSONL action trace of \"{label}\" under two-bit written to {} (events are \
+             DFS-ordered and stamped with an action counter, not a clock)",
+            path.display()
+        );
+    }
+
     println!();
     println!(
         "Every explored interleaving reached quiescence with all references retired and all \

@@ -1,6 +1,7 @@
 //! Shared experiment building blocks.
 
 use twobit_analytic::{MarkovModel, OverheadParams};
+use twobit_obs::Tracer;
 use twobit_sim::{Report, System};
 use twobit_types::{AddressMap, ConfigError, ProtocolKind, SystemConfig};
 use twobit_workload::{SharingModel, SharingParams};
@@ -28,6 +29,32 @@ pub fn run_protocol(
     let workload = SharingModel::new(params, n, seed)?;
     let mut system = System::build(config)?;
     Ok(system.run(workload, refs_per_cpu)?)
+}
+
+/// [`run_protocol`] with a trace sink attached for the whole run. The
+/// tracer is flushed before the report is returned.
+///
+/// # Errors
+///
+/// As [`run_protocol`].
+pub fn run_protocol_traced(
+    protocol: ProtocolKind,
+    params: SharingParams,
+    n: usize,
+    seed: u64,
+    refs_per_cpu: u64,
+    tracer: Box<dyn Tracer>,
+) -> Result<Report, Box<dyn std::error::Error>> {
+    let mut config = SystemConfig::with_defaults(n).with_protocol(protocol);
+    if protocol.is_bus_based() {
+        config.address_map = AddressMap::interleaved(1);
+    }
+    let workload = SharingModel::new(params, n, seed)?;
+    let mut system = System::build(config)?;
+    system.set_tracer(tracer);
+    let report = system.run(workload, refs_per_cpu)?;
+    drop(system.take_tracer());
+    Ok(report)
 }
 
 /// The measured analog of the paper's `(n-1)·T_SUM`: the *extra*
@@ -65,10 +92,11 @@ pub fn predicted_overhead(params: &SharingParams, n: usize) -> Result<f64, Confi
         eviction_rate: 0.05 / 128.0,
     };
     let solution = model.solve()?;
-    let present =
-        solution.p_present1 + solution.p_present_star + solution.p_present_m;
+    let present = solution.p_present1 + solution.p_present_star + solution.p_present_m;
     if present == 0.0 {
-        return Err(ConfigError::new("no shared block is ever cached under these parameters"));
+        return Err(ConfigError::new(
+            "no shared block is ever cached under these parameters",
+        ));
     }
     let overhead = OverheadParams {
         n,
@@ -90,18 +118,17 @@ mod tests {
     #[test]
     fn run_protocol_covers_directory_and_bus() {
         for protocol in [ProtocolKind::TwoBit, ProtocolKind::Illinois] {
-            let report =
-                run_protocol(protocol, SharingParams::moderate(), 4, 1, 200).unwrap();
+            let report = run_protocol(protocol, SharingParams::moderate(), 4, 1, 200).unwrap();
             assert_eq!(report.stats.total_references(), 800, "{protocol}");
         }
     }
 
     #[test]
     fn extra_commands_is_nonnegative_on_matched_seeds() {
-        let two_bit = run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 4, 7, 2_000)
-            .unwrap();
-        let full_map = run_protocol(ProtocolKind::FullMap, SharingParams::high(), 4, 7, 2_000)
-            .unwrap();
+        let two_bit =
+            run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 4, 7, 2_000).unwrap();
+        let full_map =
+            run_protocol(ProtocolKind::FullMap, SharingParams::high(), 4, 7, 2_000).unwrap();
         assert!(extra_commands_per_reference(&two_bit, &full_map) >= 0.0);
     }
 
@@ -141,17 +168,16 @@ mod tests {
         let p_high = predicted_overhead(&SharingParams::high(), 8).unwrap();
         assert!(p_high > p_low);
         let m_low = {
-            let tb = run_protocol(ProtocolKind::TwoBit, SharingParams::low(), 8, 3, 3_000)
-                .unwrap();
-            let fm = run_protocol(ProtocolKind::FullMap, SharingParams::low(), 8, 3, 3_000)
-                .unwrap();
+            let tb = run_protocol(ProtocolKind::TwoBit, SharingParams::low(), 8, 3, 3_000).unwrap();
+            let fm =
+                run_protocol(ProtocolKind::FullMap, SharingParams::low(), 8, 3, 3_000).unwrap();
             extra_commands_per_reference(&tb, &fm)
         };
         let m_high = {
-            let tb = run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 8, 3, 3_000)
-                .unwrap();
-            let fm = run_protocol(ProtocolKind::FullMap, SharingParams::high(), 8, 3, 3_000)
-                .unwrap();
+            let tb =
+                run_protocol(ProtocolKind::TwoBit, SharingParams::high(), 8, 3, 3_000).unwrap();
+            let fm =
+                run_protocol(ProtocolKind::FullMap, SharingParams::high(), 8, 3, 3_000).unwrap();
             extra_commands_per_reference(&tb, &fm)
         };
         assert!(m_high > m_low, "measured {m_high} !> {m_low}");

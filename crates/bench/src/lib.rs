@@ -23,6 +23,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod obs_cli;
 pub mod sweep;
 
-pub use experiments::{extra_commands_per_reference, predicted_overhead, run_protocol};
+pub use experiments::{
+    extra_commands_per_reference, predicted_overhead, run_protocol, run_protocol_traced,
+};
+pub use obs_cli::ObsArgs;

@@ -1,0 +1,130 @@
+//! Shared observability plumbing for the experiment binaries.
+//!
+//! Every simulation binary accepts two optional flags:
+//!
+//! - `--metrics` — append the per-run observability summary (latency
+//!   percentiles per transaction class, peak queue depth, useless-command
+//!   rate) after the main table;
+//! - `--trace-out <path>` — additionally run one small representative
+//!   configuration with a [`JsonlTracer`] attached and write the
+//!   machine-readable event trace to `<path>` (one JSON object per line,
+//!   round-trippable via `SimEvent::from_jsonl`).
+//!
+//! The flags are parsed permissively: unknown arguments are left for the
+//! binary's own parsing (`--full` etc.).
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+use twobit_obs::{JsonlTracer, Tracer, TxnClass};
+use twobit_sim::Report;
+
+/// Observability options shared by the experiment binaries.
+#[derive(Debug, Default, Clone)]
+pub struct ObsArgs {
+    /// Write a JSONL event trace of a representative run here.
+    pub trace_out: Option<PathBuf>,
+    /// Print the metrics summary alongside the main table.
+    pub metrics: bool,
+}
+
+impl ObsArgs {
+    /// Parses `--metrics` and `--trace-out <path>` (or `--trace-out=path`)
+    /// out of the process arguments, ignoring everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if `--trace-out` is given without a
+    /// path.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut out = ObsArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--metrics" {
+                out.metrics = true;
+            } else if arg == "--trace-out" {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
+                out.trace_out = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+                out.trace_out = Some(PathBuf::from(path));
+            }
+        }
+        out
+    }
+}
+
+/// A boxed [`JsonlTracer`] writing to a freshly created file.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created.
+pub fn jsonl_file_tracer(path: &std::path::Path) -> std::io::Result<Box<dyn Tracer>> {
+    Ok(Box::new(JsonlTracer::new(BufWriter::new(File::create(
+        path,
+    )?))))
+}
+
+/// Renders one run's observability summary as an indented text block
+/// (empty string when the report carries no metrics).
+#[must_use]
+pub fn metrics_block(label: &str, report: &Report) -> String {
+    let Some(obs) = &report.obs else {
+        return String::new();
+    };
+    let mut out = format!(
+        "  {label}: peak queue {}, peak outstanding {}, useless {}/{} ({:.1}%)\n",
+        obs.peak_queue_depth,
+        obs.peak_outstanding,
+        obs.useless_commands,
+        obs.commands_delivered,
+        obs.useless_rate() * 100.0,
+    );
+    for class in TxnClass::ALL {
+        if let Some(lat) = report.latency(class) {
+            if lat.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "    {class:<15} n={:<7} mean={:<7.1} p50<={:<5} p90<={:<5} p99<={:<5} max={}\n",
+                lat.count, lat.mean, lat.p50, lat.p90, lat.p99, lat.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::{ProtocolKind, SystemStats};
+
+    #[test]
+    fn metrics_block_empty_without_obs() {
+        let r = Report {
+            protocol: ProtocolKind::TwoBit,
+            stats: SystemStats::new(2, 1),
+            cycles: 0,
+            obs: None,
+        };
+        assert_eq!(metrics_block("x", &r), "");
+    }
+
+    #[test]
+    fn metrics_block_renders_populated_summary() {
+        let r = crate::run_protocol(
+            ProtocolKind::TwoBit,
+            twobit_workload::SharingParams::moderate(),
+            4,
+            11,
+            500,
+        )
+        .unwrap();
+        let block = metrics_block("two-bit", &r);
+        assert!(block.contains("peak queue"), "{block}");
+        assert!(block.contains("read-miss"), "{block}");
+    }
+}

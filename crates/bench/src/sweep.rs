@@ -24,10 +24,8 @@ where
     F: Fn(&I) -> O + Sync,
 {
     let threads = threads.max(1);
-    let results: Mutex<Vec<Option<O>>> =
-        Mutex::new((0..inputs.len()).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, I)>> =
-        Mutex::new(inputs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().rev().collect());
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {

@@ -33,7 +33,10 @@ impl SnoopState {
     /// Whether a store may proceed without a bus transaction.
     #[must_use]
     pub fn writable_silently(self) -> bool {
-        matches!(self, SnoopState::Exclusive | SnoopState::Reserved | SnoopState::Dirty)
+        matches!(
+            self,
+            SnoopState::Exclusive | SnoopState::Reserved | SnoopState::Dirty
+        )
     }
 
     /// Whether this cache must supply data when another cache's miss is
@@ -86,7 +89,10 @@ mod tests {
     #[test]
     fn only_dirty_owns_latest() {
         assert!(SnoopState::Dirty.owns_latest());
-        assert!(!SnoopState::Reserved.owns_latest(), "write-through kept memory current");
+        assert!(
+            !SnoopState::Reserved.owns_latest(),
+            "write-through kept memory current"
+        );
         assert!(!SnoopState::Exclusive.owns_latest());
     }
 
@@ -94,7 +100,10 @@ mod tests {
     fn line_meta_semantics() {
         assert_eq!(<SnoopState as LineMeta>::invalid(), SnoopState::Invalid);
         assert!(LineMeta::is_valid(SnoopState::Reserved));
-        assert!(!LineMeta::is_dirty(SnoopState::Reserved), "Reserved evicts without write-back");
+        assert!(
+            !LineMeta::is_dirty(SnoopState::Reserved),
+            "Reserved evicts without write-back"
+        );
         assert!(LineMeta::is_dirty(SnoopState::Dirty));
     }
 }

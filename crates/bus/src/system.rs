@@ -134,11 +134,18 @@ impl BusSystem {
         // Each bus transaction is delivered to every other cache (the
         // snoop) plus the memory controller.
         let n = self.caches.len() as u64;
-        stats.network.deliveries.add(self.bus_stats.transactions.get() * n);
-        stats.network.command_messages.add(self.bus_stats.transactions.get());
-        stats.network.data_messages.add(
-            self.bus_stats.cache_to_cache.get() + self.bus_stats.writebacks.get(),
-        );
+        stats
+            .network
+            .deliveries
+            .add(self.bus_stats.transactions.get() * n);
+        stats
+            .network
+            .command_messages
+            .add(self.bus_stats.transactions.get());
+        stats
+            .network
+            .data_messages
+            .add(self.bus_stats.cache_to_cache.get() + self.bus_stats.writebacks.get());
         stats.cycles = self.bus_cycles();
         stats
     }
@@ -150,7 +157,10 @@ impl BusSystem {
     }
 
     fn mem_read(&self, a: BlockAddr) -> Version {
-        self.memory.get(&a).copied().unwrap_or_else(Version::initial)
+        self.memory
+            .get(&a)
+            .copied()
+            .unwrap_or_else(Version::initial)
     }
 
     fn fresh_version(&mut self) -> Version {
@@ -291,7 +301,11 @@ impl BusSystem {
                     self.caches[k.index()].touch(a);
                     self.cache_stats[k.index()].read_hits.inc();
                     let observed = self.caches[k.index()].version_of(a).expect("valid line");
-                    Completion { op, observed, was_hit: true }
+                    Completion {
+                        op,
+                        observed,
+                        was_hit: true,
+                    }
                 } else {
                     self.cache_stats[k.index()].read_misses.inc();
                     self.make_room(k, a);
@@ -308,7 +322,11 @@ impl BusSystem {
                         _ => SnoopState::Shared,
                     };
                     self.caches[k.index()].insert(a, fill, version);
-                    Completion { op, observed: version, was_hit: false }
+                    Completion {
+                        op,
+                        observed: version,
+                        was_hit: false,
+                    }
                 }
             }
             AccessKind::Write => {
@@ -323,7 +341,11 @@ impl BusSystem {
                         self.caches[k.index()].set_state(a, SnoopState::Dirty);
                         self.caches[k.index()].set_version(a, version);
                         self.cache_stats[k.index()].write_hits_dirty.inc();
-                        Completion { op, observed: version, was_hit: true }
+                        Completion {
+                            op,
+                            observed: version,
+                            was_hit: true,
+                        }
                     }
                     // Write hit on a shared clean line.
                     (BusProtocolKind::WriteOnce, SnoopState::Shared) => {
@@ -339,7 +361,11 @@ impl BusSystem {
                         self.caches[k.index()].touch(a);
                         self.caches[k.index()].set_state(a, SnoopState::Reserved);
                         self.caches[k.index()].set_version(a, version);
-                        Completion { op, observed: version, was_hit: true }
+                        Completion {
+                            op,
+                            observed: version,
+                            was_hit: true,
+                        }
                     }
                     (BusProtocolKind::Illinois, SnoopState::Shared) => {
                         // Upgrade: invalidation-only transaction.
@@ -352,7 +378,11 @@ impl BusSystem {
                         self.caches[k.index()].touch(a);
                         self.caches[k.index()].set_state(a, SnoopState::Dirty);
                         self.caches[k.index()].set_version(a, version);
-                        Completion { op, observed: version, was_hit: true }
+                        Completion {
+                            op,
+                            observed: version,
+                            was_hit: true,
+                        }
                     }
                     // Write misses.
                     (BusProtocolKind::WriteOnce, SnoopState::Invalid) => {
@@ -376,7 +406,11 @@ impl BusSystem {
                         self.snoop_invalidate(a, k);
                         self.memory.insert(a, version);
                         self.caches[k.index()].insert(a, SnoopState::Reserved, version);
-                        Completion { op, observed: version, was_hit: false }
+                        Completion {
+                            op,
+                            observed: version,
+                            was_hit: false,
+                        }
                     }
                     (BusProtocolKind::Illinois, SnoopState::Invalid) => {
                         // Read-for-ownership: one transaction.
@@ -390,7 +424,11 @@ impl BusSystem {
                             self.bus_stats.cache_to_cache.inc();
                         }
                         self.caches[k.index()].insert(a, SnoopState::Dirty, version);
-                        Completion { op, observed: version, was_hit: false }
+                        Completion {
+                            op,
+                            observed: version,
+                            was_hit: false,
+                        }
                     }
                     (p, s) => unreachable!("unhandled write ({p}, {s})"),
                 }
@@ -400,8 +438,11 @@ impl BusSystem {
         // Oracle bookkeeping.
         match op.kind {
             AccessKind::Read => {
-                let expected =
-                    self.oracle.get(&a).copied().unwrap_or_else(Version::initial);
+                let expected = self
+                    .oracle
+                    .get(&a)
+                    .copied()
+                    .unwrap_or_else(Version::initial);
                 if completion.observed != expected {
                     return Err(ProtocolError::StaleRead {
                         a,
@@ -430,7 +471,10 @@ impl BusSystem {
             if s != SnoopState::Invalid {
                 valid += 1;
             }
-            if matches!(s, SnoopState::Dirty | SnoopState::Reserved | SnoopState::Exclusive) {
+            if matches!(
+                s,
+                SnoopState::Dirty | SnoopState::Reserved | SnoopState::Exclusive
+            ) {
                 sole_states += 1;
             }
             if s == SnoopState::Dirty {
@@ -444,13 +488,12 @@ impl BusSystem {
                 dirty = Some(CacheId::new(i));
             }
         }
-        if (dirty.is_some() || sole_states > 0) && (sole_states > 1 || (dirty.is_some() && valid > 1))
+        if (dirty.is_some() || sole_states > 0)
+            && (sole_states > 1 || (dirty.is_some() && valid > 1))
         {
             return Err(ProtocolError::DirectoryInconsistent {
                 a,
-                detail: format!(
-                    "{valid} valid copies with {sole_states} sole-copy states"
-                ),
+                detail: format!("{valid} valid copies with {sole_states} sole-copy states"),
             });
         }
         Ok(())
@@ -511,7 +554,11 @@ mod tests {
         s.do_ref(cid(0), wr(1)).unwrap(); // → Reserved
         let txns = s.bus_stats().transactions.get();
         s.do_ref(cid(0), wr(1)).unwrap(); // → Dirty, no bus
-        assert_eq!(s.bus_stats().transactions.get(), txns, "second write stays local");
+        assert_eq!(
+            s.bus_stats().transactions.get(),
+            txns,
+            "second write stays local"
+        );
     }
 
     #[test]
@@ -520,7 +567,11 @@ mod tests {
         s.do_ref(cid(0), rd(1)).unwrap();
         let txns = s.bus_stats().transactions.get();
         s.do_ref(cid(0), wr(1)).unwrap();
-        assert_eq!(s.bus_stats().transactions.get(), txns, "E → M without the bus");
+        assert_eq!(
+            s.bus_stats().transactions.get(),
+            txns,
+            "E → M without the bus"
+        );
     }
 
     #[test]
@@ -564,8 +615,7 @@ mod tests {
             let mut s = sys(p, 8);
             s.do_ref(cid(0), rd(1)).unwrap(); // one transaction
             let stats = s.stats();
-            let received: u64 =
-                stats.caches.iter().map(|c| c.commands_received.get()).sum();
+            let received: u64 = stats.caches.iter().map(|c| c.commands_received.get()).sum();
             assert_eq!(received, 7, "{p}: n-1 snoops for a lone miss");
         }
     }
@@ -617,7 +667,11 @@ mod tests {
 
     #[test]
     fn rejects_empty_system() {
-        assert!(BusSystem::new(BusProtocolKind::Illinois, 0, CacheOrg::new(4, 1, 4).unwrap())
-            .is_err());
+        assert!(BusSystem::new(
+            BusProtocolKind::Illinois,
+            0,
+            CacheOrg::new(4, 1, 4).unwrap()
+        )
+        .is_err());
     }
 }

@@ -15,14 +15,21 @@ struct Step {
 
 fn steps(n_caches: usize, blocks: u64, len: usize) -> impl Strategy<Value = Vec<Step>> {
     prop::collection::vec(
-        (0..n_caches, 0..blocks, any::<bool>())
-            .prop_map(|(cache, block, write)| Step { cache, block, write }),
+        (0..n_caches, 0..blocks, any::<bool>()).prop_map(|(cache, block, write)| Step {
+            cache,
+            block,
+            write,
+        }),
         1..len,
     )
 }
 
 fn run(protocol: BusProtocolKind, steps: &[Step], tiny: bool) -> BusSystem {
-    let org = if tiny { CacheOrg::new(2, 1, 4).unwrap() } else { CacheOrg::new(4, 2, 4).unwrap() };
+    let org = if tiny {
+        CacheOrg::new(2, 1, 4).unwrap()
+    } else {
+        CacheOrg::new(4, 2, 4).unwrap()
+    };
     let mut sys = BusSystem::new(protocol, 4, org).unwrap();
     for s in steps {
         let op = if s.write {

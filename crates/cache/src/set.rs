@@ -140,17 +140,25 @@ impl<S: LineMeta> CacheSet<S> {
         now: u64,
     ) -> Option<EvictedLine<S>> {
         assert!(self.find(a).is_none(), "block {a} inserted twice");
-        let line = Line { addr: a, state, version, last_use: now, inserted: now };
+        let line = Line {
+            addr: a,
+            state,
+            version,
+            last_use: now,
+            inserted: now,
+        };
         // Prefer a free way.
         if let Some(slot) = self.ways.iter_mut().find(|w| w.is_none()) {
             *slot = Some(line);
             return None;
         }
         let idx = self.victim_index_mut();
-        let victim = self.ways[idx]
-            .replace(line)
-            .map(|old| EvictedLine { addr: old.addr, state: old.state, version: old.version });
-        victim
+
+        self.ways[idx].replace(line).map(|old| EvictedLine {
+            addr: old.addr,
+            state: old.state,
+            version: old.version,
+        })
     }
 
     /// Iterates over the valid lines of this set.
@@ -170,7 +178,9 @@ impl<S: LineMeta> CacheSet<S> {
             ReplacementPolicy::Fifo => self.extreme_by(|l| l.inserted),
             // For peek purposes random uses the *current* rng state without
             // advancing, so peek followed by insert agree.
-            ReplacementPolicy::Random => (Self::xorshift_peek(self.rng) % self.ways.len() as u64) as usize,
+            ReplacementPolicy::Random => {
+                (Self::xorshift_peek(self.rng) % self.ways.len() as u64) as usize
+            }
         }
     }
 
@@ -226,7 +236,9 @@ mod tests {
     #[test]
     fn insert_then_find() {
         let mut s = lru_set(2);
-        assert!(s.insert(blk(1), LineState::Clean, Version::new(3), 0).is_none());
+        assert!(s
+            .insert(blk(1), LineState::Clean, Version::new(3), 0)
+            .is_none());
         let line = s.find(blk(1)).unwrap();
         assert_eq!(line.state, LineState::Clean);
         assert_eq!(line.version, Version::new(3));
@@ -236,7 +248,9 @@ mod tests {
     fn insert_prefers_free_way_over_eviction() {
         let mut s = lru_set(2);
         s.insert(blk(1), LineState::Clean, Version::initial(), 0);
-        assert!(s.insert(blk(2), LineState::Clean, Version::initial(), 1).is_none());
+        assert!(s
+            .insert(blk(2), LineState::Clean, Version::initial(), 1)
+            .is_none());
         assert_eq!(s.occupancy(), 2);
     }
 
@@ -246,7 +260,9 @@ mod tests {
         s.insert(blk(1), LineState::Clean, Version::initial(), 0);
         s.insert(blk(2), LineState::Clean, Version::initial(), 1);
         s.touch(blk(1), 2); // block 2 is now LRU
-        let evicted = s.insert(blk(3), LineState::Clean, Version::initial(), 3).unwrap();
+        let evicted = s
+            .insert(blk(3), LineState::Clean, Version::initial(), 3)
+            .unwrap();
         assert_eq!(evicted.addr, blk(2));
         assert!(s.find(blk(1)).is_some());
         assert!(s.find(blk(3)).is_some());
@@ -258,7 +274,9 @@ mod tests {
         s.insert(blk(1), LineState::Clean, Version::initial(), 0);
         s.insert(blk(2), LineState::Clean, Version::initial(), 1);
         s.touch(blk(1), 5); // FIFO does not care
-        let evicted = s.insert(blk(3), LineState::Clean, Version::initial(), 6).unwrap();
+        let evicted = s
+            .insert(blk(3), LineState::Clean, Version::initial(), 6)
+            .unwrap();
         assert_eq!(evicted.addr, blk(1));
     }
 
@@ -269,7 +287,9 @@ mod tests {
             s.insert(blk(n), LineState::Clean, Version::initial(), n);
         }
         let peeked = s.peek_victim().unwrap().addr;
-        let evicted = s.insert(blk(99), LineState::Clean, Version::initial(), 9).unwrap();
+        let evicted = s
+            .insert(blk(99), LineState::Clean, Version::initial(), 9)
+            .unwrap();
         assert_eq!(peeked, evicted.addr);
     }
 
@@ -281,16 +301,24 @@ mod tests {
         assert_eq!(state, LineState::Dirty);
         assert_eq!(version, Version::new(2));
         assert_eq!(s.occupancy(), 0);
-        assert!(s.invalidate(blk(1)).is_none(), "second invalidate is a no-op");
+        assert!(
+            s.invalidate(blk(1)).is_none(),
+            "second invalidate is a no-op"
+        );
         // The way is reusable without eviction.
-        assert!(s.insert(blk(2), LineState::Clean, Version::initial(), 1).is_none());
+        assert!(s
+            .insert(blk(2), LineState::Clean, Version::initial(), 1)
+            .is_none());
     }
 
     #[test]
     fn set_state_returns_previous() {
         let mut s = lru_set(1);
         s.insert(blk(1), LineState::Clean, Version::initial(), 0);
-        assert_eq!(s.set_state(blk(1), LineState::Dirty), Some(LineState::Clean));
+        assert_eq!(
+            s.set_state(blk(1), LineState::Dirty),
+            Some(LineState::Clean)
+        );
         assert_eq!(s.find(blk(1)).unwrap().state, LineState::Dirty);
         assert_eq!(s.set_state(blk(9), LineState::Dirty), None);
     }
@@ -316,7 +344,9 @@ mod tests {
     fn eviction_carries_dirty_state_and_version() {
         let mut s = lru_set(1);
         s.insert(blk(1), LineState::Dirty, Version::new(5), 0);
-        let e = s.insert(blk(2), LineState::Clean, Version::initial(), 1).unwrap();
+        let e = s
+            .insert(blk(2), LineState::Clean, Version::initial(), 1)
+            .unwrap();
         assert_eq!(e.addr, blk(1));
         assert_eq!(e.state, LineState::Dirty);
         assert_eq!(e.version, Version::new(5));
@@ -328,7 +358,9 @@ mod tests {
         for n in 0..3 {
             s.insert(blk(n), LineState::Clean, Version::initial(), 0); // identical stamps
         }
-        let e = s.insert(blk(10), LineState::Clean, Version::initial(), 1).unwrap();
+        let e = s
+            .insert(blk(10), LineState::Clean, Version::initial(), 1)
+            .unwrap();
         assert_eq!(e.addr, blk(0), "lowest way wins ties");
     }
 }

@@ -19,9 +19,14 @@ impl<S: LineMeta> Cache<S> {
     /// Creates an empty cache with the given organization.
     #[must_use]
     pub fn new(org: CacheOrg) -> Self {
-        let sets =
-            (0..org.sets).map(|i| CacheSet::new(org.assoc, org.replacement, i)).collect();
-        Cache { org, sets, clock: 0 }
+        let sets = (0..org.sets)
+            .map(|i| CacheSet::new(org.assoc, org.replacement, i))
+            .collect();
+        Cache {
+            org,
+            sets,
+            clock: 0,
+        }
     }
 
     /// The cache's organization.
@@ -49,7 +54,9 @@ impl<S: LineMeta> Cache<S> {
     /// The state of `a`'s line, or [`LineMeta::invalid`] if not cached.
     #[must_use]
     pub fn state_of(&self, a: BlockAddr) -> S {
-        self.sets[self.set_of(a)].find(a).map_or_else(S::invalid, |l| l.state)
+        self.sets[self.set_of(a)]
+            .find(a)
+            .map_or_else(S::invalid, |l| l.state)
     }
 
     /// The version of `a`'s cached data, if present.
@@ -146,7 +153,9 @@ mod tests {
         let mut c = cache(4, 1);
         // Blocks 0 and 4 collide in set 0 of a 4-set direct-mapped cache.
         c.insert(blk(0), LineState::Clean, Version::initial());
-        let evicted = c.insert(blk(4), LineState::Clean, Version::initial()).unwrap();
+        let evicted = c
+            .insert(blk(4), LineState::Clean, Version::initial())
+            .unwrap();
         assert_eq!(evicted.addr, blk(0));
         // Block 1 lives in a different set, no conflict.
         c.insert(blk(1), LineState::Clean, Version::initial());
@@ -180,7 +189,10 @@ mod tests {
         }
         c.touch(blk(0));
         let predicted = c.peek_victim(blk(6)).unwrap().addr;
-        let actual = c.insert(blk(6), LineState::Clean, Version::initial()).unwrap().addr;
+        let actual = c
+            .insert(blk(6), LineState::Clean, Version::initial())
+            .unwrap()
+            .addr;
         assert_eq!(predicted, actual);
     }
 
@@ -194,7 +206,9 @@ mod tests {
         c.touch(blk(0));
         // Inserting into set 0 evicts block 2 (LRU within set 0), even
         // though block 1 is older globally.
-        let e = c.insert(blk(4), LineState::Clean, Version::initial()).unwrap();
+        let e = c
+            .insert(blk(4), LineState::Clean, Version::initial())
+            .unwrap();
         assert_eq!(e.addr, blk(2));
         assert!(c.contains(blk(1)));
     }
@@ -226,7 +240,10 @@ mod tests {
     fn invalidate_then_reinsert_is_allowed() {
         let mut c = cache(1, 1);
         c.insert(blk(1), LineState::Dirty, Version::new(1));
-        assert_eq!(c.invalidate(blk(1)), Some((LineState::Dirty, Version::new(1))));
+        assert_eq!(
+            c.invalidate(blk(1)),
+            Some((LineState::Dirty, Version::new(1)))
+        );
         c.insert(blk(1), LineState::Clean, Version::new(2));
         assert_eq!(c.state_of(blk(1)), LineState::Clean);
     }
@@ -235,7 +252,10 @@ mod tests {
     fn set_state_roundtrip() {
         let mut c = cache(1, 1);
         c.insert(blk(1), LineState::Clean, Version::initial());
-        assert_eq!(c.set_state(blk(1), LineState::Dirty), Some(LineState::Clean));
+        assert_eq!(
+            c.set_state(blk(1), LineState::Dirty),
+            Some(LineState::Clean)
+        );
         assert_eq!(c.state_of(blk(1)), LineState::Dirty);
     }
 }

@@ -29,7 +29,11 @@ fn apply(cache: &mut Cache<LineState>, op: &Op) {
         Op::Insert(b, dirty) => {
             let a = BlockAddr::new(b);
             if !cache.contains(a) {
-                let state = if dirty { LineState::Dirty } else { LineState::Clean };
+                let state = if dirty {
+                    LineState::Dirty
+                } else {
+                    LineState::Clean
+                };
                 cache.insert(a, state, Version::initial());
             }
         }
@@ -92,7 +96,7 @@ proptest! {
         }
         // Reconstruct per-set occupancy from valid lines; no set may
         // exceed its associativity.
-        let mut per_set = vec![0usize; 16];
+        let mut per_set = [0usize; 16];
         for line in cache.valid_lines() {
             per_set[org.set_of(line.addr.number()) as usize] += 1;
         }

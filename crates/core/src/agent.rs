@@ -25,8 +25,8 @@
 
 use crate::local::LocalState;
 use std::fmt;
-use twobit_cache::LineMeta as _;
 use twobit_cache::Cache;
+use twobit_cache::LineMeta as _;
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheOrg, CacheStats, CacheToMemory, MemRef, MemoryToCache,
     ProtocolError, Version, WritebackKind,
@@ -124,7 +124,11 @@ struct BiasFilter {
 
 impl BiasFilter {
     fn new(capacity: usize) -> Self {
-        BiasFilter { entries: Vec::with_capacity(capacity), capacity, cursor: 0 }
+        BiasFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+        }
     }
 
     fn contains(&self, a: BlockAddr) -> bool {
@@ -230,7 +234,11 @@ impl CacheAgent {
     /// Panics if a reference is already outstanding (the processor is
     /// blocked until the previous one retires).
     pub fn start(&mut self, op: MemRef, store_version: Version) -> StartOutcome {
-        assert!(self.pending.is_none(), "{}: reference issued while stalled", self.id);
+        assert!(
+            self.pending.is_none(),
+            "{}: reference issued while stalled",
+            self.id
+        );
         match op.kind {
             AccessKind::Read => self.stats.reads.inc(),
             AccessKind::Write => self.stats.writes.inc(),
@@ -263,17 +271,32 @@ impl CacheAgent {
                 self.stats.read_hits.inc();
                 let observed = self.cache.version_of(a).expect("valid line has a version");
                 StartOutcome {
-                    completed: Some(Completion { op, observed, was_hit: true }),
+                    completed: Some(Completion {
+                        op,
+                        observed,
+                        was_hit: true,
+                    }),
                     sends: Vec::new(),
                 }
             }
             (AccessKind::Read, _) => {
                 self.stats.read_misses.inc();
                 let mut sends = self.make_room(a);
-                sends.push(CacheToMemory::Request { k: self.id, a, rw: AccessKind::Read });
-                self.pending =
-                    Some(Pending { a, kind: PendingKind::ReadMiss, op, store_version: None });
-                StartOutcome { completed: None, sends }
+                sends.push(CacheToMemory::Request {
+                    k: self.id,
+                    a,
+                    rw: AccessKind::Read,
+                });
+                self.pending = Some(Pending {
+                    a,
+                    kind: PendingKind::ReadMiss,
+                    op,
+                    store_version: None,
+                });
+                StartOutcome {
+                    completed: None,
+                    sends,
+                }
             }
             (AccessKind::Write, LocalState::Dirty | LocalState::Exclusive) => {
                 self.cache.touch(a);
@@ -281,7 +304,11 @@ impl CacheAgent {
                 self.cache.set_version(a, store_version);
                 self.stats.write_hits_dirty.inc();
                 StartOutcome {
-                    completed: Some(Completion { op, observed: store_version, was_hit: true }),
+                    completed: Some(Completion {
+                        op,
+                        observed: store_version,
+                        was_hit: true,
+                    }),
                     sends: Vec::new(),
                 }
             }
@@ -292,7 +319,11 @@ impl CacheAgent {
                 self.cache.set_version(a, store_version);
                 self.stats.write_hits_dirty.inc();
                 StartOutcome {
-                    completed: Some(Completion { op, observed: store_version, was_hit: true }),
+                    completed: Some(Completion {
+                        op,
+                        observed: store_version,
+                        was_hit: true,
+                    }),
                     sends: Vec::new(),
                 }
             }
@@ -319,14 +350,21 @@ impl CacheAgent {
             (AccessKind::Write, LocalState::Invalid) => {
                 self.stats.write_misses.inc();
                 let mut sends = self.make_room(a);
-                sends.push(CacheToMemory::Request { k: self.id, a, rw: AccessKind::Write });
+                sends.push(CacheToMemory::Request {
+                    k: self.id,
+                    a,
+                    rw: AccessKind::Write,
+                });
                 self.pending = Some(Pending {
                     a,
                     kind: PendingKind::WriteMiss,
                     op,
                     store_version: Some(store_version),
                 });
-                StartOutcome { completed: None, sends }
+                StartOutcome {
+                    completed: None,
+                    sends,
+                }
             }
         }
     }
@@ -340,18 +378,30 @@ impl CacheAgent {
                     self.stats.read_hits.inc();
                     let observed = self.cache.version_of(a).expect("valid line has a version");
                     StartOutcome {
-                        completed: Some(Completion { op, observed, was_hit: true }),
+                        completed: Some(Completion {
+                            op,
+                            observed,
+                            was_hit: true,
+                        }),
                         sends: Vec::new(),
                     }
                 } else {
                     self.stats.read_misses.inc();
                     let sends = self.make_room(a); // silent clean evictions
                     debug_assert!(sends.is_empty(), "write-through evictions are silent");
-                    self.pending =
-                        Some(Pending { a, kind: PendingKind::ReadMiss, op, store_version: None });
+                    self.pending = Some(Pending {
+                        a,
+                        kind: PendingKind::ReadMiss,
+                        op,
+                        store_version: None,
+                    });
                     StartOutcome {
                         completed: None,
-                        sends: vec![CacheToMemory::Request { k: self.id, a, rw: AccessKind::Read }],
+                        sends: vec![CacheToMemory::Request {
+                            k: self.id,
+                            a,
+                            rw: AccessKind::Read,
+                        }],
                     }
                 }
             }
@@ -367,7 +417,11 @@ impl CacheAgent {
                     self.stats.write_misses.inc();
                 }
                 StartOutcome {
-                    completed: Some(Completion { op, observed: store_version, was_hit: hit }),
+                    completed: Some(Completion {
+                        op,
+                        observed: store_version,
+                        was_hit: hit,
+                    }),
                     sends: vec![CacheToMemory::WriteThrough {
                         k: self.id,
                         a,
@@ -384,8 +438,12 @@ impl CacheAgent {
         match op.kind {
             AccessKind::Read => {
                 self.stats.read_misses.inc();
-                self.pending =
-                    Some(Pending { a, kind: PendingKind::DirectRead, op, store_version: None });
+                self.pending = Some(Pending {
+                    a,
+                    kind: PendingKind::DirectRead,
+                    op,
+                    store_version: None,
+                });
                 StartOutcome {
                     completed: None,
                     sends: vec![CacheToMemory::DirectRead { k: self.id, a }],
@@ -394,7 +452,11 @@ impl CacheAgent {
             AccessKind::Write => {
                 self.stats.write_misses.inc();
                 StartOutcome {
-                    completed: Some(Completion { op, observed: store_version, was_hit: false }),
+                    completed: Some(Completion {
+                        op,
+                        observed: store_version,
+                        was_hit: false,
+                    }),
                     sends: vec![CacheToMemory::WriteThrough {
                         k: self.id,
                         a,
@@ -418,8 +480,16 @@ impl CacheAgent {
             LocalState::Dirty => {
                 self.stats.evictions_dirty.inc();
                 vec![
-                    CacheToMemory::Eject { k: self.id, olda: va, wb: WritebackKind::Dirty },
-                    CacheToMemory::PutData { from: self.id, a: va, version: vversion },
+                    CacheToMemory::Eject {
+                        k: self.id,
+                        olda: va,
+                        wb: WritebackKind::Dirty,
+                    },
+                    CacheToMemory::PutData {
+                        from: self.id,
+                        a: va,
+                        version: vversion,
+                    },
                 ]
             }
             LocalState::Shared | LocalState::Exclusive => {
@@ -450,7 +520,12 @@ impl CacheAgent {
     /// a correct protocol (e.g. a data grant with no pending miss).
     pub fn on_network(&mut self, msg: MemoryToCache) -> Result<NetOutcome, ProtocolError> {
         match msg {
-            MemoryToCache::GetData { k, a, version, exclusive } => {
+            MemoryToCache::GetData {
+                k,
+                a,
+                version,
+                exclusive,
+            } => {
                 debug_assert_eq!(k, self.id, "misrouted grant");
                 self.handle_grant(a, version, exclusive)
             }
@@ -480,10 +555,13 @@ impl CacheAgent {
         version: Version,
         exclusive: bool,
     ) -> Result<NetOutcome, ProtocolError> {
-        let pending = self.pending.take().ok_or_else(|| ProtocolError::UnexpectedCommand {
-            state: format!("{} idle", self.id),
-            command: format!("get({a})"),
-        })?;
+        let pending = self
+            .pending
+            .take()
+            .ok_or_else(|| ProtocolError::UnexpectedCommand {
+                state: format!("{} idle", self.id),
+                command: format!("get({a})"),
+            })?;
         if pending.a != a {
             return Err(ProtocolError::UnexpectedCommand {
                 state: format!("{} awaiting {}", self.id, pending.a),
@@ -497,7 +575,9 @@ impl CacheAgent {
             PendingKind::ReadMiss => {
                 let use_exclusive = matches!(
                     self.policy,
-                    AgentPolicy::WriteBack { use_exclusive: true }
+                    AgentPolicy::WriteBack {
+                        use_exclusive: true
+                    }
                 );
                 let state = if exclusive && use_exclusive {
                     LocalState::Exclusive
@@ -505,17 +585,30 @@ impl CacheAgent {
                     LocalState::Shared
                 };
                 self.cache.insert(a, state, version);
-                Completion { op: pending.op, observed: version, was_hit: false }
+                Completion {
+                    op: pending.op,
+                    observed: version,
+                    was_hit: false,
+                }
             }
             PendingKind::WriteMiss => {
-                let store_version =
-                    pending.store_version.expect("write miss carries its store version");
+                let store_version = pending
+                    .store_version
+                    .expect("write miss carries its store version");
                 self.cache.insert(a, LocalState::Dirty, store_version);
-                Completion { op: pending.op, observed: store_version, was_hit: false }
+                Completion {
+                    op: pending.op,
+                    observed: store_version,
+                    was_hit: false,
+                }
             }
             PendingKind::DirectRead => {
                 // Public block: consumed, never cached.
-                Completion { op: pending.op, observed: version, was_hit: false }
+                Completion {
+                    op: pending.op,
+                    observed: version,
+                    was_hit: false,
+                }
             }
             PendingKind::Modify => {
                 return Err(ProtocolError::UnexpectedCommand {
@@ -524,12 +617,21 @@ impl CacheAgent {
                 });
             }
         };
-        Ok(NetOutcome { sends: Vec::new(), completed: Some(completion), counted: false })
+        Ok(NetOutcome {
+            sends: Vec::new(),
+            completed: Some(completion),
+            counted: false,
+        })
     }
 
     fn handle_mgranted(&mut self, a: BlockAddr, granted: bool) -> NetOutcome {
         match self.pending {
-            Some(Pending { a: pa, kind: PendingKind::Modify, op, store_version }) if pa == a => {
+            Some(Pending {
+                a: pa,
+                kind: PendingKind::Modify,
+                op,
+                store_version,
+            }) if pa == a => {
                 if granted {
                     let version = store_version.expect("modify carries its store version");
                     debug_assert!(
@@ -540,7 +642,11 @@ impl CacheAgent {
                     self.cache.set_version(a, version);
                     self.pending = None;
                     NetOutcome {
-                        completed: Some(Completion { op, observed: version, was_hit: true }),
+                        completed: Some(Completion {
+                            op,
+                            observed: version,
+                            was_hit: true,
+                        }),
                         ..NetOutcome::default()
                     }
                 } else {
@@ -554,8 +660,15 @@ impl CacheAgent {
                         store_version,
                     });
                     let mut sends = self.make_room(a);
-                    sends.push(CacheToMemory::Request { k: self.id, a, rw: AccessKind::Write });
-                    NetOutcome { sends, ..NetOutcome::default() }
+                    sends.push(CacheToMemory::Request {
+                        k: self.id,
+                        a,
+                        rw: AccessKind::Write,
+                    });
+                    NetOutcome {
+                        sends,
+                        ..NetOutcome::default()
+                    }
                 }
             }
             // Stale reply: we already converted on the invalidate.
@@ -571,11 +684,17 @@ impl CacheAgent {
             self.stats.commands_received.inc();
             self.stats.useless_commands.inc();
             self.stats.bias_filtered.inc();
-            return NetOutcome { counted: true, ..NetOutcome::default() };
+            return NetOutcome {
+                counted: true,
+                ..NetOutcome::default()
+            };
         }
         let matched = self.cache.contains(a);
         self.record_command(matched);
-        let mut out = NetOutcome { counted: true, ..NetOutcome::default() };
+        let mut out = NetOutcome {
+            counted: true,
+            ..NetOutcome::default()
+        };
         if matched {
             self.cache.invalidate(a);
             self.stats.invalidated_lines.inc();
@@ -584,13 +703,26 @@ impl CacheAgent {
         self.bias.insert(a);
         // Pending MREQUEST on this block: the invalidate doubles as
         // MGRANTED(false) (section 3.2.5).
-        if let Some(Pending { a: pa, kind: PendingKind::Modify, op, store_version }) = self.pending
+        if let Some(Pending {
+            a: pa,
+            kind: PendingKind::Modify,
+            op,
+            store_version,
+        }) = self.pending
         {
             if pa == a {
-                self.pending =
-                    Some(Pending { a, kind: PendingKind::WriteMiss, op, store_version });
+                self.pending = Some(Pending {
+                    a,
+                    kind: PendingKind::WriteMiss,
+                    op,
+                    store_version,
+                });
                 out.sends.extend(self.make_room(a));
-                out.sends.push(CacheToMemory::Request { k: self.id, a, rw: AccessKind::Write });
+                out.sends.push(CacheToMemory::Request {
+                    k: self.id,
+                    a,
+                    rw: AccessKind::Write,
+                });
             }
         }
         out
@@ -600,11 +732,18 @@ impl CacheAgent {
         let state = self.cache.state_of(a);
         let matched = state.is_valid();
         self.record_command(matched);
-        let mut out = NetOutcome { counted: true, ..NetOutcome::default() };
+        let mut out = NetOutcome {
+            counted: true,
+            ..NetOutcome::default()
+        };
         match state {
             LocalState::Dirty | LocalState::Exclusive => {
                 let version = self.cache.version_of(a).expect("valid line has a version");
-                out.sends.push(CacheToMemory::PutData { from: self.id, a, version });
+                out.sends.push(CacheToMemory::PutData {
+                    from: self.id,
+                    a,
+                    version,
+                });
                 self.stats.blocks_supplied.inc();
                 self.stats.effective_commands.inc();
                 match rw {
@@ -652,11 +791,18 @@ mod tests {
     use twobit_types::WordAddr;
 
     fn agent(policy: AgentPolicy) -> CacheAgent {
-        CacheAgent::new(CacheId::new(0), CacheOrg::new(4, 2, 4).unwrap(), policy, false)
+        CacheAgent::new(
+            CacheId::new(0),
+            CacheOrg::new(4, 2, 4).unwrap(),
+            policy,
+            false,
+        )
     }
 
     fn wb() -> CacheAgent {
-        agent(AgentPolicy::WriteBack { use_exclusive: false })
+        agent(AgentPolicy::WriteBack {
+            use_exclusive: false,
+        })
     }
 
     fn read(b: u64) -> MemRef {
@@ -681,7 +827,13 @@ mod tests {
         let mut a = wb();
         let out = a.start(read(1), Version::initial());
         assert!(out.completed.is_none());
-        assert!(matches!(out.sends[0], CacheToMemory::Request { rw: AccessKind::Read, .. }));
+        assert!(matches!(
+            out.sends[0],
+            CacheToMemory::Request {
+                rw: AccessKind::Read,
+                ..
+            }
+        ));
         assert!(a.is_stalled());
 
         let out = a.on_network(grant(0, 1, 3, false)).unwrap();
@@ -701,10 +853,20 @@ mod tests {
     fn write_miss_fills_dirty_with_store_version() {
         let mut a = wb();
         let out = a.start(write(2), Version::new(10));
-        assert!(matches!(out.sends[0], CacheToMemory::Request { rw: AccessKind::Write, .. }));
+        assert!(matches!(
+            out.sends[0],
+            CacheToMemory::Request {
+                rw: AccessKind::Write,
+                ..
+            }
+        ));
         let out = a.on_network(grant(0, 2, 4, true)).unwrap();
         let c = out.completed.unwrap();
-        assert_eq!(c.observed, Version::new(10), "store's version, not memory's");
+        assert_eq!(
+            c.observed,
+            Version::new(10),
+            "store's version, not memory's"
+        );
         assert_eq!(a.cache().state_of(BlockAddr::new(2)), LocalState::Dirty);
     }
 
@@ -758,7 +920,13 @@ mod tests {
             .unwrap();
         assert!(!a.cache().contains(BlockAddr::new(5)));
         assert!(
-            matches!(out.sends.last(), Some(CacheToMemory::Request { rw: AccessKind::Write, .. })),
+            matches!(
+                out.sends.last(),
+                Some(CacheToMemory::Request {
+                    rw: AccessKind::Write,
+                    ..
+                })
+            ),
             "converted to a write miss"
         );
         assert!(a.is_stalled());
@@ -773,8 +941,11 @@ mod tests {
         a.start(read(5), Version::initial());
         a.on_network(grant(0, 5, 0, false)).unwrap();
         a.start(write(5), Version::new(9));
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(5), exclude: CacheId::new(1) })
-            .unwrap();
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(5),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
         // The controller had already replied false to the (now deleted)
         // MREQUEST; the reply arrives late.
         let out = a
@@ -784,7 +955,10 @@ mod tests {
                 granted: false,
             })
             .unwrap();
-        assert!(out.sends.is_empty() && out.completed.is_none(), "ignored as stale");
+        assert!(
+            out.sends.is_empty() && out.completed.is_none(),
+            "ignored as stale"
+        );
     }
 
     #[test]
@@ -794,7 +968,10 @@ mod tests {
         a.on_network(grant(0, 6, 0, true)).unwrap();
 
         let out = a
-            .on_network(MemoryToCache::BroadQuery { a: BlockAddr::new(6), rw: AccessKind::Read })
+            .on_network(MemoryToCache::BroadQuery {
+                a: BlockAddr::new(6),
+                rw: AccessKind::Read,
+            })
             .unwrap();
         assert!(matches!(out.sends[0], CacheToMemory::PutData { .. }));
         assert_eq!(
@@ -808,8 +985,11 @@ mod tests {
         let mut b = wb();
         b.start(write(6), Version::new(4));
         b.on_network(grant(0, 6, 0, true)).unwrap();
-        b.on_network(MemoryToCache::BroadQuery { a: BlockAddr::new(6), rw: AccessKind::Write })
-            .unwrap();
+        b.on_network(MemoryToCache::BroadQuery {
+            a: BlockAddr::new(6),
+            rw: AccessKind::Write,
+        })
+        .unwrap();
         assert!(!b.cache().contains(BlockAddr::new(6)));
     }
 
@@ -817,12 +997,19 @@ mod tests {
     fn query_on_absent_block_is_counted_useless() {
         let mut a = wb();
         let out = a
-            .on_network(MemoryToCache::BroadQuery { a: BlockAddr::new(7), rw: AccessKind::Read })
+            .on_network(MemoryToCache::BroadQuery {
+                a: BlockAddr::new(7),
+                rw: AccessKind::Read,
+            })
             .unwrap();
         assert!(out.sends.is_empty());
         assert!(out.counted);
         assert_eq!(a.stats().useless_commands.get(), 1);
-        assert_eq!(a.stats().stolen_cycles.get(), 1, "no duplicate directory: cycle lost");
+        assert_eq!(
+            a.stats().stolen_cycles.get(),
+            1,
+            "no duplicate directory: cycle lost"
+        );
     }
 
     #[test]
@@ -830,13 +1017,22 @@ mod tests {
         let mut a = CacheAgent::new(
             CacheId::new(0),
             CacheOrg::new(4, 2, 4).unwrap(),
-            AgentPolicy::WriteBack { use_exclusive: false },
+            AgentPolicy::WriteBack {
+                use_exclusive: false,
+            },
             true,
         );
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(8), exclude: CacheId::new(1) })
-            .unwrap();
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(8),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
         assert_eq!(a.stats().useless_commands.get(), 1);
-        assert_eq!(a.stats().stolen_cycles.get(), 0, "filtered by the duplicate directory");
+        assert_eq!(
+            a.stats().stolen_cycles.get(),
+            0,
+            "filtered by the duplicate directory"
+        );
     }
 
     #[test]
@@ -861,7 +1057,10 @@ mod tests {
         assert!(
             matches!(
                 out.sends[0],
-                CacheToMemory::Eject { wb: WritebackKind::Dirty, .. }
+                CacheToMemory::Eject {
+                    wb: WritebackKind::Dirty,
+                    ..
+                }
             ),
             "dirty victim announces a write-back: {:?}",
             out.sends
@@ -873,7 +1072,9 @@ mod tests {
 
     #[test]
     fn exclusive_fill_upgrades_silently() {
-        let mut a = agent(AgentPolicy::WriteBack { use_exclusive: true });
+        let mut a = agent(AgentPolicy::WriteBack {
+            use_exclusive: true,
+        });
         a.start(read(1), Version::initial());
         a.on_network(grant(0, 1, 0, true)).unwrap();
         assert_eq!(a.cache().state_of(BlockAddr::new(1)), LocalState::Exclusive);
@@ -900,8 +1101,15 @@ mod tests {
         a.start(read(1), Version::initial());
         a.on_network(grant(0, 1, 2, false)).unwrap();
         a.start(write(1), Version::new(7));
-        assert_eq!(a.cache().version_of(BlockAddr::new(1)), Some(Version::new(7)));
-        assert_eq!(a.cache().state_of(BlockAddr::new(1)), LocalState::Shared, "never dirty");
+        assert_eq!(
+            a.cache().version_of(BlockAddr::new(1)),
+            Some(Version::new(7))
+        );
+        assert_eq!(
+            a.cache().state_of(BlockAddr::new(1)),
+            LocalState::Shared,
+            "never dirty"
+        );
     }
 
     #[test]
@@ -911,7 +1119,10 @@ mod tests {
         assert!(matches!(out.sends[0], CacheToMemory::DirectRead { .. }));
         let out = a.on_network(grant(0, 150, 9, false)).unwrap();
         assert_eq!(out.completed.unwrap().observed, Version::new(9));
-        assert!(!a.cache().contains(BlockAddr::new(150)), "no fill for public data");
+        assert!(
+            !a.cache().contains(BlockAddr::new(150)),
+            "no fill for public data"
+        );
 
         let out = a.start(write(150), Version::new(11));
         assert!(out.completed.is_some());
@@ -925,7 +1136,10 @@ mod tests {
         a.on_network(grant(0, 5, 0, false)).unwrap();
         let out = a.start(write(5), Version::new(2));
         assert!(out.completed.is_some());
-        assert!(out.sends.is_empty(), "private writes need no coherence traffic");
+        assert!(
+            out.sends.is_empty(),
+            "private writes need no coherence traffic"
+        );
         assert_eq!(a.cache().state_of(BlockAddr::new(5)), LocalState::Dirty);
     }
 
@@ -934,8 +1148,11 @@ mod tests {
         let mut a = wb();
         a.set_bias_entries(4);
         // First invalidation for an absent block: searched, then buffered.
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(3), exclude: CacheId::new(1) })
-            .unwrap();
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(3),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
         assert_eq!(a.stats().stolen_cycles.get(), 1);
         assert_eq!(a.stats().bias_filtered.get(), 0);
         // Repeats are filtered: counted as received but no cycle stolen.
@@ -947,24 +1164,41 @@ mod tests {
             .unwrap();
         }
         assert_eq!(a.stats().bias_filtered.get(), 3);
-        assert_eq!(a.stats().stolen_cycles.get(), 1, "filtered repeats steal nothing");
-        assert_eq!(a.stats().commands_received.get(), 4, "still received and counted");
+        assert_eq!(
+            a.stats().stolen_cycles.get(),
+            1,
+            "filtered repeats steal nothing"
+        );
+        assert_eq!(
+            a.stats().commands_received.get(),
+            4,
+            "still received and counted"
+        );
     }
 
     #[test]
     fn bias_entry_clears_on_refetch() {
         let mut a = wb();
         a.set_bias_entries(4);
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(3), exclude: CacheId::new(1) })
-            .unwrap();
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(3),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
         // Refetch the block: the BIAS entry must go, so the next
         // invalidation really invalidates.
         a.start(read(3), Version::initial());
         a.on_network(grant(0, 3, 5, false)).unwrap();
         assert!(a.cache().contains(BlockAddr::new(3)));
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(3), exclude: CacheId::new(1) })
-            .unwrap();
-        assert!(!a.cache().contains(BlockAddr::new(3)), "invalidation was not filtered");
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(3),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
+        assert!(
+            !a.cache().contains(BlockAddr::new(3)),
+            "invalidation was not filtered"
+        );
         assert_eq!(a.stats().invalidated_lines.get(), 1);
     }
 
@@ -981,13 +1215,27 @@ mod tests {
         }
         // Block 1 was pushed out by block 3; a repeat for it searches again.
         let stolen = a.stats().stolen_cycles.get();
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(1), exclude: CacheId::new(1) })
-            .unwrap();
-        assert_eq!(a.stats().stolen_cycles.get(), stolen + 1, "evicted entry no longer filters");
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(1),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
+        assert_eq!(
+            a.stats().stolen_cycles.get(),
+            stolen + 1,
+            "evicted entry no longer filters"
+        );
         // Block 3 is still buffered.
-        a.on_network(MemoryToCache::BroadInv { a: BlockAddr::new(3), exclude: CacheId::new(1) })
-            .unwrap();
-        assert_eq!(a.stats().stolen_cycles.get(), stolen + 1, "resident entry filters");
+        a.on_network(MemoryToCache::BroadInv {
+            a: BlockAddr::new(3),
+            exclude: CacheId::new(1),
+        })
+        .unwrap();
+        assert_eq!(
+            a.stats().stolen_cycles.get(),
+            stolen + 1,
+            "resident entry filters"
+        );
     }
 
     #[test]

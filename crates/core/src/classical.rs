@@ -139,9 +139,7 @@ impl DirectoryProtocol for NullDirectory {
             OpenKind::WriteMiss => DirStep::done().with_send(grant_from_memory(k, a, mem, true)),
             // Public blocks: served straight from memory, never cached —
             // "the public data is always up-to-date in main memory".
-            OpenKind::DirectRead => {
-                DirStep::done().with_send(grant_from_memory(k, a, mem, false))
-            }
+            OpenKind::DirectRead => DirStep::done().with_send(grant_from_memory(k, a, mem, false)),
             OpenKind::WriteThrough(version) => DirStep::done().with_memory_write(a, version),
             OpenKind::Modify(_) => {
                 panic!("static-scheme caches upgrade private lines silently, never MREQUEST")
@@ -194,7 +192,10 @@ impl DirectoryProtocol for NullDirectory {
         if dirty.len() <= 1 {
             Ok(())
         } else {
-            Err(format!("{} dirty copies of a supposedly private block", dirty.len()))
+            Err(format!(
+                "{} dirty copies of a supposedly private block",
+                dirty.len()
+            ))
         }
     }
 }
@@ -215,11 +216,19 @@ mod tests {
     fn classical_write_broadcasts_and_updates_memory() {
         let mut d = ClassicalDirectory::new();
         let mem = MemoryImage::new();
-        let s = d.open(cid(0), blk(1), OpenKind::WriteThrough(Version::new(4)), &mem);
+        let s = d.open(
+            cid(0),
+            blk(1),
+            OpenKind::WriteThrough(Version::new(4)),
+            &mem,
+        );
         assert!(s.completes);
         assert_eq!(s.write_memory, Some((blk(1), Version::new(4))));
         match &s.sends[0] {
-            DirSend::Broadcast { cmd: MemoryToCache::BroadInv { exclude, .. }, .. } => {
+            DirSend::Broadcast {
+                cmd: MemoryToCache::BroadInv { exclude, .. },
+                ..
+            } => {
                 assert_eq!(*exclude, cid(0));
             }
             other => panic!("expected broadcast invalidate, got {other:?}"),
@@ -233,7 +242,13 @@ mod tests {
         mem.write(blk(2), Version::new(9));
         let s = d.open(cid(1), blk(2), OpenKind::ReadMiss, &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { version, exclusive, .. }, .. } => {
+            DirSend::Unicast {
+                cmd:
+                    MemoryToCache::GetData {
+                        version, exclusive, ..
+                    },
+                ..
+            } => {
                 assert_eq!(*version, Version::new(9));
                 assert!(!exclusive);
             }
@@ -264,16 +279,27 @@ mod tests {
         let mem = MemoryImage::new();
         let s = d.open(cid(0), blk(1), OpenKind::WriteMiss, &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::GetData { exclusive, .. },
+                ..
+            } => {
                 assert!(*exclusive);
             }
             other => panic!("expected exclusive grant, got {other:?}"),
         }
         let s = d.open(cid(0), blk(2), OpenKind::DirectRead, &mem);
         assert_eq!(s.sends.len(), 1);
-        let s = d.open(cid(0), blk(2), OpenKind::WriteThrough(Version::new(3)), &mem);
+        let s = d.open(
+            cid(0),
+            blk(2),
+            OpenKind::WriteThrough(Version::new(3)),
+            &mem,
+        );
         assert_eq!(s.write_memory, Some((blk(2), Version::new(3))));
-        assert!(s.sends.is_empty(), "no coherence traffic in the static scheme");
+        assert!(
+            s.sends.is_empty(),
+            "no coherence traffic in the static scheme"
+        );
     }
 
     #[test]

@@ -28,9 +28,10 @@
 use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
 use std::collections::{HashMap, HashSet, VecDeque};
+use twobit_obs::{ActorId, SimEvent, Tracer};
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats,
-    Counter, MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
+    AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats, Counter,
+    MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
 };
 
 /// A message the controller wants delivered, with its timing class.
@@ -210,6 +211,39 @@ impl Controller {
         }
     }
 
+    /// Like [`submit`](Controller::submit), but when `tracer` is enabled
+    /// also records the command's receipt at cycle `now` — including the
+    /// global-state transition it caused, which is the directory-side half
+    /// of every section 3.2.5 race. The event is recorded even when the
+    /// command is a protocol error, so post-mortem ring dumps end on the
+    /// offending command.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`submit`](Controller::submit).
+    pub fn submit_traced(
+        &mut self,
+        cmd: CacheToMemory,
+        now: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Vec<CtrlEmit>, ProtocolError> {
+        if !tracer.enabled() {
+            return self.submit(cmd);
+        }
+        let a = cmd.block();
+        let class = cmd.class();
+        let text = cmd.to_string();
+        let before = self.protocol.global_state(a);
+        let result = self.submit(cmd);
+        let after = self.protocol.global_state(a);
+        let mut ev = SimEvent::new(now, ActorId::Module(self.module), a, text).class(class);
+        if before != after {
+            ev = ev.global(before, after);
+        }
+        tracer.record(ev);
+        result
+    }
+
     fn can_start(&self, a: BlockAddr) -> bool {
         match self.concurrency {
             ControllerConcurrency::SingleCommand => {
@@ -266,7 +300,9 @@ impl Controller {
 
     fn handle_clean_eject(&mut self, k: CacheId, olda: BlockAddr) -> Vec<CtrlEmit> {
         if self.awaiting.contains_key(&olda)
-            && self.protocol.eject_satisfies_wait(olda, k, WritebackKind::Clean)
+            && self
+                .protocol
+                .eject_satisfies_wait(olda, k, WritebackKind::Clean)
         {
             // A clean eject racing a recall: memory already holds the
             // data; resolve the wait with it.
@@ -291,7 +327,9 @@ impl Controller {
         if self.eject_announced.remove(&(from, a)) {
             // The write-back half of a dirty eject.
             let step = if self.awaiting.contains_key(&a)
-                && self.protocol.eject_satisfies_wait(a, from, WritebackKind::Dirty)
+                && self
+                    .protocol
+                    .eject_satisfies_wait(a, from, WritebackKind::Dirty)
             {
                 // …which doubles as the answer to an in-flight query.
                 self.awaiting.remove(&a);
@@ -309,7 +347,9 @@ impl Controller {
                 // A query/purge response. On a read the responder kept a
                 // clean copy; on a write it invalidated itself.
                 let retains = rw == AccessKind::Read;
-                let step = self.protocol.supply(a, from, version, retains, &self.memory);
+                let step = self
+                    .protocol
+                    .supply(a, from, version, retains, &self.memory);
                 let mut emits = self.apply_step(a, step);
                 emits.extend(self.drain_queue());
                 Ok(emits)
@@ -342,7 +382,9 @@ impl Controller {
                 }
                 DirSend::Broadcast { cmd, exclude, cost } => {
                     self.stats.broadcasts_sent.inc();
-                    self.stats.deliveries.add(self.n_caches.saturating_sub(1) as u64);
+                    self.stats
+                        .deliveries
+                        .add(self.n_caches.saturating_sub(1) as u64);
                     if matches!(cmd, MemoryToCache::BroadInv { .. }) {
                         self.cancel_queued_modifies(a, None);
                     }
@@ -414,11 +456,19 @@ mod tests {
     }
 
     fn read_miss(k: usize, a: u64) -> CacheToMemory {
-        CacheToMemory::Request { k: cid(k), a: blk(a), rw: AccessKind::Read }
+        CacheToMemory::Request {
+            k: cid(k),
+            a: blk(a),
+            rw: AccessKind::Read,
+        }
     }
 
     fn write_miss(k: usize, a: u64) -> CacheToMemory {
-        CacheToMemory::Request { k: cid(k), a: blk(a), rw: AccessKind::Write }
+        CacheToMemory::Request {
+            k: cid(k),
+            a: blk(a),
+            rw: AccessKind::Write,
+        }
     }
 
     #[test]
@@ -428,7 +478,10 @@ mod tests {
         assert_eq!(emits.len(), 1);
         assert!(matches!(
             emits[0],
-            CtrlEmit::Unicast { cmd: MemoryToCache::GetData { .. }, .. }
+            CtrlEmit::Unicast {
+                cmd: MemoryToCache::GetData { .. },
+                ..
+            }
         ));
         assert!(!c.busy());
         assert_eq!(c.stats().requests.get(), 1);
@@ -440,7 +493,10 @@ mod tests {
         let mut c = two_bit_controller(4);
         c.submit(write_miss(0, 1)).unwrap(); // PresentM at C0
         let emits = c.submit(read_miss(1, 1)).unwrap();
-        assert!(matches!(emits[0], CtrlEmit::Broadcast { .. }), "BROADQUERY goes out");
+        assert!(
+            matches!(emits[0], CtrlEmit::Broadcast { .. }),
+            "BROADQUERY goes out"
+        );
         assert!(c.busy());
 
         // A third request for the same block must wait (section 3.2.5).
@@ -451,18 +507,33 @@ mod tests {
 
         // The owner answers; both waiting requests resolve in order.
         let emits = c
-            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(5) })
+            .submit(CacheToMemory::PutData {
+                from: cid(0),
+                a: blk(1),
+                version: Version::new(5),
+            })
             .unwrap();
         let grants: Vec<CacheId> = emits
             .iter()
             .filter_map(|e| match e {
-                CtrlEmit::Unicast { cmd: MemoryToCache::GetData { k, .. }, .. } => Some(*k),
+                CtrlEmit::Unicast {
+                    cmd: MemoryToCache::GetData { k, .. },
+                    ..
+                } => Some(*k),
                 _ => None,
             })
             .collect();
-        assert_eq!(grants, vec![cid(1), cid(2)], "queued request drains after the supply");
+        assert_eq!(
+            grants,
+            vec![cid(1), cid(2)],
+            "queued request drains after the supply"
+        );
         assert!(!c.busy());
-        assert_eq!(c.memory().read(blk(1)), Version::new(5), "write-back landed");
+        assert_eq!(
+            c.memory().read(blk(1)),
+            Version::new(5),
+            "write-back landed"
+        );
     }
 
     #[test]
@@ -485,7 +556,10 @@ mod tests {
         c.submit(write_miss(0, 1)).unwrap();
         c.submit(read_miss(1, 1)).unwrap(); // awaits
         let emits = c.submit(read_miss(2, 2)).unwrap();
-        assert!(emits.is_empty(), "unrelated block still waits under single-command");
+        assert!(
+            emits.is_empty(),
+            "unrelated block still waits under single-command"
+        );
         assert_eq!(c.queued(), 1);
     }
 
@@ -496,11 +570,11 @@ mod tests {
         let mut c = two_bit_controller(4);
         c.submit(read_miss(0, 1)).unwrap();
         c.submit(read_miss(1, 1)).unwrap(); // Present*
-        // C0's MREQUEST processed first: BROADINV(1, excl C0) + grant.
-        // To force queueing, make block 1 busy first via a PresentM wait
-        // on… simpler: submit both MREQUESTs back-to-back. The first
-        // completes synchronously, so queueing needs an artificial block —
-        // use SingleCommand with an outstanding wait on another block.
+                                            // C0's MREQUEST processed first: BROADINV(1, excl C0) + grant.
+                                            // To force queueing, make block 1 busy first via a PresentM wait
+                                            // on… simpler: submit both MREQUESTs back-to-back. The first
+                                            // completes synchronously, so queueing needs an artificial block —
+                                            // use SingleCommand with an outstanding wait on another block.
         let mut c2 = Controller::new(
             ModuleId::new(0),
             Box::new(TwoBitDirectory::new()),
@@ -511,27 +585,44 @@ mod tests {
         c2.submit(read_miss(1, 1)).unwrap();
         c2.submit(write_miss(2, 9)).unwrap(); // block 9: PresentM at C2
         c2.submit(read_miss(3, 9)).unwrap(); // awaiting on block 9
-        // Both MREQUESTs for block 1 now queue behind the wait.
-        c2.submit(CacheToMemory::MRequest { k: cid(0), a: blk(1), version: Version::initial() })
-            .unwrap();
-        c2.submit(CacheToMemory::MRequest { k: cid(1), a: blk(1), version: Version::initial() })
-            .unwrap();
+                                             // Both MREQUESTs for block 1 now queue behind the wait.
+        c2.submit(CacheToMemory::MRequest {
+            k: cid(0),
+            a: blk(1),
+            version: Version::initial(),
+        })
+        .unwrap();
+        c2.submit(CacheToMemory::MRequest {
+            k: cid(1),
+            a: blk(1),
+            version: Version::initial(),
+        })
+        .unwrap();
         assert_eq!(c2.queued(), 2);
         // Resolve block 9; the queue drains: C0's MREQUEST broadcasts
         // BROADINV which deletes C1's queued MREQUEST.
         let emits = c2
-            .submit(CacheToMemory::PutData { from: cid(2), a: blk(9), version: Version::new(2) })
+            .submit(CacheToMemory::PutData {
+                from: cid(2),
+                a: blk(9),
+                version: Version::new(2),
+            })
             .unwrap();
         let granted: Vec<(CacheId, bool)> = emits
             .iter()
             .filter_map(|e| match e {
-                CtrlEmit::Unicast { cmd: MemoryToCache::MGranted { k, granted, .. }, .. } => {
-                    Some((*k, *granted))
-                }
+                CtrlEmit::Unicast {
+                    cmd: MemoryToCache::MGranted { k, granted, .. },
+                    ..
+                } => Some((*k, *granted)),
                 _ => None,
             })
             .collect();
-        assert_eq!(granted, vec![(cid(0), true)], "C1's MREQUEST was deleted, never answered");
+        assert_eq!(
+            granted,
+            vec![(cid(0), true)],
+            "C1's MREQUEST was deleted, never answered"
+        );
         assert!(!c2.busy());
         let _ = c; // silence unused in the simple path
     }
@@ -541,16 +632,27 @@ mod tests {
         let mut c = two_bit_controller(4);
         c.submit(write_miss(0, 1)).unwrap(); // PresentM at C0
         c.submit(read_miss(1, 1)).unwrap(); // BROADQUERY out, awaiting
-        // C0 had already ejected: EJECT + put arrive instead of a query
-        // response.
-        c.submit(CacheToMemory::Eject { k: cid(0), olda: blk(1), wb: WritebackKind::Dirty })
-            .unwrap();
+                                            // C0 had already ejected: EJECT + put arrive instead of a query
+                                            // response.
+        c.submit(CacheToMemory::Eject {
+            k: cid(0),
+            olda: blk(1),
+            wb: WritebackKind::Dirty,
+        })
+        .unwrap();
         let emits = c
-            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(7) })
+            .submit(CacheToMemory::PutData {
+                from: cid(0),
+                a: blk(1),
+                version: Version::new(7),
+            })
             .unwrap();
         assert!(matches!(
             emits[0],
-            CtrlEmit::Unicast { cmd: MemoryToCache::GetData { .. }, .. }
+            CtrlEmit::Unicast {
+                cmd: MemoryToCache::GetData { .. },
+                ..
+            }
         ));
         assert!(!c.busy());
         // Owner did not retain: requester is the sole holder.
@@ -561,18 +663,29 @@ mod tests {
     fn dirty_eject_locks_block_until_data_lands() {
         let mut c = two_bit_controller(4);
         c.submit(write_miss(0, 1)).unwrap();
-        c.submit(CacheToMemory::Eject { k: cid(0), olda: blk(1), wb: WritebackKind::Dirty })
-            .unwrap();
+        c.submit(CacheToMemory::Eject {
+            k: cid(0),
+            olda: blk(1),
+            wb: WritebackKind::Dirty,
+        })
+        .unwrap();
         // A request arriving between the eject notice and its data queues.
         let emits = c.submit(read_miss(1, 1)).unwrap();
         assert!(emits.is_empty());
         let emits = c
-            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(3) })
+            .submit(CacheToMemory::PutData {
+                from: cid(0),
+                a: blk(1),
+                version: Version::new(3),
+            })
             .unwrap();
         // After the write-back lands, the queued read served from memory
         // sees the fresh data.
         match emits.last() {
-            Some(CtrlEmit::Unicast { cmd: MemoryToCache::GetData { version, .. }, .. }) => {
+            Some(CtrlEmit::Unicast {
+                cmd: MemoryToCache::GetData { version, .. },
+                ..
+            }) => {
                 assert_eq!(*version, Version::new(3));
             }
             other => panic!("expected drained grant, got {other:?}"),
@@ -583,7 +696,11 @@ mod tests {
     fn unsolicited_put_is_a_protocol_error() {
         let mut c = two_bit_controller(4);
         let err = c
-            .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(1) })
+            .submit(CacheToMemory::PutData {
+                from: cid(0),
+                a: blk(1),
+                version: Version::new(1),
+            })
             .unwrap_err();
         assert!(matches!(err, ProtocolError::UnexpectedCommand { .. }));
     }

@@ -13,9 +13,7 @@
 
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
-use twobit_types::{
-    BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
-};
+use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
 
 /// The transaction-opening commands a controller can hand a protocol,
 /// i.e. the four protocol instances of section 2.4 plus the write-through
@@ -90,13 +88,20 @@ impl DirStep {
     /// A completed step with no sends and no memory write.
     #[must_use]
     pub fn done() -> Self {
-        DirStep { completes: true, ..DirStep::default() }
+        DirStep {
+            completes: true,
+            ..DirStep::default()
+        }
     }
 
     /// A step that leaves the transaction waiting for data.
     #[must_use]
     pub fn awaiting(sends: Vec<DirSend>) -> Self {
-        DirStep { sends, write_memory: None, completes: false }
+        DirStep {
+            sends,
+            write_memory: None,
+            completes: false,
+        }
     }
 
     /// Builder: add a send.
@@ -217,7 +222,12 @@ pub(crate) fn grant_from_memory(
 ) -> DirSend {
     DirSend::Unicast {
         to: k,
-        cmd: MemoryToCache::GetData { k, a, version: mem.read(a), exclusive },
+        cmd: MemoryToCache::GetData {
+            k,
+            a,
+            version: mem.read(a),
+            exclusive,
+        },
         cost: SendCost::DataFromMemory,
     }
 }
@@ -231,7 +241,12 @@ pub(crate) fn grant_forwarded(
 ) -> DirSend {
     DirSend::Unicast {
         to: k,
-        cmd: MemoryToCache::GetData { k, a, version, exclusive },
+        cmd: MemoryToCache::GetData {
+            k,
+            a,
+            version,
+            exclusive,
+        },
         cost: SendCost::DataForwarded,
     }
 }
@@ -270,7 +285,14 @@ mod tests {
         let k = CacheId::new(3);
         let a = BlockAddr::new(7);
         match grant_from_memory(k, a, &mem, true) {
-            DirSend::Unicast { to, cmd: MemoryToCache::GetData { exclusive, version, .. }, cost } => {
+            DirSend::Unicast {
+                to,
+                cmd:
+                    MemoryToCache::GetData {
+                        exclusive, version, ..
+                    },
+                cost,
+            } => {
                 assert_eq!(to, k);
                 assert!(exclusive);
                 assert_eq!(version, Version::initial());
@@ -279,7 +301,11 @@ mod tests {
             other => panic!("unexpected send {other:?}"),
         }
         match grant_forwarded(k, a, Version::new(9), false) {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { version, .. }, cost, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::GetData { version, .. },
+                cost,
+                ..
+            } => {
                 assert_eq!(version, Version::new(9));
                 assert_eq!(cost, SendCost::DataForwarded);
             }

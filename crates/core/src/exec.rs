@@ -55,7 +55,10 @@ impl Oracle {
     /// The version a coherent read of `a` must observe right now.
     #[must_use]
     pub fn expected(&self, a: BlockAddr) -> Version {
-        self.expected.get(&a).copied().unwrap_or_else(Version::initial)
+        self.expected
+            .get(&a)
+            .copied()
+            .unwrap_or_else(Version::initial)
     }
 
     /// Validates a retired load.
@@ -108,11 +111,17 @@ pub(crate) fn build_protocol_for(config: &SystemConfig) -> Box<dyn DirectoryProt
 pub(crate) fn build_policy_for(protocol: ProtocolKind, static_shared_from: u64) -> AgentPolicy {
     match protocol {
         ProtocolKind::TwoBit | ProtocolKind::TwoBitTlb { .. } | ProtocolKind::FullMap => {
-            AgentPolicy::WriteBack { use_exclusive: false }
+            AgentPolicy::WriteBack {
+                use_exclusive: false,
+            }
         }
-        ProtocolKind::FullMapLocal => AgentPolicy::WriteBack { use_exclusive: true },
+        ProtocolKind::FullMapLocal => AgentPolicy::WriteBack {
+            use_exclusive: true,
+        },
         ProtocolKind::ClassicalWriteThrough => AgentPolicy::WriteThrough,
-        ProtocolKind::StaticSoftware => AgentPolicy::Static { shared_from: static_shared_from },
+        ProtocolKind::StaticSoftware => AgentPolicy::Static {
+            shared_from: static_shared_from,
+        },
         ProtocolKind::WriteOnce | ProtocolKind::Illinois => {
             unreachable!("bus protocols are built by twobit-bus")
         }
@@ -170,7 +179,12 @@ impl FunctionalSystem {
             .collect();
         let controllers = twobit_types::ModuleId::all(config.address_map.modules())
             .map(|m| {
-                Controller::new(m, build_protocol_for(&config), config.caches, config.concurrency)
+                Controller::new(
+                    m,
+                    build_protocol_for(&config),
+                    config.caches,
+                    config.concurrency,
+                )
             })
             .collect();
         Ok(FunctionalSystem {
@@ -270,7 +284,9 @@ impl FunctionalSystem {
         })?;
 
         match op.kind {
-            AccessKind::Read => self.oracle.check_read(k, op.addr.block, completion.observed)?,
+            AccessKind::Read => self
+                .oracle
+                .check_read(k, op.addr.block, completion.observed)?,
             AccessKind::Write => self.oracle.record_write(op.addr.block, completion.observed),
         }
         self.references += 1;
@@ -367,7 +383,11 @@ mod tests {
             s.do_ref(cid(0), rd(1)).unwrap();
             s.do_ref(cid(0), wr(1)).unwrap();
             let c = s.do_ref(cid(0), rd(1)).unwrap();
-            assert_eq!(c.observed, s.oracle().expected(BlockAddr::new(1)), "{protocol}");
+            assert_eq!(
+                c.observed,
+                s.oracle().expected(BlockAddr::new(1)),
+                "{protocol}"
+            );
         }
     }
 
@@ -380,7 +400,11 @@ mod tests {
             for _ in 0..10 {
                 s.do_ref(cid(0), wr(7)).unwrap();
                 let c = s.do_ref(cid(1), rd(7)).unwrap();
-                assert_eq!(c.observed, s.oracle().expected(BlockAddr::new(7)), "{protocol}");
+                assert_eq!(
+                    c.observed,
+                    s.oracle().expected(BlockAddr::new(7)),
+                    "{protocol}"
+                );
             }
         }
     }
@@ -408,7 +432,11 @@ mod tests {
             s.do_ref(cid(0), wr(5)).unwrap();
             for i in 1..4 {
                 let c = s.do_ref(cid(i), rd(5)).unwrap();
-                assert_eq!(c.observed.raw(), 1, "{protocol}: reader {i} must see the write");
+                assert_eq!(
+                    c.observed.raw(),
+                    1,
+                    "{protocol}: reader {i} must see the write"
+                );
             }
         }
     }
@@ -430,7 +458,10 @@ mod tests {
         assert_eq!(fm_received, 2, "full map touches exactly the two holders");
         assert_eq!(tb_received, 7, "two-bit touches all n-1 others");
         let tb_useless: u64 = tb.caches.iter().map(|c| c.useless_commands.get()).sum();
-        assert_eq!(tb_useless, 5, "n-2 minus the one useful... 7 delivered, 2 useful");
+        assert_eq!(
+            tb_useless, 5,
+            "n-2 minus the one useful... 7 delivered, 2 useful"
+        );
     }
 
     #[test]
@@ -448,9 +479,15 @@ mod tests {
             s.do_ref(cid(2), wr(2)).unwrap(); // unrelated block: still broadcast
         }
         let stats = s.stats();
-        let broadcasts: u64 =
-            stats.controllers.iter().map(|c| c.broadcasts_sent.get()).sum();
-        assert_eq!(broadcasts, 5, "every store broadcasts under the classical scheme");
+        let broadcasts: u64 = stats
+            .controllers
+            .iter()
+            .map(|c| c.broadcasts_sent.get())
+            .sum();
+        assert_eq!(
+            broadcasts, 5,
+            "every store broadcasts under the classical scheme"
+        );
         // And a racing reader still sees fresh data.
         s.do_ref(cid(0), wr(1)).unwrap();
         let c = s.do_ref(cid(1), rd(1)).unwrap();
@@ -459,8 +496,7 @@ mod tests {
 
     #[test]
     fn static_scheme_keeps_public_data_in_memory() {
-        let config =
-            SystemConfig::with_defaults(4).with_protocol(ProtocolKind::StaticSoftware);
+        let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::StaticSoftware);
         let mut s = FunctionalSystem::with_static_threshold(config, 1000).unwrap();
         s.set_check_invariants(true);
         // Public block 1000: every access goes to memory, always coherent.
@@ -472,8 +508,11 @@ mod tests {
         s.do_ref(cid(0), rd(1)).unwrap();
         let stats = s.stats();
         assert_eq!(stats.caches[cid(0).index()].read_hits.get(), 1);
-        let broadcasts: u64 =
-            stats.controllers.iter().map(|c| c.broadcasts_sent.get()).sum();
+        let broadcasts: u64 = stats
+            .controllers
+            .iter()
+            .map(|c| c.broadcasts_sent.get())
+            .sum();
         assert_eq!(broadcasts, 0, "no coherence traffic at all");
     }
 
@@ -532,8 +571,12 @@ mod tests {
             0,
             "exclusive fill upgrades silently"
         );
-        let fm_mreqs: u64 =
-            without.stats().controllers.iter().map(|c| c.mrequests.get()).sum();
+        let fm_mreqs: u64 = without
+            .stats()
+            .controllers
+            .iter()
+            .map(|c| c.mrequests.get())
+            .sum();
         assert_eq!(fm_mreqs, 1, "plain full map pays the MREQUEST");
     }
 
@@ -545,7 +588,9 @@ mod tests {
             o.record_write(BlockAddr::new(1), v);
             o
         };
-        let err = oracle.check_read(cid(0), BlockAddr::new(1), Version::initial()).unwrap_err();
+        let err = oracle
+            .check_read(cid(0), BlockAddr::new(1), Version::initial())
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::StaleRead { .. }));
     }
 

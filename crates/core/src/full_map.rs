@@ -43,7 +43,11 @@ impl FullMapDirectory {
     #[must_use]
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "presence vector needs at least one bit");
-        FullMapDirectory { width, entries: HashMap::new(), waiting: HashMap::new() }
+        FullMapDirectory {
+            width,
+            entries: HashMap::new(),
+            waiting: HashMap::new(),
+        }
     }
 
     /// The presence-vector width this directory was built for.
@@ -54,9 +58,10 @@ impl FullMapDirectory {
 
     fn entry(&mut self, a: BlockAddr) -> &mut Entry {
         let width = self.width;
-        self.entries
-            .entry(a)
-            .or_insert_with(|| Entry { owners: OwnerSet::new(width), modified: false })
+        self.entries.entry(a).or_insert_with(|| Entry {
+            owners: OwnerSet::new(width),
+            modified: false,
+        })
     }
 
     fn view(&self, a: BlockAddr) -> (usize, bool, Option<CacheId>) {
@@ -67,11 +72,19 @@ impl FullMapDirectory {
     }
 
     fn inv(a: BlockAddr, to: CacheId) -> DirSend {
-        DirSend::Unicast { to, cmd: MemoryToCache::Inv { a, to }, cost: SendCost::Command }
+        DirSend::Unicast {
+            to,
+            cmd: MemoryToCache::Inv { a, to },
+            cost: SendCost::Command,
+        }
     }
 
     fn purge(a: BlockAddr, to: CacheId, rw: AccessKind) -> DirSend {
-        DirSend::Unicast { to, cmd: MemoryToCache::Purge { a, to, rw }, cost: SendCost::Command }
+        DirSend::Unicast {
+            to,
+            cmd: MemoryToCache::Purge { a, to, rw },
+            cost: SendCost::Command,
+        }
     }
 }
 
@@ -106,11 +119,8 @@ impl DirectoryProtocol for FullMapDirectory {
                 } else {
                     let mut step = DirStep::done();
                     if count > 0 {
-                        let targets: Vec<CacheId> = self.entries[&a]
-                            .owners
-                            .iter()
-                            .filter(|&i| i != k)
-                            .collect();
+                        let targets: Vec<CacheId> =
+                            self.entries[&a].owners.iter().filter(|&i| i != k).collect();
                         for i in targets {
                             step = step.with_send(Self::inv(a, i));
                         }
@@ -155,7 +165,10 @@ impl DirectoryProtocol for FullMapDirectory {
         retains: bool,
         _mem: &MemoryImage,
     ) -> DirStep {
-        let waiting = self.waiting.remove(&a).expect("supply without a waiting transaction");
+        let waiting = self
+            .waiting
+            .remove(&a)
+            .expect("supply without a waiting transaction");
         let e = self.entry(a);
         e.owners.clear();
         if retains && !waiting.write {
@@ -173,7 +186,10 @@ impl DirectoryProtocol for FullMapDirectory {
         // stand in for the purge response.
         wb == WritebackKind::Dirty
             && self.waiting.contains_key(&a)
-            && self.entries.get(&a).is_some_and(|e| e.modified && e.owners.contains(k))
+            && self
+                .entries
+                .get(&a)
+                .is_some_and(|e| e.modified && e.owners.contains(k))
     }
 
     fn eject_clean(&mut self, k: CacheId, a: BlockAddr) {
@@ -210,7 +226,11 @@ impl DirectoryProtocol for FullMapDirectory {
     }
 
     fn holders(&self, a: BlockAddr) -> Option<OwnerSet> {
-        Some(self.entries.get(&a).map_or_else(|| OwnerSet::new(self.width), |e| e.owners.clone()))
+        Some(
+            self.entries
+                .get(&a)
+                .map_or_else(|| OwnerSet::new(self.width), |e| e.owners.clone()),
+        )
     }
 
     fn check_consistency(
@@ -226,7 +246,9 @@ impl DirectoryProtocol for FullMapDirectory {
             actual.insert(id);
         }
         if recorded != actual {
-            return Err(format!("presence vector {recorded} but actual holders {actual}"));
+            return Err(format!(
+                "presence vector {recorded} but actual holders {actual}"
+            ));
         }
         if modified != (dirty.len() == 1) || dirty.len() > 1 {
             return Err(format!(
@@ -257,7 +279,10 @@ mod tests {
         step.sends
             .iter()
             .filter_map(|s| match s {
-                DirSend::Unicast { cmd: MemoryToCache::Inv { to, .. }, .. } => Some(*to),
+                DirSend::Unicast {
+                    cmd: MemoryToCache::Inv { to, .. },
+                    ..
+                } => Some(*to),
                 _ => None,
             })
             .collect()
@@ -288,7 +313,11 @@ mod tests {
         assert!(s.completes);
         let mut invs = unicast_invs(&s);
         invs.sort();
-        assert_eq!(invs, vec![cid(0), cid(1), cid(5)], "no broadcast, no extras");
+        assert_eq!(
+            invs,
+            vec![cid(0), cid(1), cid(5)],
+            "no broadcast, no extras"
+        );
         assert_eq!(d.global_state(a), GlobalState::PresentM);
         assert_eq!(d.holders(a).unwrap().sole_member(), Some(cid(7)));
     }
@@ -301,9 +330,17 @@ mod tests {
         d.open(cid(1), a, OpenKind::WriteMiss, &mem);
         let s = d.open(cid(2), a, OpenKind::ReadMiss, &mem);
         assert!(!s.completes);
-        assert_eq!(s.sends.len(), 1, "exactly one targeted purge — the full map's advantage");
+        assert_eq!(
+            s.sends.len(),
+            1,
+            "exactly one targeted purge — the full map's advantage"
+        );
         match &s.sends[0] {
-            DirSend::Unicast { to, cmd: MemoryToCache::Purge { rw, .. }, .. } => {
+            DirSend::Unicast {
+                to,
+                cmd: MemoryToCache::Purge { rw, .. },
+                ..
+            } => {
                 assert_eq!(*to, cid(1));
                 assert_eq!(*rw, AccessKind::Read);
             }
@@ -359,7 +396,10 @@ mod tests {
         // C1 never fetched the block: its MREQUEST is stale by definition.
         let s = d.open(cid(1), a, OpenKind::Modify(mem.read(a)), &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::MGranted { granted, .. },
+                ..
+            } => {
                 assert!(!granted);
             }
             other => panic!("expected denial, got {other:?}"),

@@ -49,15 +49,27 @@ impl FullMapLocalDirectory {
     #[must_use]
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "presence vector needs at least one bit");
-        FullMapLocalDirectory { width, entries: HashMap::new(), waiting: HashMap::new() }
+        FullMapLocalDirectory {
+            width,
+            entries: HashMap::new(),
+            waiting: HashMap::new(),
+        }
     }
 
     fn inv(a: BlockAddr, to: CacheId) -> DirSend {
-        DirSend::Unicast { to, cmd: MemoryToCache::Inv { a, to }, cost: SendCost::Command }
+        DirSend::Unicast {
+            to,
+            cmd: MemoryToCache::Inv { a, to },
+            cost: SendCost::Command,
+        }
     }
 
     fn purge(a: BlockAddr, to: CacheId, rw: AccessKind) -> DirSend {
-        DirSend::Unicast { to, cmd: MemoryToCache::Purge { a, to, rw }, cost: SendCost::Command }
+        DirSend::Unicast {
+            to,
+            cmd: MemoryToCache::Purge { a, to, rw },
+            cost: SendCost::Command,
+        }
     }
 }
 
@@ -138,9 +150,13 @@ impl DirectoryProtocol for FullMapLocalDirectory {
         retains: bool,
         _mem: &MemoryImage,
     ) -> DirStep {
-        let waiting = self.waiting.remove(&a).expect("supply without a waiting transaction");
+        let waiting = self
+            .waiting
+            .remove(&a)
+            .expect("supply without a waiting transaction");
         if waiting.write {
-            self.entries.insert(a, Entry::ExclusiveOrModified(waiting.k));
+            self.entries
+                .insert(a, Entry::ExclusiveOrModified(waiting.k));
         } else {
             let mut owners = OwnerSet::new(self.width);
             if retains {
@@ -221,7 +237,9 @@ impl DirectoryProtocol for FullMapLocalDirectory {
             actual.insert(id);
         }
         if recorded != actual {
-            return Err(format!("presence vector {recorded} but actual holders {actual}"));
+            return Err(format!(
+                "presence vector {recorded} but actual holders {actual}"
+            ));
         }
         match self.entries.get(&a) {
             Some(Entry::Shared(_)) if !dirty.is_empty() => {
@@ -268,12 +286,19 @@ mod tests {
         let a = blk(1);
         let s = d.open(cid(0), a, OpenKind::ReadMiss, &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::GetData { exclusive, .. },
+                ..
+            } => {
                 assert!(*exclusive, "sole reader gets an exclusive fill");
             }
             other => panic!("expected grant, got {other:?}"),
         }
-        assert_eq!(d.global_state(a), GlobalState::PresentM, "conservatively maybe-modified");
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::PresentM,
+            "conservatively maybe-modified"
+        );
     }
 
     #[test]
@@ -283,9 +308,16 @@ mod tests {
         let a = blk(2);
         d.open(cid(0), a, OpenKind::ReadMiss, &mem);
         let s = d.open(cid(1), a, OpenKind::ReadMiss, &mem);
-        assert!(!s.completes, "must recall the exclusive holder — it may be dirty");
+        assert!(
+            !s.completes,
+            "must recall the exclusive holder — it may be dirty"
+        );
         match &s.sends[0] {
-            DirSend::Unicast { to, cmd: MemoryToCache::Purge { rw, .. }, .. } => {
+            DirSend::Unicast {
+                to,
+                cmd: MemoryToCache::Purge { rw, .. },
+                ..
+            } => {
                 assert_eq!(*to, cid(0));
                 assert_eq!(*rw, AccessKind::Read);
             }
@@ -311,7 +343,10 @@ mod tests {
             .sends
             .iter()
             .filter_map(|snd| match snd {
-                DirSend::Unicast { cmd: MemoryToCache::Inv { to, .. }, .. } => Some(*to),
+                DirSend::Unicast {
+                    cmd: MemoryToCache::Inv { to, .. },
+                    ..
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -352,7 +387,10 @@ mod tests {
         d.open(cid(0), a, OpenKind::ReadMiss, &mem);
         let s = d.open(cid(1), a, OpenKind::WriteMiss, &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::Purge { rw, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::Purge { rw, .. },
+                ..
+            } => {
                 assert_eq!(*rw, AccessKind::Write);
             }
             other => panic!("expected PURGE(write), got {other:?}"),
@@ -368,7 +406,10 @@ mod tests {
         let mem = MemoryImage::new();
         let s = d.open(cid(2), blk(7), OpenKind::Modify(mem.read(blk(7))), &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::MGranted { granted, .. },
+                ..
+            } => {
                 assert!(!granted);
             }
             other => panic!("expected denial, got {other:?}"),

@@ -101,9 +101,10 @@ pub fn check_system(
         let mut checked: Vec<BlockAddr> = Vec::new();
         for (&a, t) in &truth {
             if map.module_of(a) == controller.module() {
-                controller.protocol().check_consistency(a, &t.clean, &t.dirty).map_err(
-                    |detail| ProtocolError::DirectoryInconsistent { a, detail },
-                )?;
+                controller
+                    .protocol()
+                    .check_consistency(a, &t.clean, &t.dirty)
+                    .map_err(|detail| ProtocolError::DirectoryInconsistent { a, detail })?;
                 checked.push(a);
             }
         }
@@ -111,9 +112,10 @@ pub fn check_system(
             if checked.contains(&a) {
                 continue;
             }
-            controller.protocol().check_consistency(a, &empty.clean, &empty.dirty).map_err(
-                |detail| ProtocolError::DirectoryInconsistent { a, detail },
-            )?;
+            controller
+                .protocol()
+                .check_consistency(a, &empty.clean, &empty.dirty)
+                .map_err(|detail| ProtocolError::DirectoryInconsistent { a, detail })?;
         }
     }
     Ok(())
@@ -141,7 +143,9 @@ mod tests {
         CacheAgent::new(
             CacheId::new(id),
             CacheOrg::new(4, 2, 4).unwrap(),
-            AgentPolicy::WriteBack { use_exclusive: false },
+            AgentPolicy::WriteBack {
+                use_exclusive: false,
+            },
             false,
         )
     }
@@ -151,7 +155,10 @@ mod tests {
         let mut a0 = agent(0);
         let mut a1 = agent(1);
         // Fill via the network path to keep agents consistent.
-        a0.start(twobit_types::MemRef::read(twobit_types::WordAddr::new(1, 0)), Version::initial());
+        a0.start(
+            twobit_types::MemRef::read(twobit_types::WordAddr::new(1, 0)),
+            Version::initial(),
+        );
         a0.on_network(twobit_types::MemoryToCache::GetData {
             k: CacheId::new(0),
             a: BlockAddr::new(1),
@@ -220,8 +227,7 @@ mod tests {
                 })
                 .unwrap();
         }
-        let err =
-            check_system(&[a0, a1], &[c], AddressMap::interleaved(1)).unwrap_err();
+        let err = check_system(&[a0, a1], &[c], AddressMap::interleaved(1)).unwrap_err();
         assert!(matches!(err, ProtocolError::DirectoryInconsistent { .. }));
     }
 
@@ -249,15 +255,17 @@ mod tests {
             2,
             ControllerConcurrency::PerBlock,
         )];
-        let err =
-            check_system(&[a0, a1], &controllers, AddressMap::interleaved(1)).unwrap_err();
+        let err = check_system(&[a0, a1], &controllers, AddressMap::interleaved(1)).unwrap_err();
         assert!(matches!(err, ProtocolError::DuplicateOwner { .. }));
     }
 
     #[test]
     fn holders_of_reports_ground_truth() {
         let mut a0 = agent(0);
-        a0.start(twobit_types::MemRef::read(twobit_types::WordAddr::new(9, 0)), Version::initial());
+        a0.start(
+            twobit_types::MemRef::read(twobit_types::WordAddr::new(9, 0)),
+            Version::initial(),
+        );
         a0.on_network(twobit_types::MemoryToCache::GetData {
             k: CacheId::new(0),
             a: BlockAddr::new(9),
@@ -266,7 +274,10 @@ mod tests {
         })
         .unwrap();
         let agents = [a0, agent(1)];
-        assert_eq!(holders_of(&agents, BlockAddr::new(9)), vec![CacheId::new(0)]);
+        assert_eq!(
+            holders_of(&agents, BlockAddr::new(9)),
+            vec![CacheId::new(0)]
+        );
         assert!(holders_of(&agents, BlockAddr::new(10)).is_empty());
     }
 }

@@ -56,10 +56,10 @@ mod directory;
 mod exec;
 mod full_map;
 mod full_map_local;
-mod local;
 pub mod invariants;
-pub mod model_check;
+mod local;
 mod memory;
+pub mod model_check;
 mod owner_set;
 mod tlb;
 mod two_bit;

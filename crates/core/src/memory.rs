@@ -23,7 +23,10 @@ impl MemoryImage {
     /// The current content (version) of block `a`.
     #[must_use]
     pub fn read(&self, a: BlockAddr) -> Version {
-        self.blocks.get(&a).copied().unwrap_or_else(Version::initial)
+        self.blocks
+            .get(&a)
+            .copied()
+            .unwrap_or_else(Version::initial)
     }
 
     /// Overwrites block `a` (a write-back or write-through landing).
@@ -75,7 +78,10 @@ mod tests {
         let mut m = MemoryImage::new();
         m.write(BlockAddr::new(1), Version::new(2));
         m.write(BlockAddr::new(3), Version::new(4));
-        let mut got: Vec<_> = m.written_blocks().map(|(a, v)| (a.number(), v.raw())).collect();
+        let mut got: Vec<_> = m
+            .written_blocks()
+            .map(|(a, v)| (a.number(), v.raw()))
+            .collect();
         got.sort_unstable();
         assert_eq!(got, vec![(1, 2), (3, 4)]);
     }

@@ -35,6 +35,7 @@ use crate::exec::{build_policy_for, build_protocol_for};
 use crate::invariants;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use twobit_obs::{ActorId, NullTracer, SimEvent, Tracer};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, ConfigError, MemRef, MemoryToCache, ModuleId,
     ProtocolError, SystemConfig, Version,
@@ -128,7 +129,10 @@ impl ModelChecker {
                 let mut agent = CacheAgent::new(
                     id,
                     self.config.cache,
-                    build_policy_for(self.config.protocol, crate::exec::DEFAULT_STATIC_SHARED_FROM),
+                    build_policy_for(
+                        self.config.protocol,
+                        crate::exec::DEFAULT_STATIC_SHARED_FROM,
+                    ),
                     self.config.duplicate_directory,
                 );
                 agent.set_bias_entries(self.config.bias_entries);
@@ -197,7 +201,12 @@ impl ModelChecker {
         for emit in emits {
             match emit {
                 CtrlEmit::Unicast { to, cmd, .. } => {
-                    Self::push_msg(state, src, Node::Cache(to.index() as u16), Msg::ToCache(cmd));
+                    Self::push_msg(
+                        state,
+                        src,
+                        Node::Cache(to.index() as u16),
+                        Msg::ToCache(cmd),
+                    );
                 }
                 CtrlEmit::Broadcast { cmd, exclude, .. } => {
                     for cache in CacheId::all(self.config.caches) {
@@ -225,8 +234,11 @@ impl ModelChecker {
                 }
             }
             AccessKind::Read => {
-                let latest =
-                    state.latest_write.get(&op.addr.block).copied().unwrap_or_default();
+                let latest = state
+                    .latest_write
+                    .get(&op.addr.block)
+                    .copied()
+                    .unwrap_or_default();
                 if observed < latest {
                     state.stale_reads += 1;
                 }
@@ -255,8 +267,10 @@ impl ModelChecker {
             }
             Action::Deliver(src, dst) => {
                 let msg = {
-                    let queue =
-                        state.channels.get_mut(&(src, dst)).expect("enabled channel exists");
+                    let queue = state
+                        .channels
+                        .get_mut(&(src, dst))
+                        .expect("enabled channel exists");
                     let msg = queue.remove(0);
                     if queue.is_empty() {
                         state.channels.remove(&(src, dst));
@@ -286,7 +300,11 @@ impl ModelChecker {
     fn check_leaf(&self, state: &State) -> Result<(), ProtocolError> {
         if state.retired != self.total_refs() {
             return Err(ProtocolError::UnexpectedCommand {
-                state: format!("quiescent with {}/{} retired", state.retired, self.total_refs()),
+                state: format!(
+                    "quiescent with {}/{} retired",
+                    state.retired,
+                    self.total_refs()
+                ),
                 command: "deadlock: no enabled actions remain".to_string(),
             });
         }
@@ -310,8 +328,27 @@ impl ModelChecker {
     /// Returns the first [`ProtocolError`] found on any path: a deadlock,
     /// an impossible command, or a quiescent invariant violation.
     pub fn explore_exhaustive(&self, node_budget: u64) -> Result<Exploration, ProtocolError> {
+        self.explore_exhaustive_traced(node_budget, &mut NullTracer)
+    }
+
+    /// [`explore_exhaustive`](ModelChecker::explore_exhaustive), recording
+    /// every applied action into `tracer`. The checker has no clock, so
+    /// events are stamped with a running action counter; when a violation
+    /// is returned, a bounded [`twobit_obs::RingTracer`] therefore ends on
+    /// the actions leading up to it (across DFS branches — the last
+    /// recorded event is always the offending one).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`explore_exhaustive`](ModelChecker::explore_exhaustive).
+    pub fn explore_exhaustive_traced(
+        &self,
+        node_budget: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Exploration, ProtocolError> {
         let mut result = Exploration::default();
         let mut stack = vec![self.initial_state()];
+        let mut steps: u64 = 0;
         while let Some(state) = stack.pop() {
             result.states_visited += 1;
             if result.states_visited > node_budget {
@@ -320,16 +357,64 @@ impl ModelChecker {
             }
             let actions = self.enabled(&state);
             if actions.is_empty() {
-                self.check_leaf(&state)?;
+                if let Err(e) = self.check_leaf(&state) {
+                    if tracer.enabled() {
+                        tracer.record(SimEvent::new(
+                            steps,
+                            ActorId::Network,
+                            BlockAddr::new(0),
+                            format!("leaf check failed: {e}"),
+                        ));
+                    }
+                    return Err(e);
+                }
                 result.interleavings += 1;
                 result.stale_reads_observed += state.stale_reads;
                 continue;
             }
             for action in actions {
+                steps += 1;
+                if tracer.enabled() {
+                    self.trace_action(&state, action, steps, tracer);
+                }
                 stack.push(self.step(state.clone(), action)?);
             }
         }
         Ok(result)
+    }
+
+    /// Records `action` (about to be applied to `state`) as a trace event.
+    fn trace_action(&self, state: &State, action: Action, t: u64, tracer: &mut dyn Tracer) {
+        match action {
+            Action::Issue(i) => {
+                let op = self.script[i][state.cursor[i]];
+                tracer.record(SimEvent::new(
+                    t,
+                    ActorId::Cache(CacheId::new(i)),
+                    op.addr.block,
+                    format!("issue {op}"),
+                ));
+            }
+            Action::Deliver(src, dst) => {
+                let msg = &state.channels[&(src, dst)][0];
+                let (actor, block, text, class) = match (dst, msg) {
+                    (Node::Module(m), Msg::ToModule(cmd)) => (
+                        ActorId::Module(ModuleId::new(m as usize)),
+                        cmd.block(),
+                        cmd.to_string(),
+                        cmd.class(),
+                    ),
+                    (Node::Cache(c), Msg::ToCache(cmd)) => (
+                        ActorId::Cache(CacheId::new(c as usize)),
+                        cmd.block(),
+                        cmd.to_string(),
+                        cmd.class(),
+                    ),
+                    (node, msg) => unreachable!("misrouted {msg:?} at {node:?}"),
+                };
+                tracer.record(SimEvent::new(t, actor, block, text).class(class));
+            }
+        }
     }
 
     /// Seeded random-walk exploration: `walks` complete executions, each
@@ -399,10 +484,7 @@ mod tests {
     #[test]
     fn write_race_is_deadlock_free_in_all_interleavings() {
         for protocol in PROTOCOLS {
-            let mc = checker(
-                protocol,
-                vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]],
-            );
+            let mc = checker(protocol, vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]]);
             let result = mc.explore_exhaustive(2_000_000).unwrap();
             assert!(!result.truncated, "{protocol}: exploration must complete");
             assert!(
@@ -424,11 +506,7 @@ mod tests {
         for protocol in PROTOCOLS {
             let mut config = SystemConfig::with_defaults(2).with_protocol(protocol);
             config.cache = twobit_types::CacheOrg::new(2, 1, 4).unwrap();
-            let mc = ModelChecker::new(
-                config,
-                vec![vec![wr(1), rd(9)], vec![rd(1)]],
-            )
-            .unwrap();
+            let mc = ModelChecker::new(config, vec![vec![wr(1), rd(9)], vec![rd(1)]]).unwrap();
             let result = mc.explore_exhaustive(2_000_000).unwrap();
             assert!(!result.truncated, "{protocol}");
             assert!(result.interleavings > 0, "{protocol}");
@@ -492,9 +570,15 @@ mod tests {
     #[test]
     fn constructor_validates() {
         let config = SystemConfig::with_defaults(2);
-        assert!(ModelChecker::new(config, vec![vec![rd(1)]]).is_err(), "stream count");
+        assert!(
+            ModelChecker::new(config, vec![vec![rd(1)]]).is_err(),
+            "stream count"
+        );
         let mut bus = SystemConfig::with_defaults(2).with_protocol(ProtocolKind::Illinois);
         bus.address_map = twobit_types::AddressMap::interleaved(1);
-        assert!(ModelChecker::new(bus, vec![vec![], vec![]]).is_err(), "bus protocols");
+        assert!(
+            ModelChecker::new(bus, vec![vec![], vec![]]).is_err(),
+            "bus protocols"
+        );
     }
 }

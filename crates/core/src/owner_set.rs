@@ -19,7 +19,10 @@ impl OwnerSet {
     /// An empty set able to hold ids `0..capacity`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        OwnerSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        OwnerSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// A singleton set.
@@ -44,7 +47,11 @@ impl OwnerSet {
     /// cannot represent a cache beyond its design width.
     pub fn insert(&mut self, id: CacheId) -> bool {
         let i = id.index();
-        assert!(i < self.capacity, "cache {id} exceeds map width {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "cache {id} exceeds map width {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let newly = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;

@@ -29,9 +29,7 @@ use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use crate::two_bit::TwoBitDirectory;
 use std::collections::HashMap;
-use twobit_types::{
-    BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
-};
+use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
 
 /// A bounded LRU buffer of exact owner sets.
 #[derive(Debug, Clone)]
@@ -52,7 +50,12 @@ impl TranslationBuffer {
     pub fn new(capacity: usize, width: usize) -> Self {
         assert!(capacity > 0, "a zero-entry buffer is plain two-bit");
         assert!(width > 0, "owner sets need at least one cache");
-        TranslationBuffer { entries: HashMap::new(), capacity, width, clock: 0 }
+        TranslationBuffer {
+            entries: HashMap::new(),
+            capacity,
+            width,
+            clock: 0,
+        }
     }
 
     /// Number of resident entries.
@@ -88,8 +91,10 @@ impl TranslationBuffer {
     pub fn record(&mut self, a: BlockAddr, owners: OwnerSet) {
         self.clock += 1;
         if !self.entries.contains_key(&a) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(addr, (_, stamp))| (*stamp, addr.number()))
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(addr, (_, stamp))| (*stamp, addr.number()))
             {
                 self.entries.remove(&victim);
             }
@@ -162,21 +167,23 @@ impl TwoBitTlbDirectory {
     /// Rewrites each broadcast in `step` into targeted commands when the
     /// buffer knows the exact owners; counts hits/misses per broadcast.
     fn rewrite_broadcasts(&mut self, a: BlockAddr, step: DirStep) -> DirStep {
-        let mut out = DirStep { sends: Vec::new(), ..step };
+        let mut out = DirStep {
+            sends: Vec::new(),
+            ..step
+        };
         for send in step.sends {
             match send {
-                DirSend::Broadcast { cmd, exclude, cost } => {
-                    match self.tlb.lookup(a) {
-                        Some(owners) => {
-                            self.hits += 1;
-                            out.sends.extend(Self::targeted(cmd, &owners, exclude, cost));
-                        }
-                        None => {
-                            self.misses += 1;
-                            out.sends.push(DirSend::Broadcast { cmd, exclude, cost });
-                        }
+                DirSend::Broadcast { cmd, exclude, cost } => match self.tlb.lookup(a) {
+                    Some(owners) => {
+                        self.hits += 1;
+                        out.sends
+                            .extend(Self::targeted(cmd, &owners, exclude, cost));
                     }
-                }
+                    None => {
+                        self.misses += 1;
+                        out.sends.push(DirSend::Broadcast { cmd, exclude, cost });
+                    }
+                },
                 unicast => out.sends.push(unicast),
             }
         }
@@ -248,8 +255,13 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
         let granted = step.sends.iter().any(|s| {
             matches!(
                 s,
-                DirSend::Unicast { cmd: MemoryToCache::MGranted { granted: true, .. }, .. }
-                    | DirSend::Unicast { cmd: MemoryToCache::GetData { .. }, .. }
+                DirSend::Unicast {
+                    cmd: MemoryToCache::MGranted { granted: true, .. },
+                    ..
+                } | DirSend::Unicast {
+                    cmd: MemoryToCache::GetData { .. },
+                    ..
+                }
             )
         });
         let step = self.rewrite_broadcasts(a, step);
@@ -270,7 +282,10 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
         let step = self.inner.supply(a, from, version, retains, mem);
         // Query resolved: the holder set is fully known again.
         let requester = step.sends.iter().find_map(|s| match s {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { k, .. }, .. } => Some(*k),
+            DirSend::Unicast {
+                cmd: MemoryToCache::GetData { k, .. },
+                ..
+            } => Some(*k),
             _ => None,
         });
         if let Some(k) = requester {
@@ -330,7 +345,9 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
                 if *owners == actual {
                     Ok(())
                 } else {
-                    Err(format!("buffered owners {owners} but actual holders {actual}"))
+                    Err(format!(
+                        "buffered owners {owners} but actual holders {actual}"
+                    ))
                 }
             }
             None => Ok(()),
@@ -351,15 +368,23 @@ mod tests {
     }
 
     fn has_broadcast(step: &DirStep) -> bool {
-        step.sends.iter().any(|s| matches!(s, DirSend::Broadcast { .. }))
+        step.sends
+            .iter()
+            .any(|s| matches!(s, DirSend::Broadcast { .. }))
     }
 
     fn unicast_targets(step: &DirStep) -> Vec<CacheId> {
         step.sends
             .iter()
             .filter_map(|s| match s {
-                DirSend::Unicast { cmd: MemoryToCache::Inv { to, .. }, .. }
-                | DirSend::Unicast { cmd: MemoryToCache::Purge { to, .. }, .. } => Some(*to),
+                DirSend::Unicast {
+                    cmd: MemoryToCache::Inv { to, .. },
+                    ..
+                }
+                | DirSend::Unicast {
+                    cmd: MemoryToCache::Purge { to, .. },
+                    ..
+                } => Some(*to),
                 _ => None,
             })
             .collect()
@@ -430,7 +455,11 @@ mod tests {
         d.open(cid(0), a, OpenKind::WriteMiss, &mem); // entry {C0}, PresentM
         let s = d.open(cid(1), a, OpenKind::ReadMiss, &mem);
         assert!(!has_broadcast(&s));
-        assert_eq!(unicast_targets(&s), vec![cid(0)], "purge goes straight to the owner");
+        assert_eq!(
+            unicast_targets(&s),
+            vec![cid(0)],
+            "purge goes straight to the owner"
+        );
         // Resolution re-records exact owners {C0, C1}.
         d.supply(a, cid(0), Version::new(2), true, &mem);
         let s = d.open(cid(2), a, OpenKind::WriteMiss, &mem);
@@ -460,7 +489,11 @@ mod tests {
         d.open(cid(1), a, OpenKind::ReadMiss, &mem); // entry {C0, C1}
         d.eject_clean(cid(0), a);
         let s = d.open(cid(2), a, OpenKind::WriteMiss, &mem);
-        assert_eq!(unicast_targets(&s), vec![cid(1)], "ejector no longer targeted");
+        assert_eq!(
+            unicast_targets(&s),
+            vec![cid(1)],
+            "ejector no longer targeted"
+        );
     }
 
     #[test]
@@ -471,7 +504,12 @@ mod tests {
         let mem = MemoryImage::new();
         for b in 0..16u64 {
             d.open(cid((b % 8) as usize), blk(b), OpenKind::ReadMiss, &mem);
-            let s = d.open(cid(((b + 1) % 8) as usize), blk(b), OpenKind::WriteMiss, &mem);
+            let s = d.open(
+                cid(((b + 1) % 8) as usize),
+                blk(b),
+                OpenKind::WriteMiss,
+                &mem,
+            );
             assert!(!has_broadcast(&s), "block {b} should be tracked");
         }
         assert_eq!(d.tlb_misses(), 0);

@@ -169,7 +169,10 @@ impl DirectoryProtocol for TwoBitDirectory {
         retains: bool,
         _mem: &MemoryImage,
     ) -> DirStep {
-        let waiting = self.waiting.remove(&a).expect("supply without a waiting transaction");
+        let waiting = self
+            .waiting
+            .remove(&a)
+            .expect("supply without a waiting transaction");
         let next = if waiting.write {
             GlobalState::PresentM
         } else if retains {
@@ -254,14 +257,19 @@ mod tests {
         step.sends
             .iter()
             .filter_map(|s| match s {
-                DirSend::Unicast { cmd: MemoryToCache::GetData { k, .. }, .. } => Some(*k),
+                DirSend::Unicast {
+                    cmd: MemoryToCache::GetData { k, .. },
+                    ..
+                } => Some(*k),
                 _ => None,
             })
             .collect()
     }
 
     fn has_broadcast(step: &DirStep) -> bool {
-        step.sends.iter().any(|s| matches!(s, DirSend::Broadcast { .. }))
+        step.sends
+            .iter()
+            .any(|s| matches!(s, DirSend::Broadcast { .. }))
     }
 
     #[test]
@@ -281,7 +289,11 @@ mod tests {
 
         let s = d.open(cid(2), a, OpenKind::ReadMiss, &mem);
         assert!(s.completes);
-        assert_eq!(d.global_state(a), GlobalState::PresentStar, "Present* is absorbing for reads");
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::PresentStar,
+            "Present* is absorbing for reads"
+        );
     }
 
     #[test]
@@ -296,9 +308,17 @@ mod tests {
         assert!(!s.completes);
         assert!(d.awaiting(a));
         match &s.sends[0] {
-            DirSend::Broadcast { cmd: MemoryToCache::BroadQuery { rw, .. }, exclude, .. } => {
+            DirSend::Broadcast {
+                cmd: MemoryToCache::BroadQuery { rw, .. },
+                exclude,
+                ..
+            } => {
                 assert_eq!(*rw, AccessKind::Read);
-                assert_eq!(*exclude, cid(1), "requester is never delivered its own broadcast");
+                assert_eq!(
+                    *exclude,
+                    cid(1),
+                    "requester is never delivered its own broadcast"
+                );
             }
             other => panic!("expected BROADQUERY, got {other:?}"),
         }
@@ -306,9 +326,17 @@ mod tests {
         // Owner supplies, keeping a clean copy.
         let s = d.supply(a, cid(0), Version::new(5), true, &mem);
         assert!(s.completes);
-        assert_eq!(s.write_memory, Some((a, Version::new(5))), "write-back to memory");
+        assert_eq!(
+            s.write_memory,
+            Some((a, Version::new(5))),
+            "write-back to memory"
+        );
         assert_eq!(grants_to(&s), vec![cid(1)]);
-        assert_eq!(d.global_state(a), GlobalState::PresentStar, "two clean copies now exist");
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::PresentStar,
+            "two clean copies now exist"
+        );
         assert!(!d.awaiting(a));
     }
 
@@ -323,7 +351,11 @@ mod tests {
         assert!(!d.eject_satisfies_wait(a, cid(0), WritebackKind::Clean));
         let s = d.supply(a, cid(0), Version::new(9), false, &mem);
         assert!(s.completes);
-        assert_eq!(d.global_state(a), GlobalState::Present1, "only the requester holds a copy");
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::Present1,
+            "only the requester holds a copy"
+        );
     }
 
     #[test]
@@ -337,7 +369,10 @@ mod tests {
         let s = d.open(cid(2), a, OpenKind::WriteMiss, &mem);
         assert!(s.completes, "invalidation needs no response");
         match &s.sends[0] {
-            DirSend::Broadcast { cmd: MemoryToCache::BroadInv { exclude, .. }, .. } => {
+            DirSend::Broadcast {
+                cmd: MemoryToCache::BroadInv { exclude, .. },
+                ..
+            } => {
                 assert_eq!(*exclude, cid(2));
             }
             other => panic!("expected BROADINV, got {other:?}"),
@@ -369,14 +404,24 @@ mod tests {
         let s = d.open(cid(1), a, OpenKind::WriteMiss, &mem);
         assert!(!s.completes);
         match &s.sends[0] {
-            DirSend::Broadcast { cmd: MemoryToCache::BroadQuery { rw, .. }, .. } => {
+            DirSend::Broadcast {
+                cmd: MemoryToCache::BroadQuery { rw, .. },
+                ..
+            } => {
                 assert_eq!(*rw, AccessKind::Write);
             }
             other => panic!("expected BROADQUERY(write), got {other:?}"),
         }
         let s = d.supply(a, cid(0), Version::new(2), false, &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::GetData { exclusive, version, .. }, cost, .. } => {
+            DirSend::Unicast {
+                cmd:
+                    MemoryToCache::GetData {
+                        exclusive, version, ..
+                    },
+                cost,
+                ..
+            } => {
                 assert!(exclusive);
                 assert_eq!(*version, Version::new(2));
                 assert_eq!(*cost, SendCost::DataForwarded);
@@ -396,7 +441,10 @@ mod tests {
         let s = d.open(cid(0), a, OpenKind::Modify(mem.read(a)), &mem);
         assert!(!has_broadcast(&s));
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::MGranted { granted, .. },
+                ..
+            } => {
                 assert!(granted);
             }
             other => panic!("expected MGRANTED, got {other:?}"),
@@ -425,13 +473,20 @@ mod tests {
         d.open(cid(0), a, OpenKind::WriteMiss, &mem); // PresentM at C0
         let s = d.open(cid(1), a, OpenKind::Modify(mem.read(a)), &mem);
         match &s.sends[0] {
-            DirSend::Unicast { cmd: MemoryToCache::MGranted { granted, k, .. }, .. } => {
+            DirSend::Unicast {
+                cmd: MemoryToCache::MGranted { granted, k, .. },
+                ..
+            } => {
                 assert!(!granted);
                 assert_eq!(*k, cid(1));
             }
             other => panic!("expected MGRANTED(false), got {other:?}"),
         }
-        assert_eq!(d.global_state(a), GlobalState::PresentM, "state untouched by stale request");
+        assert_eq!(
+            d.global_state(a),
+            GlobalState::PresentM,
+            "state untouched by stale request"
+        );
     }
 
     #[test]
@@ -484,7 +539,12 @@ mod tests {
     fn write_through_is_a_wiring_bug() {
         let mut d = TwoBitDirectory::new();
         let mem = MemoryImage::new();
-        d.open(cid(0), blk(0), OpenKind::WriteThrough(Version::new(1)), &mem);
+        d.open(
+            cid(0),
+            blk(0),
+            OpenKind::WriteThrough(Version::new(1)),
+            &mem,
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ fn agent(id: usize) -> CacheAgent {
     CacheAgent::new(
         CacheId::new(id),
         CacheOrg::new(4, 2, 4).unwrap(),
-        AgentPolicy::WriteBack { use_exclusive: false },
+        AgentPolicy::WriteBack {
+            use_exclusive: false,
+        },
         false,
     )
 }
@@ -95,7 +97,11 @@ fn data_grant_answering_an_mrequest_is_rejected() {
 fn unsolicited_writeback_data_is_rejected_by_controller() {
     let mut c = controller();
     let err = c
-        .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(1) })
+        .submit(CacheToMemory::PutData {
+            from: cid(0),
+            a: blk(1),
+            version: Version::new(1),
+        })
         .unwrap_err();
     assert!(matches!(err, ProtocolError::UnexpectedCommand { .. }));
 }
@@ -103,14 +109,32 @@ fn unsolicited_writeback_data_is_rejected_by_controller() {
 #[test]
 fn double_supply_for_one_query_is_rejected() {
     let mut c = controller();
-    c.submit(CacheToMemory::Request { k: cid(0), a: blk(1), rw: AccessKind::Write }).unwrap();
-    c.submit(CacheToMemory::Request { k: cid(1), a: blk(1), rw: AccessKind::Read }).unwrap();
+    c.submit(CacheToMemory::Request {
+        k: cid(0),
+        a: blk(1),
+        rw: AccessKind::Write,
+    })
+    .unwrap();
+    c.submit(CacheToMemory::Request {
+        k: cid(1),
+        a: blk(1),
+        rw: AccessKind::Read,
+    })
+    .unwrap();
     // First supply resolves the BROADQUERY.
-    c.submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(2) })
-        .unwrap();
+    c.submit(CacheToMemory::PutData {
+        from: cid(0),
+        a: blk(1),
+        version: Version::new(2),
+    })
+    .unwrap();
     // A second, fabricated supply has no transaction to satisfy.
     let err = c
-        .submit(CacheToMemory::PutData { from: cid(0), a: blk(1), version: Version::new(3) })
+        .submit(CacheToMemory::PutData {
+            from: cid(0),
+            a: blk(1),
+            version: Version::new(3),
+        })
         .unwrap_err();
     assert!(matches!(err, ProtocolError::UnexpectedCommand { .. }));
 }
@@ -120,7 +144,12 @@ fn planted_directory_overclaim_is_detected() {
     // The directory believes Absent while a cache secretly holds a copy.
     let mut c = controller();
     // Give C0 a copy through the legitimate path…
-    c.submit(CacheToMemory::Request { k: cid(0), a: blk(1), rw: AccessKind::Read }).unwrap();
+    c.submit(CacheToMemory::Request {
+        k: cid(0),
+        a: blk(1),
+        rw: AccessKind::Read,
+    })
+    .unwrap();
     let mut a0 = agent(0);
     a0.start(MemRef::read(WordAddr::new(1, 0)), Version::initial());
     a0.on_network(MemoryToCache::GetData {
@@ -138,8 +167,8 @@ fn planted_directory_overclaim_is_detected() {
         wb: twobit_types::WritebackKind::Clean,
     })
     .unwrap();
-    let err = invariants::check_system(&[a0, agent(1)], &[c], AddressMap::interleaved(1))
-        .unwrap_err();
+    let err =
+        invariants::check_system(&[a0, agent(1)], &[c], AddressMap::interleaved(1)).unwrap_err();
     assert!(matches!(err, ProtocolError::DirectoryInconsistent { .. }));
 }
 
@@ -148,7 +177,10 @@ fn fabricated_second_dirty_owner_is_detected() {
     let mut a0 = agent(0);
     let mut a1 = agent(1);
     for (agent, id) in [(&mut a0, 0usize), (&mut a1, 1)] {
-        agent.start(MemRef::write(WordAddr::new(3, 0)), Version::new(1 + id as u64));
+        agent.start(
+            MemRef::write(WordAddr::new(3, 0)),
+            Version::new(1 + id as u64),
+        );
         agent
             .on_network(MemoryToCache::GetData {
                 k: cid(id),
@@ -168,9 +200,14 @@ fn oracle_detects_planted_stale_read() {
     let config = SystemConfig::with_defaults(2).with_protocol(ProtocolKind::TwoBit);
     let mut system = FunctionalSystem::new(config).unwrap();
     // Legitimate traffic first.
-    system.do_ref(cid(0), MemRef::write(WordAddr::new(5, 0))).unwrap();
+    system
+        .do_ref(cid(0), MemRef::write(WordAddr::new(5, 0)))
+        .unwrap();
     // A fabricated stale observation is rejected by the oracle directly.
-    let err = system.oracle().check_read(cid(1), blk(5), Version::initial()).unwrap_err();
+    let err = system
+        .oracle()
+        .check_read(cid(1), blk(5), Version::initial())
+        .unwrap_err();
     assert!(matches!(err, ProtocolError::StaleRead { .. }));
 }
 

@@ -18,8 +18,11 @@ struct Step {
 
 fn steps(n_caches: usize, blocks: u64, len: usize) -> impl Strategy<Value = Vec<Step>> {
     prop::collection::vec(
-        (0..n_caches, 0..blocks, any::<bool>())
-            .prop_map(|(cache, block, write)| Step { cache, block, write }),
+        (0..n_caches, 0..blocks, any::<bool>()).prop_map(|(cache, block, write)| Step {
+            cache,
+            block,
+            write,
+        }),
         1..len,
     )
 }
@@ -189,7 +192,8 @@ fn hot_block_storm_all_protocols() {
         sys.set_check_invariants(true);
         for round in 0..50u64 {
             let writer = CacheId::new((round % 8) as usize);
-            sys.do_ref(writer, MemRef::write(WordAddr::new(0, 0))).unwrap();
+            sys.do_ref(writer, MemRef::write(WordAddr::new(0, 0)))
+                .unwrap();
             for reader in 0..8usize {
                 let c = sys
                     .do_ref(CacheId::new(reader), MemRef::read(WordAddr::new(0, 0)))
@@ -212,8 +216,10 @@ fn migratory_sharing_with_tiny_caches() {
         sys.set_check_invariants(true);
         for round in 0..40u64 {
             let k = CacheId::new((round % 4) as usize);
-            sys.do_ref(k, MemRef::read(WordAddr::new(round % 3, 0))).unwrap();
-            sys.do_ref(k, MemRef::write(WordAddr::new(round % 3, 0))).unwrap();
+            sys.do_ref(k, MemRef::read(WordAddr::new(round % 3, 0)))
+                .unwrap();
+            sys.do_ref(k, MemRef::write(WordAddr::new(round % 3, 0)))
+                .unwrap();
         }
     }
 }

@@ -25,7 +25,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use twobit_types::{CacheId, ModuleId, NetworkStats};
+use twobit_obs::{ActorId, SimEvent, Tracer};
+use twobit_types::{BlockAddr, CacheId, ModuleId, NetworkStats};
 
 /// A network endpoint: a cache or a memory-module controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,6 +56,15 @@ pub enum MessageSize {
     Data,
 }
 
+impl std::fmt::Display for MessageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MessageSize::Command => "cmd",
+            MessageSize::Data => "data",
+        })
+    }
+}
+
 /// A timing model of the interconnection network.
 ///
 /// `schedule` is called once per point delivery (the simulator expands a
@@ -74,6 +84,34 @@ pub trait Network {
 
     /// A short model name for reports.
     fn name(&self) -> &'static str;
+
+    /// Like [`schedule`](Network::schedule), but also records a network
+    /// occupancy event for `block`'s message when `tracer` is enabled.
+    /// The event carries the hop, the payload size, the arrival cycle,
+    /// and — when the destination port was busy — the queueing delay this
+    /// message absorbed, making contention visible per message rather
+    /// than only as the aggregate `queueing_cycles` counter.
+    fn schedule_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: MessageSize,
+        now: u64,
+        block: BlockAddr,
+        tracer: &mut dyn Tracer,
+    ) -> u64 {
+        let queued_before = self.stats().queueing_cycles.get();
+        let arrival = self.schedule(src, dst, size, now);
+        if tracer.enabled() {
+            let queued = self.stats().queueing_cycles.get() - queued_before;
+            let mut text = format!("net {src}->{dst} {size} arr@{arrival}");
+            if queued > 0 {
+                text.push_str(&format!(" (+{queued} queued)"));
+            }
+            tracer.record(SimEvent::new(now, ActorId::Network, block, text));
+        }
+        arrival
+    }
 }
 
 /// Point-to-point network with per-destination input-port contention.
@@ -154,7 +192,12 @@ impl SharedBus {
     /// block transfer.
     #[must_use]
     pub fn new(command_cycles: u64, data_cycles: u64) -> Self {
-        SharedBus { command_cycles, data_cycles, next_free: 0, stats: NetworkStats::default() }
+        SharedBus {
+            command_cycles,
+            data_cycles,
+            next_free: 0,
+            stats: NetworkStats::default(),
+        }
     }
 
     /// The cycle at which the bus next becomes free.
@@ -216,7 +259,10 @@ mod tests {
     #[test]
     fn crossbar_uncontended_delivery_is_wire_latency() {
         let mut x = Crossbar::new(2, 4, 1);
-        assert_eq!(x.schedule(cache(0), module(0), MessageSize::Command, 10), 12);
+        assert_eq!(
+            x.schedule(cache(0), module(0), MessageSize::Command, 10),
+            12
+        );
         assert_eq!(x.schedule(cache(1), module(1), MessageSize::Data, 10), 14);
         assert_eq!(x.stats().deliveries.get(), 2);
         assert_eq!(x.stats().queueing_cycles.get(), 0);
@@ -250,8 +296,9 @@ mod tests {
         let mut x = Crossbar::new(1, 2, 1);
         // A broadcast to 7 caches is 7 schedules; each cache's port sees
         // exactly one message — no shared bottleneck in a crossbar.
-        let arrivals: Vec<u64> =
-            (0..7).map(|i| x.schedule(module(0), cache(i), MessageSize::Command, 0)).collect();
+        let arrivals: Vec<u64> = (0..7)
+            .map(|i| x.schedule(module(0), cache(i), MessageSize::Command, 0))
+            .collect();
         assert!(arrivals.iter().all(|&t| t == 1));
         assert_eq!(x.stats().deliveries.get(), 7);
     }
@@ -267,7 +314,11 @@ mod tests {
         let mut b = SharedBus::new(2, 6);
         assert_eq!(b.schedule(cache(0), module(0), MessageSize::Command, 0), 2);
         assert_eq!(b.schedule(cache(1), module(0), MessageSize::Data, 0), 8);
-        assert_eq!(b.stats().queueing_cycles.get(), 2, "second waited for the bus");
+        assert_eq!(
+            b.stats().queueing_cycles.get(),
+            2,
+            "second waited for the bus"
+        );
         assert_eq!(b.next_free(), 8);
     }
 

@@ -1,0 +1,437 @@
+//! The structured trace record and its JSONL wire form.
+//!
+//! Every observable protocol step becomes one [`SimEvent`]. The JSON
+//! encoding is hand-rolled (the workspace is offline; there is no
+//! `serde_json`) but stable and round-trippable: [`SimEvent::to_jsonl`]
+//! and [`SimEvent::from_jsonl`] are exact inverses, which the
+//! determinism regression test relies on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use twobit_types::{BlockAddr, CacheId, CommandClass, GlobalState, LineState, ModuleId, TxnId};
+
+/// The locus of control an event happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActorId {
+    /// A processor–cache pair `C_k`.
+    Cache(CacheId),
+    /// A memory-controller module `K_j`.
+    Module(ModuleId),
+    /// The interconnection network itself (occupancy / fan-out events).
+    Network,
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorId::Cache(k) => write!(f, "{k}"),
+            ActorId::Module(m) => write!(f, "{m}"),
+            ActorId::Network => f.write_str("NET"),
+        }
+    }
+}
+
+impl ActorId {
+    /// Parses the display form (`C3`, `M0`, `NET`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ActorId> {
+        if s == "NET" {
+            return Some(ActorId::Network);
+        }
+        let (tag, num) = s.split_at(1.min(s.len()));
+        let idx: usize = num.parse().ok()?;
+        match tag {
+            "C" => Some(ActorId::Cache(CacheId::new(idx))),
+            "M" => Some(ActorId::Module(ModuleId::new(idx))),
+            _ => None,
+        }
+    }
+
+    /// A sort key grouping caches first (by index), then modules, then the
+    /// network — the lane order of the timeline renderer.
+    #[must_use]
+    pub fn lane_order(self) -> (u8, usize) {
+        match self {
+            ActorId::Cache(k) => (0, k.index()),
+            ActorId::Module(m) => (1, m.index()),
+            ActorId::Network => (2, 0),
+        }
+    }
+}
+
+/// A before→after state transition carried by an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateChange<S> {
+    /// State before the step.
+    pub from: S,
+    /// State after the step.
+    pub to: S,
+}
+
+impl<S> StateChange<S> {
+    /// Builds a change record.
+    pub fn new(from: S, to: S) -> Self {
+        StateChange { from, to }
+    }
+}
+
+/// One observable protocol step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Simulated cycle the step happened at.
+    pub t: u64,
+    /// Where it happened.
+    pub actor: ActorId,
+    /// The block concerned.
+    pub block: BlockAddr,
+    /// Human-readable command text (Table 3-1 spelling, e.g.
+    /// `REQUEST(C0, blk:0x10, read)` or `deliver BROADINV(...)`).
+    pub cmd: String,
+    /// The command's class, when the step is a protocol command.
+    pub class: Option<CommandClass>,
+    /// Directory (global) state transition, when the step changed one.
+    pub global: Option<StateChange<GlobalState>>,
+    /// Cache-line (local) state transition, when the step changed one.
+    pub local: Option<StateChange<LineState>>,
+    /// The controller transaction this step belongs to, when known.
+    pub txn: Option<TxnId>,
+    /// Whether the step was *useless* in the paper's sense: a delivered
+    /// coherence command that found no copy of the block.
+    pub useless: bool,
+}
+
+impl SimEvent {
+    /// A minimal event; optional fields start empty.
+    #[must_use]
+    pub fn new(t: u64, actor: ActorId, block: BlockAddr, cmd: impl Into<String>) -> Self {
+        SimEvent {
+            t,
+            actor,
+            block,
+            cmd: cmd.into(),
+            class: None,
+            global: None,
+            local: None,
+            txn: None,
+            useless: false,
+        }
+    }
+
+    /// Sets the command class (builder style).
+    #[must_use]
+    pub fn class(mut self, class: CommandClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Sets the global-state transition (builder style).
+    #[must_use]
+    pub fn global(mut self, from: GlobalState, to: GlobalState) -> Self {
+        self.global = Some(StateChange::new(from, to));
+        self
+    }
+
+    /// Sets the local-state transition (builder style).
+    #[must_use]
+    pub fn local(mut self, from: LineState, to: LineState) -> Self {
+        self.local = Some(StateChange::new(from, to));
+        self
+    }
+
+    /// Sets the transaction id (builder style).
+    #[must_use]
+    pub fn txn(mut self, txn: TxnId) -> Self {
+        self.txn = Some(txn);
+        self
+    }
+
+    /// Marks the event useless (builder style).
+    #[must_use]
+    pub fn useless(mut self, useless: bool) -> Self {
+        self.useless = useless;
+        self
+    }
+
+    /// Encodes as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t\":");
+        s.push_str(&self.t.to_string());
+        s.push_str(",\"actor\":\"");
+        s.push_str(&self.actor.to_string());
+        s.push_str("\",\"block\":");
+        s.push_str(&self.block.number().to_string());
+        s.push_str(",\"cmd\":\"");
+        escape_into(&self.cmd, &mut s);
+        s.push('"');
+        if let Some(c) = self.class {
+            s.push_str(",\"class\":\"");
+            s.push_str(&c.to_string());
+            s.push('"');
+        }
+        if let Some(g) = self.global {
+            s.push_str(",\"global\":\"");
+            s.push_str(&format!("{}>{}", g.from, g.to));
+            s.push('"');
+        }
+        if let Some(l) = self.local {
+            s.push_str(",\"local\":\"");
+            s.push_str(&format!("{}>{}", l.from, l.to));
+            s.push('"');
+        }
+        if let Some(txn) = self.txn {
+            s.push_str(",\"txn\":");
+            s.push_str(&txn.raw().to_string());
+        }
+        s.push_str(",\"useless\":");
+        s.push_str(if self.useless { "true" } else { "false" });
+        s.push('}');
+        s
+    }
+
+    /// Decodes one JSON object produced by [`to_jsonl`](Self::to_jsonl).
+    /// Returns `None` on malformed input.
+    #[must_use]
+    pub fn from_jsonl(line: &str) -> Option<SimEvent> {
+        let fields = parse_object(line.trim())?;
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let t = match get("t")? {
+            JsonVal::Num(n) => *n,
+            _ => return None,
+        };
+        let actor = match get("actor")? {
+            JsonVal::Str(s) => ActorId::parse(s)?,
+            _ => return None,
+        };
+        let block = match get("block")? {
+            JsonVal::Num(n) => BlockAddr::new(*n),
+            _ => return None,
+        };
+        let cmd = match get("cmd")? {
+            JsonVal::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let class = match get("class") {
+            Some(JsonVal::Str(s)) => Some(parse_class(s)?),
+            Some(_) => return None,
+            None => None,
+        };
+        let global = match get("global") {
+            Some(JsonVal::Str(s)) => {
+                let (from, to) = s.split_once('>')?;
+                Some(StateChange::new(parse_global(from)?, parse_global(to)?))
+            }
+            Some(_) => return None,
+            None => None,
+        };
+        let local = match get("local") {
+            Some(JsonVal::Str(s)) => {
+                let (from, to) = s.split_once('>')?;
+                Some(StateChange::new(parse_local(from)?, parse_local(to)?))
+            }
+            Some(_) => return None,
+            None => None,
+        };
+        let txn = match get("txn") {
+            Some(JsonVal::Num(n)) => Some(TxnId::new(*n)),
+            Some(_) => return None,
+            None => None,
+        };
+        let useless = match get("useless")? {
+            JsonVal::Bool(b) => *b,
+            _ => return None,
+        };
+        Some(SimEvent {
+            t,
+            actor,
+            block,
+            cmd,
+            class,
+            global,
+            local,
+            txn,
+            useless,
+        })
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A flat JSON value (the encoding above never nests).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+/// Parses a flat JSON object `{"k":v,...}` with string/number/bool values.
+fn parse_object(s: &str) -> Option<Vec<(String, JsonVal)>> {
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < chars.len() {
+        // Key.
+        let (key, rest) = parse_string(&chars, i)?;
+        i = rest;
+        if chars.get(i) != Some(&':') {
+            return None;
+        }
+        i += 1;
+        // Value.
+        match chars.get(i)? {
+            '"' => {
+                let (val, rest) = parse_string(&chars, i)?;
+                i = rest;
+                fields.push((key, JsonVal::Str(val)));
+            }
+            't' if chars[i..].starts_with(&['t', 'r', 'u', 'e']) => {
+                i += 4;
+                fields.push((key, JsonVal::Bool(true)));
+            }
+            'f' if chars[i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+                i += 5;
+                fields.push((key, JsonVal::Bool(false)));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let num: String = chars[start..i].iter().collect();
+                fields.push((key, JsonVal::Num(num.parse().ok()?)));
+            }
+            _ => return None,
+        }
+        match chars.get(i) {
+            Some(',') => i += 1,
+            None => break,
+            _ => return None,
+        }
+    }
+    Some(fields)
+}
+
+/// Parses a quoted string starting at `chars[i]`; returns (value, index
+/// past the closing quote).
+fn parse_string(chars: &[char], i: usize) -> Option<(String, usize)> {
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '"' => return Some((out, j + 1)),
+            '\\' => {
+                j += 1;
+                match chars.get(j)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' => {
+                        let hex: String = chars.get(j + 1..j + 5)?.iter().collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        j += 4;
+                    }
+                    _ => return None,
+                }
+                j += 1;
+            }
+            c => {
+                out.push(c);
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+fn parse_class(s: &str) -> Option<CommandClass> {
+    CommandClass::ALL.into_iter().find(|c| c.to_string() == s)
+}
+
+fn parse_global(s: &str) -> Option<GlobalState> {
+    GlobalState::ALL.into_iter().find(|g| g.to_string() == s)
+}
+
+fn parse_local(s: &str) -> Option<LineState> {
+    [LineState::Invalid, LineState::Clean, LineState::Dirty]
+        .into_iter()
+        .find(|l| l.to_string() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_parse_roundtrip() {
+        for a in [
+            ActorId::Cache(CacheId::new(7)),
+            ActorId::Module(ModuleId::new(2)),
+            ActorId::Network,
+        ] {
+            assert_eq!(ActorId::parse(&a.to_string()), Some(a));
+        }
+        assert_eq!(ActorId::parse("X9"), None);
+        assert_eq!(ActorId::parse(""), None);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_minimal() {
+        let ev = SimEvent::new(0, ActorId::Network, BlockAddr::new(0), "noop");
+        assert_eq!(SimEvent::from_jsonl(&ev.to_jsonl()), Some(ev));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_full() {
+        let ev = SimEvent::new(
+            1234,
+            ActorId::Module(ModuleId::new(1)),
+            BlockAddr::new(0x40),
+            "MREQUEST(C3, blk:0x40, v7) \"quoted\\slash\"",
+        )
+        .class(CommandClass::MRequest)
+        .global(GlobalState::PresentStar, GlobalState::PresentM)
+        .local(LineState::Clean, LineState::Dirty)
+        .txn(TxnId::new(99))
+        .useless(true);
+        let line = ev.to_jsonl();
+        assert_eq!(SimEvent::from_jsonl(&line), Some(ev));
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert_eq!(SimEvent::from_jsonl(""), None);
+        assert_eq!(SimEvent::from_jsonl("{}"), None);
+        assert_eq!(SimEvent::from_jsonl("{\"t\":1}"), None);
+        assert_eq!(SimEvent::from_jsonl("not json at all"), None);
+    }
+
+    #[test]
+    fn present_star_survives_roundtrip() {
+        // "Present*" contains a non-identifier character; make sure the
+        // name-based encoding handles it.
+        let ev = SimEvent::new(5, ActorId::Cache(CacheId::new(0)), BlockAddr::new(1), "x")
+            .global(GlobalState::Present1, GlobalState::PresentStar);
+        assert_eq!(SimEvent::from_jsonl(&ev.to_jsonl()), Some(ev));
+    }
+}

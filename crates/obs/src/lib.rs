@@ -1,0 +1,34 @@
+//! Observability for the `twobit` cache-coherence simulator.
+//!
+//! Three layers, all independent of the protocol logic:
+//!
+//! * **Tracing** ([`Tracer`], [`SimEvent`]) — a structured record of every
+//!   protocol step (command issued, command delivered, directory state
+//!   transition), with three sinks: [`NullTracer`] (the zero-cost
+//!   default), [`RingTracer`] (a bounded buffer for post-mortem dumps
+//!   when an invariant trips), and [`JsonlTracer`] (streams one JSON
+//!   object per event to any writer).
+//! * **Metrics** ([`Metrics`]) — fixed-bucket latency histograms per
+//!   transaction class, sampled queue-depth / outstanding-transaction
+//!   gauges, and per-cache useless-command counters that reconcile
+//!   exactly with the legacy [`twobit_types::CacheStats`] totals.
+//! * **Timelines** ([`render_block_timeline`]) — per-block lane diagrams
+//!   of the traced events, the tool for *seeing* the section 3.2.5 races
+//!   (stale `MREQUEST` crossing a `BROADINV`, replacement crossing a
+//!   recall) instead of inferring them from aggregate counters.
+//!
+//! The crate depends only on `twobit-types`; every other crate in the
+//! workspace can layer it in without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod timeline;
+pub mod tracer;
+
+pub use event::{ActorId, SimEvent, StateChange};
+pub use metrics::{Gauge, Histogram, LatencySummary, Metrics, MetricsSummary, TxnClass};
+pub use timeline::render_block_timeline;
+pub use tracer::{JsonlTracer, NullTracer, RingTracer, Tracer};

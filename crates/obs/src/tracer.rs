@@ -1,0 +1,263 @@
+//! Trace sinks: null (free), ring (post-mortem), JSONL (streaming).
+
+use crate::event::SimEvent;
+use std::io::Write;
+
+/// A sink for [`SimEvent`]s.
+///
+/// Call sites must guard event construction with [`enabled`]:
+///
+/// ```
+/// use twobit_obs::{NullTracer, SimEvent, Tracer, ActorId};
+/// use twobit_types::BlockAddr;
+/// let mut tracer = NullTracer;
+/// if tracer.enabled() {
+///     // Never reached for NullTracer: the String for `cmd` is not even
+///     // allocated, which is what keeps the default path zero-cost.
+///     tracer.record(SimEvent::new(0, ActorId::Network, BlockAddr::new(0), "x"));
+/// }
+/// ```
+///
+/// [`enabled`]: Tracer::enabled
+///
+/// The `Debug` supertrait lets simulators hold a `Box<dyn Tracer>` while
+/// still deriving `Debug` themselves.
+pub trait Tracer: std::fmt::Debug {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, ev: SimEvent);
+
+    /// Flushes any buffered output (JSONL sink).
+    fn flush(&mut self) {}
+}
+
+/// The zero-cost default: [`Tracer::enabled`] is `false`, so guarded call
+/// sites skip event construction entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: SimEvent) {}
+}
+
+/// A bounded ring buffer keeping the most recent events, for dumping when
+/// an invariant violation or deadlock is detected: the interesting steps
+/// are always the last few before the failure.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    buf: Vec<SimEvent>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl RingTracer {
+    /// A ring holding at most `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring tracer capacity must be positive");
+        RingTracer {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<&SimEvent> {
+        if self.buf.len() < self.cap {
+            self.buf.iter().collect()
+        } else {
+            self.buf[self.next..]
+                .iter()
+                .chain(self.buf[..self.next].iter())
+                .collect()
+        }
+    }
+
+    /// Total events ever recorded (retained or overwritten).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Renders the retained events as a post-mortem dump, one line each.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let events = self.events();
+        let dropped = self.total - events.len() as u64;
+        if dropped > 0 {
+            out.push_str(&format!("... {dropped} earlier events overwritten ...\n"));
+        }
+        for ev in events {
+            out.push_str(&format!(
+                "t={:<8} {:<5} {:<12} {}{}\n",
+                ev.t,
+                ev.actor.to_string(),
+                ev.block.to_string(),
+                ev.cmd,
+                if ev.useless { "  (useless)" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+impl Tracer for RingTracer {
+    fn record(&mut self, ev: SimEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+}
+
+/// Streams events as JSON Lines to a writer.
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write + std::fmt::Debug> {
+    w: W,
+    lines: u64,
+}
+
+impl<W: Write + std::fmt::Debug> JsonlTracer<W> {
+    /// A tracer writing to `w`.
+    pub fn new(w: W) -> Self {
+        JsonlTracer { w, lines: 0 }
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: Write + std::fmt::Debug> Tracer for JsonlTracer<W> {
+    fn record(&mut self, ev: SimEvent) {
+        // Trace I/O errors must not abort a simulation; a short trace is
+        // better than a crashed run, so errors are swallowed here.
+        if writeln!(self.w, "{}", ev.to_jsonl()).is_ok() {
+            self.lines += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ActorId;
+    use twobit_types::BlockAddr;
+
+    fn ev(t: u64) -> SimEvent {
+        SimEvent::new(t, ActorId::Network, BlockAddr::new(t), format!("e{t}"))
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let t = NullTracer;
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_order_before_wrap() {
+        let mut r = RingTracer::new(4);
+        for t in 0..3 {
+            r.record(ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 3);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let mut r = RingTracer::new(4);
+        for t in 0..10 {
+            r.record(ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest-first, newest retained");
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 10);
+        assert!(r.dump().contains("6 earlier events overwritten"));
+    }
+
+    #[test]
+    fn ring_exact_capacity_boundary() {
+        let mut r = RingTracer::new(3);
+        for t in 0..3 {
+            r.record(ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+        r.record(ev(3));
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        let _ = RingTracer::new(0);
+    }
+
+    #[test]
+    fn jsonl_streams_and_roundtrips() {
+        let mut t = JsonlTracer::new(Vec::new());
+        for i in 0..5 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.lines_written(), 5);
+        let bytes = t.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<SimEvent> = text
+            .lines()
+            .map(|l| SimEvent::from_jsonl(l).expect("valid line"))
+            .collect();
+        assert_eq!(parsed.len(), 5);
+        for (i, p) in parsed.iter().enumerate() {
+            assert_eq!(*p, ev(i as u64));
+        }
+    }
+}

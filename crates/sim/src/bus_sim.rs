@@ -3,7 +3,8 @@
 
 use crate::report::Report;
 use twobit_bus::{BusProtocolKind, BusSystem};
-use twobit_types::{CacheId, ConfigError, ProtocolError, ProtocolKind, SystemConfig};
+use twobit_obs::{ActorId, Metrics, NullTracer, SimEvent, Tracer, TxnClass};
+use twobit_types::{AccessKind, CacheId, ConfigError, ProtocolError, ProtocolKind, SystemConfig};
 use twobit_workload::Workload;
 
 /// A snooping-bus run: transaction-atomic execution (the bus serializes
@@ -12,6 +13,8 @@ use twobit_workload::Workload;
 pub struct BusSim {
     config: SystemConfig,
     system: BusSystem,
+    tracer: Box<dyn Tracer>,
+    metrics: Metrics,
 }
 
 impl BusSim {
@@ -33,7 +36,26 @@ impl BusSim {
             }
         };
         let system = BusSystem::new(kind, config.caches, config.cache)?;
-        Ok(BusSim { config, system })
+        let metrics = Metrics::new(config.caches, 1);
+        Ok(BusSim {
+            config,
+            system,
+            tracer: Box::new(NullTracer),
+            metrics,
+        })
+    }
+
+    /// Installs a trace sink (default [`NullTracer`]). Bus references are
+    /// atomic, so the trace is one event per reference, stamped with the
+    /// bus-cycle clock.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the installed tracer (replacing it with
+    /// [`NullTracer`]).
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NullTracer))
     }
 
     /// Runs `refs_per_cpu` references per CPU, round-robin (the bus
@@ -50,12 +72,53 @@ impl BusSim {
         for _ in 0..refs_per_cpu {
             for k in CacheId::all(self.config.caches) {
                 let op = workload.next_ref(k);
-                self.system.do_ref(k, op)?;
+                let before = self.system.bus_cycles();
+                let completion = self.system.do_ref(k, op)?;
+                let after = self.system.bus_cycles();
+                if !completion.was_hit {
+                    // The bus serializes a whole transaction inside
+                    // `do_ref`; the cycles it consumed are the reference's
+                    // end-to-end latency. Write hits needing an upgrade
+                    // ride the write-miss class: the atomic adapter cannot
+                    // see the pre-transaction line state.
+                    let class = match op.kind {
+                        AccessKind::Read => TxnClass::ReadMiss,
+                        AccessKind::Write => TxnClass::WriteMiss,
+                    };
+                    self.metrics.record_latency(class, after - before);
+                }
+                if self.tracer.enabled() {
+                    self.tracer.record(SimEvent::new(
+                        after,
+                        ActorId::Cache(k),
+                        op.addr.block,
+                        format!(
+                            "{op} ({})",
+                            if completion.was_hit { "hit" } else { "bus txn" }
+                        ),
+                    ));
+                }
             }
         }
         let stats = self.system.stats();
+        // The per-command snoop stream is internal to `BusSystem`; seed
+        // the registry's per-cache counters from its totals so the
+        // summary (and reconciliation) stay exact.
+        for (i, cache) in stats.caches.iter().enumerate() {
+            self.metrics.seed_cache_totals(
+                CacheId::new(i),
+                cache.commands_received.get(),
+                cache.useless_commands.get(),
+            );
+        }
         let cycles = self.system.bus_cycles();
-        Ok(Report { protocol: self.config.protocol, stats, cycles })
+        self.tracer.flush();
+        Ok(Report {
+            protocol: self.config.protocol,
+            stats,
+            cycles,
+            obs: Some(self.metrics.summary()),
+        })
     }
 }
 
@@ -79,7 +142,10 @@ mod tests {
             let report = sim.run(workload, 500).unwrap();
             assert_eq!(report.stats.total_references(), 2000);
             assert!(report.cycles > 0, "bus occupancy accumulates");
-            assert!(report.commands_per_reference() > 0.0, "every miss is snooped");
+            assert!(
+                report.commands_per_reference() > 0.0,
+                "every miss is snooped"
+            );
         }
     }
 

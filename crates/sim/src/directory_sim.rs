@@ -6,11 +6,24 @@ use twobit_core::{
     invariants, AgentPolicy, CacheAgent, Controller, CtrlEmit, SendCost, DEFAULT_STATIC_SHARED_FROM,
 };
 use twobit_interconnect::{Crossbar, MessageSize, Network, NodeId};
+use twobit_obs::{ActorId, Metrics, NullTracer, SimEvent, Tracer, TxnClass};
 use twobit_types::{
-    AccessKind, CacheId, CacheToMemory, ConfigError, ModuleId, ProtocolError,
-    ProtocolKind, SystemConfig, SystemStats, Version,
+    AccessKind, CacheId, CacheToMemory, ConfigError, ModuleId, ProtocolError, ProtocolKind,
+    SystemConfig, SystemStats, TxnId, Version,
 };
 use twobit_workload::Workload;
+
+/// Default gauge sampling cadence, in cycles.
+const DEFAULT_METRICS_CADENCE: u64 = 64;
+
+/// An open (started, not yet retired) cache transaction, for latency
+/// accounting and trace correlation.
+#[derive(Debug, Clone, Copy)]
+struct PendingTxn {
+    class: TxnClass,
+    start: u64,
+    id: TxnId,
+}
 
 /// A timed directory-protocol simulation.
 ///
@@ -31,27 +44,36 @@ pub struct DirectorySim {
     version_counter: u64,
     refs_done: Vec<u64>,
     refs_target: u64,
+    tracer: Box<dyn Tracer>,
+    metrics: Metrics,
+    pending: Vec<Option<PendingTxn>>,
+    txn_counter: u64,
 }
 
 /// Builds the agent policy for a directory protocol (mirrors the
 /// functional executor's wiring).
 fn policy_for(protocol: ProtocolKind) -> AgentPolicy {
     match protocol {
-        ProtocolKind::FullMapLocal => AgentPolicy::WriteBack { use_exclusive: true },
+        ProtocolKind::FullMapLocal => AgentPolicy::WriteBack {
+            use_exclusive: true,
+        },
         ProtocolKind::ClassicalWriteThrough => AgentPolicy::WriteThrough,
-        ProtocolKind::StaticSoftware => {
-            AgentPolicy::Static { shared_from: DEFAULT_STATIC_SHARED_FROM }
-        }
-        _ => AgentPolicy::WriteBack { use_exclusive: false },
+        ProtocolKind::StaticSoftware => AgentPolicy::Static {
+            shared_from: DEFAULT_STATIC_SHARED_FROM,
+        },
+        _ => AgentPolicy::WriteBack {
+            use_exclusive: false,
+        },
     }
 }
 
 fn protocol_for(config: &SystemConfig) -> Box<dyn twobit_core::DirectoryProtocol> {
     match config.protocol {
         ProtocolKind::TwoBit => Box::new(twobit_core::TwoBitDirectory::new()),
-        ProtocolKind::TwoBitTlb { entries } => {
-            Box::new(twobit_core::TwoBitTlbDirectory::new(entries as usize, config.caches))
-        }
+        ProtocolKind::TwoBitTlb { entries } => Box::new(twobit_core::TwoBitTlbDirectory::new(
+            entries as usize,
+            config.caches,
+        )),
         ProtocolKind::FullMap => Box::new(twobit_core::FullMapDirectory::new(config.caches)),
         ProtocolKind::FullMapLocal => {
             Box::new(twobit_core::FullMapLocalDirectory::new(config.caches))
@@ -74,7 +96,9 @@ impl DirectorySim {
     pub fn build(config: SystemConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         if config.protocol.is_bus_based() {
-            return Err(ConfigError::new("bus protocols are handled by System via BusSim"));
+            return Err(ConfigError::new(
+                "bus protocols are handled by System via BusSim",
+            ));
         }
         let agents = CacheId::all(config.caches)
             .map(|id| {
@@ -106,7 +130,79 @@ impl DirectorySim {
             version_counter: 0,
             refs_done: vec![0; config.caches],
             refs_target: 0,
+            tracer: Box::new(NullTracer),
+            metrics: Metrics::new(config.caches, DEFAULT_METRICS_CADENCE),
+            pending: vec![None; config.caches],
+            txn_counter: 0,
         })
+    }
+
+    /// Installs a trace sink. The default is [`NullTracer`]; call-sites
+    /// guard on `enabled()`, so the default run never even formats event
+    /// strings.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the installed tracer (replacing it with
+    /// [`NullTracer`]), so ring buffers can be dumped and JSONL writers
+    /// recovered after a run.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NullTracer))
+    }
+
+    /// The metrics registry (latency histograms, gauges, per-cache
+    /// command counters).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets the registry with a new gauge sampling cadence. Only
+    /// meaningful before [`run`](DirectorySim::run).
+    pub fn set_metrics_cadence(&mut self, cadence: u64) {
+        self.metrics = Metrics::new(self.config.caches, cadence);
+    }
+
+    /// Transactions currently open (started, unretired).
+    fn outstanding(&self) -> u64 {
+        self.pending.iter().filter(|p| p.is_some()).count() as u64
+    }
+
+    /// Opens a latency-tracked transaction for `cpu`.
+    fn open_txn(&mut self, cpu: CacheId, class: TxnClass, start: u64) -> TxnId {
+        self.txn_counter += 1;
+        let id = TxnId::new(self.txn_counter);
+        self.pending[cpu.index()] = Some(PendingTxn { class, start, id });
+        id
+    }
+
+    /// Classifies the transaction a stalled issue opened, from the
+    /// commands it emitted. `MGRANTED(no)` retries convert a pending
+    /// modify into a write miss on the wire, but the transaction keeps
+    /// its original class: latency is attributed to what the processor
+    /// *asked for*.
+    fn classify_open(sends: &[CacheToMemory], kind: AccessKind) -> TxnClass {
+        sends
+            .iter()
+            .find_map(|cmd| match cmd {
+                CacheToMemory::MRequest { .. } => Some(TxnClass::WriteHitUnmod),
+                CacheToMemory::Request {
+                    rw: AccessKind::Read,
+                    ..
+                }
+                | CacheToMemory::DirectRead { .. } => Some(TxnClass::ReadMiss),
+                CacheToMemory::Request {
+                    rw: AccessKind::Write,
+                    ..
+                }
+                | CacheToMemory::WriteThrough { .. } => Some(TxnClass::WriteMiss),
+                _ => None,
+            })
+            .unwrap_or(match kind {
+                AccessKind::Read => TxnClass::ReadMiss,
+                AccessKind::Write => TxnClass::WriteMiss,
+            })
     }
 
     fn fresh_version(&mut self) -> Version {
@@ -122,9 +218,23 @@ impl DirectorySim {
                 _ => MessageSize::Command,
             };
             self.network.note_injection(size);
-            let arrival =
-                self.network.schedule(NodeId::Cache(from), NodeId::Module(module), size, base);
-            self.queue.push(arrival, Event::DeliverToModule { module, cmd });
+            let arrival = self.network.schedule_traced(
+                NodeId::Cache(from),
+                NodeId::Module(module),
+                size,
+                base,
+                cmd.block(),
+                self.tracer.as_mut(),
+            );
+            // The replacement "transaction" (EJECT, optionally followed by
+            // the write-back put) never stalls the processor, so its
+            // latency is the eject notice's injection-to-delivery time.
+            if matches!(cmd, CacheToMemory::Eject { .. }) {
+                self.metrics
+                    .record_latency(TxnClass::Replacement, arrival - base);
+            }
+            self.queue
+                .push(arrival, Event::DeliverToModule { module, cmd });
         }
     }
 
@@ -134,20 +244,26 @@ impl DirectorySim {
                 CtrlEmit::Unicast { to, cmd, cost } => {
                     let (size, extra) = match cost {
                         SendCost::Command => (MessageSize::Command, 0),
-                        SendCost::DataFromMemory => {
-                            (MessageSize::Data, self.config.latency.memory)
-                        }
+                        SendCost::DataFromMemory => (MessageSize::Data, self.config.latency.memory),
                         SendCost::DataForwarded => (MessageSize::Data, 0),
                     };
                     self.network.note_injection(size);
                     let inject = base + self.config.latency.controller + extra;
-                    let arrival = self.network.schedule(
+                    let arrival = self.network.schedule_traced(
                         NodeId::Module(module),
                         NodeId::Cache(to),
                         size,
                         inject,
+                        cmd.block(),
+                        self.tracer.as_mut(),
                     );
-                    self.queue.push(arrival, Event::DeliverToCache { cache: to, msg: cmd });
+                    self.queue.push(
+                        arrival,
+                        Event::DeliverToCache {
+                            cache: to,
+                            msg: cmd,
+                        },
+                    );
                 }
                 CtrlEmit::Broadcast { cmd, exclude, cost } => {
                     let size = match cost {
@@ -156,17 +272,31 @@ impl DirectorySim {
                     };
                     self.network.note_injection(size);
                     let inject = base + self.config.latency.controller;
+                    if self.tracer.enabled() {
+                        self.tracer.record(SimEvent::new(
+                            inject,
+                            ActorId::Network,
+                            cmd.block(),
+                            format!(
+                                "fanout {cmd} from {module} to {} caches",
+                                self.config.caches - 1
+                            ),
+                        ));
+                    }
                     for cache in CacheId::all(self.config.caches) {
                         if cache == exclude {
                             continue;
                         }
-                        let arrival = self.network.schedule(
+                        let arrival = self.network.schedule_traced(
                             NodeId::Module(module),
                             NodeId::Cache(cache),
                             size,
                             inject,
+                            cmd.block(),
+                            self.tracer.as_mut(),
                         );
-                        self.queue.push(arrival, Event::DeliverToCache { cache, msg: cmd });
+                        self.queue
+                            .push(arrival, Event::DeliverToCache { cache, msg: cmd });
                     }
                 }
             }
@@ -199,9 +329,11 @@ impl DirectorySim {
         }
         // Liveness guard: with blocking caches, a reference takes a
         // bounded number of cycles; budget generously.
-        let budget = self
-            .now
-            .saturating_add(refs_per_cpu.saturating_mul(10_000).saturating_add(1_000_000));
+        let budget = self.now.saturating_add(
+            refs_per_cpu
+                .saturating_mul(10_000)
+                .saturating_add(1_000_000),
+        );
 
         while let Some((time, event)) = self.queue.pop() {
             debug_assert!(time >= self.now, "time went backwards");
@@ -224,6 +356,26 @@ impl DirectorySim {
                     };
                     let outcome = self.agents[cpu.index()].start(op, version);
                     let base = self.now;
+                    let txn = if outcome.completed.is_some() {
+                        None
+                    } else {
+                        let class = Self::classify_open(&outcome.sends, op.kind);
+                        let id = self.open_txn(cpu, class, base);
+                        self.metrics.outstanding.observe(base, self.outstanding());
+                        Some(id)
+                    };
+                    if self.tracer.enabled() {
+                        let mut ev = SimEvent::new(
+                            base,
+                            ActorId::Cache(cpu),
+                            op.addr.block,
+                            format!("issue {op}"),
+                        );
+                        if let Some(id) = txn {
+                            ev = ev.txn(id);
+                        }
+                        self.tracer.record(ev);
+                    }
                     self.dispatch_to_memory(cpu, outcome.sends, base);
                     if outcome.completed.is_some() {
                         self.refs_done[cpu.index()] += 1;
@@ -233,9 +385,67 @@ impl DirectorySim {
                     // reschedules it.
                 }
                 Event::DeliverToCache { cache, msg } => {
+                    let useless_before = self.agents[cache.index()].stats().useless_commands.get();
+                    let local_before = if self.tracer.enabled() {
+                        Some(
+                            self.agents[cache.index()]
+                                .cache()
+                                .state_of(msg.block())
+                                .as_line_state(),
+                        )
+                    } else {
+                        None
+                    };
                     let out = self.agents[cache.index()].on_network(msg)?;
                     let base = self.now
-                        + if out.counted { self.config.latency.snoop_service } else { 0 };
+                        + if out.counted {
+                            self.config.latency.snoop_service
+                        } else {
+                            0
+                        };
+                    // `counted` is exactly "commands_received was bumped";
+                    // comparing the useless counter across the call
+                    // reproduces the agent's own matched/unmatched verdict
+                    // without re-deriving it.
+                    let useless = out.counted
+                        && self.agents[cache.index()].stats().useless_commands.get()
+                            > useless_before;
+                    if out.counted {
+                        self.metrics.record_command(cache, useless);
+                    }
+                    let finished = if out.completed.is_some() {
+                        self.pending[cache.index()].take()
+                    } else {
+                        None
+                    };
+                    if let Some(p) = finished {
+                        self.metrics
+                            .record_latency(p.class, base.saturating_sub(p.start));
+                        self.metrics.outstanding.observe(base, self.outstanding());
+                    }
+                    if self.tracer.enabled() {
+                        let local_after = self.agents[cache.index()]
+                            .cache()
+                            .state_of(msg.block())
+                            .as_line_state();
+                        let mut ev = SimEvent::new(
+                            self.now,
+                            ActorId::Cache(cache),
+                            msg.block(),
+                            msg.to_string(),
+                        )
+                        .class(msg.class())
+                        .useless(useless);
+                        if let Some(before) = local_before {
+                            if before != local_after {
+                                ev = ev.local(before, local_after);
+                            }
+                        }
+                        if let Some(p) = finished {
+                            ev = ev.txn(p.id);
+                        }
+                        self.tracer.record(ev);
+                    }
                     self.dispatch_to_memory(cache, out.sends, base);
                     if out.completed.is_some() {
                         self.refs_done[cache.index()] += 1;
@@ -243,7 +453,15 @@ impl DirectorySim {
                     }
                 }
                 Event::DeliverToModule { module, cmd } => {
-                    let emits = self.controllers[module.index()].submit(cmd)?;
+                    let emits = self.controllers[module.index()].submit_traced(
+                        cmd,
+                        self.now,
+                        self.tracer.as_mut(),
+                    )?;
+                    self.metrics.queue_depth.observe(
+                        self.now,
+                        self.controllers.iter().map(|c| c.queued() as u64).sum(),
+                    );
                     let base = self.now;
                     self.dispatch_emits(module, emits, base);
                 }
@@ -260,7 +478,10 @@ impl DirectorySim {
             }
             if self.refs_done[i] != self.refs_target {
                 return Err(ProtocolError::UnexpectedCommand {
-                    state: format!("C{i} completed {} of {}", self.refs_done[i], self.refs_target),
+                    state: format!(
+                        "C{i} completed {} of {}",
+                        self.refs_done[i], self.refs_target
+                    ),
                     command: "liveness violation".to_string(),
                 });
             }
@@ -275,10 +496,12 @@ impl DirectorySim {
         }
         invariants::check_system(&self.agents, &self.controllers, self.config.address_map)?;
 
+        self.tracer.flush();
         Ok(Report {
             protocol: self.config.protocol,
             stats: self.collect_stats(),
             cycles: self.now,
+            obs: Some(self.metrics.summary()),
         })
     }
 
@@ -375,12 +598,23 @@ mod tests {
         let mut sim = DirectorySim::build(config(4, ProtocolKind::TwoBit)).unwrap();
         let report = sim.run(script, 200).unwrap();
         assert_eq!(report.stats.total_references(), 800);
-        let broadcasts: u64 =
-            report.stats.controllers.iter().map(|c| c.broadcasts_sent.get()).sum();
+        let broadcasts: u64 = report
+            .stats
+            .controllers
+            .iter()
+            .map(|c| c.broadcasts_sent.get())
+            .sum();
         assert!(broadcasts > 0, "write sharing must broadcast");
-        let conflicts: u64 =
-            report.stats.controllers.iter().map(|c| c.conflicts_queued.get()).sum();
-        assert!(conflicts > 0, "hot-block requests must queue at the controller");
+        let conflicts: u64 = report
+            .stats
+            .controllers
+            .iter()
+            .map(|c| c.conflicts_queued.get())
+            .sum();
+        assert!(
+            conflicts > 0,
+            "hot-block requests must queue at the controller"
+        );
     }
 
     #[test]
@@ -405,13 +639,20 @@ mod tests {
         let workload = SharingModel::new(SharingParams::moderate(), 4, 5).unwrap();
         let mut sim = DirectorySim::build(cfg).unwrap();
         let report = sim.run(workload, 300).unwrap();
-        assert!(report.broadcasts_per_reference() > 0.0, "classical broadcasts stores");
+        assert!(
+            report.broadcasts_per_reference() > 0.0,
+            "classical broadcasts stores"
+        );
 
         let cfg = config(4, ProtocolKind::StaticSoftware);
         let workload = SharingModel::new(SharingParams::moderate(), 4, 5).unwrap();
         let mut sim = DirectorySim::build(cfg).unwrap();
         let report = sim.run(workload, 300).unwrap();
-        assert_eq!(report.broadcasts_per_reference(), 0.0, "static scheme never broadcasts");
+        assert_eq!(
+            report.broadcasts_per_reference(),
+            0.0,
+            "static scheme never broadcasts"
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl EventQueue {
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: u64, event: Event) {
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
     }
 
     /// Pops the earliest event, with its time.
@@ -102,7 +106,9 @@ mod tests {
     use super::*;
 
     fn issue(n: usize) -> Event {
-        Event::ProcessorIssue { cpu: CacheId::new(n) }
+        Event::ProcessorIssue {
+            cpu: CacheId::new(n),
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The common experiment report.
 
 use serde::{Deserialize, Serialize};
+use twobit_obs::{LatencySummary, MetricsSummary, TxnClass};
 use twobit_types::{ProtocolKind, SystemStats};
 
 /// Results of one simulated run, in the paper's units.
@@ -12,6 +13,10 @@ pub struct Report {
     pub stats: SystemStats,
     /// Simulated cycles elapsed.
     pub cycles: u64,
+    /// Observability summary: latency percentiles per transaction class,
+    /// queue-depth/outstanding gauges, and the useless-command rate.
+    /// `None` only for hand-built reports; both simulators populate it.
+    pub obs: Option<MetricsSummary>,
 }
 
 impl Report {
@@ -30,7 +35,12 @@ impl Report {
         if refs == 0 {
             return 0.0;
         }
-        let useless: u64 = self.stats.caches.iter().map(|c| c.useless_commands.get()).sum();
+        let useless: u64 = self
+            .stats
+            .caches
+            .iter()
+            .map(|c| c.useless_commands.get())
+            .sum();
         useless as f64 / refs as f64
     }
 
@@ -41,7 +51,12 @@ impl Report {
         if refs == 0 {
             return 0.0;
         }
-        let stolen: u64 = self.stats.caches.iter().map(|c| c.stolen_cycles.get()).sum();
+        let stolen: u64 = self
+            .stats
+            .caches
+            .iter()
+            .map(|c| c.stolen_cycles.get())
+            .sum();
         stolen as f64 / refs as f64
     }
 
@@ -52,7 +67,12 @@ impl Report {
         if refs == 0 {
             return 0.0;
         }
-        let b: u64 = self.stats.controllers.iter().map(|c| c.broadcasts_sent.get()).sum();
+        let b: u64 = self
+            .stats
+            .controllers
+            .iter()
+            .map(|c| c.broadcasts_sent.get())
+            .sum();
         b as f64 / refs as f64
     }
 
@@ -82,6 +102,30 @@ impl Report {
     pub fn hit_ratio(&self) -> f64 {
         self.stats.hit_ratio()
     }
+
+    /// The latency summary for one transaction class, when the run
+    /// carried a metrics registry.
+    #[must_use]
+    pub fn latency(&self, class: TxnClass) -> Option<LatencySummary> {
+        let obs = self.obs.as_ref()?;
+        obs.latency
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| *s)
+    }
+
+    /// Peak controller conflict-queue depth observed (0 without metrics).
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |o| o.peak_queue_depth)
+    }
+
+    /// Useless fraction of delivered coherence commands (0 without
+    /// metrics).
+    #[must_use]
+    pub fn useless_rate(&self) -> f64 {
+        self.obs.as_ref().map_or(0.0, MetricsSummary::useless_rate)
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +141,12 @@ mod tests {
             c.useless_commands = Counter::from(received / 2);
             c.stolen_cycles = Counter::from(received);
         }
-        Report { protocol: ProtocolKind::TwoBit, stats, cycles: 1000 }
+        Report {
+            protocol: ProtocolKind::TwoBit,
+            stats,
+            cycles: 1000,
+            obs: None,
+        }
     }
 
     #[test]
@@ -114,10 +163,14 @@ mod tests {
             protocol: ProtocolKind::FullMap,
             stats: SystemStats::new(2, 1),
             cycles: 0,
+            obs: None,
         };
         assert_eq!(r.commands_per_reference(), 0.0);
         assert_eq!(r.cycles_per_reference(), 0.0);
         assert_eq!(r.deliveries_per_reference(), 0.0);
+        assert_eq!(r.latency(TxnClass::ReadMiss), None);
+        assert_eq!(r.peak_queue_depth(), 0);
+        assert_eq!(r.useless_rate(), 0.0);
     }
 
     #[test]

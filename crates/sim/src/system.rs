@@ -3,6 +3,7 @@
 use crate::bus_sim::BusSim;
 use crate::directory_sim::DirectorySim;
 use crate::report::Report;
+use twobit_obs::Tracer;
 use twobit_types::{ConfigError, ProtocolError, SystemConfig};
 use twobit_workload::Workload;
 
@@ -52,6 +53,33 @@ impl System {
         match &mut self.inner {
             Inner::Directory(sim) => sim.run(workload, refs_per_cpu),
             Inner::Bus(sim) => sim.run(workload, refs_per_cpu),
+        }
+    }
+
+    /// Installs a trace sink on the underlying simulator (default
+    /// `NullTracer`, which costs nothing).
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        match &mut self.inner {
+            Inner::Directory(sim) => sim.set_tracer(tracer),
+            Inner::Bus(sim) => sim.set_tracer(tracer),
+        }
+    }
+
+    /// Removes and returns the installed tracer, replacing it with a
+    /// `NullTracer`. Call after [`System::run`] to inspect or flush a
+    /// sink you installed.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        match &mut self.inner {
+            Inner::Directory(sim) => sim.take_tracer(),
+            Inner::Bus(sim) => sim.take_tracer(),
+        }
+    }
+
+    /// Sets the gauge sampling cadence (directory backend only; the bus
+    /// backend's gauges are unused). Resets the metrics registry.
+    pub fn set_metrics_cadence(&mut self, cadence: u64) {
+        if let Inner::Directory(sim) = &mut self.inner {
+            sim.set_metrics_cadence(cadence);
         }
     }
 }

@@ -93,13 +93,19 @@ impl MemRef {
     /// A load of `addr`.
     #[must_use]
     pub fn read(addr: WordAddr) -> Self {
-        MemRef { addr, kind: AccessKind::Read }
+        MemRef {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A store to `addr`.
     #[must_use]
     pub fn write(addr: WordAddr) -> Self {
-        MemRef { addr, kind: AccessKind::Write }
+        MemRef {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 }
 
@@ -136,6 +142,9 @@ mod tests {
     fn displays_are_stable() {
         assert_eq!(AccessKind::Read.to_string(), "read");
         assert_eq!(WritebackKind::Dirty.to_string(), "dirty");
-        assert_eq!(MemRef::write(WordAddr::new(1, 2)).to_string(), "write blk:0x1+2");
+        assert_eq!(
+            MemRef::write(WordAddr::new(1, 2)).to_string(),
+            "write blk:0x1+2"
+        );
     }
 }

@@ -35,7 +35,10 @@ impl BlockAddr {
     /// The word address of displacement `d` within this block.
     #[must_use]
     pub fn word(self, d: u16) -> WordAddr {
-        WordAddr { block: self, offset: d }
+        WordAddr {
+            block: self,
+            offset: d,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl WordAddr {
     /// Creates a word address from a block number and a displacement.
     #[must_use]
     pub fn new(block_number: u64, offset: u16) -> Self {
-        WordAddr { block: BlockAddr::new(block_number), offset }
+        WordAddr {
+            block: BlockAddr::new(block_number),
+            offset,
+        }
     }
 }
 
@@ -121,7 +127,9 @@ impl AddressMap {
     pub fn interleaved(modules: usize) -> Self {
         assert!(modules > 0, "a system needs at least one memory module");
         assert!(modules <= u16::MAX as usize, "module count out of range");
-        AddressMap::Interleaved { modules: modules as u16 }
+        AddressMap::Interleaved {
+            modules: modules as u16,
+        }
     }
 
     /// A coarse-partitioned map over `modules` modules of
@@ -134,8 +142,14 @@ impl AddressMap {
     pub fn blocked(modules: usize, blocks_per_module: u64) -> Self {
         assert!(modules > 0, "a system needs at least one memory module");
         assert!(modules <= u16::MAX as usize, "module count out of range");
-        assert!(blocks_per_module > 0, "modules must hold at least one block");
-        AddressMap::Blocked { modules: modules as u16, blocks_per_module }
+        assert!(
+            blocks_per_module > 0,
+            "modules must hold at least one block"
+        );
+        AddressMap::Blocked {
+            modules: modules as u16,
+            blocks_per_module,
+        }
     }
 
     /// Number of modules covered by this map.
@@ -155,7 +169,10 @@ impl AddressMap {
             AddressMap::Interleaved { modules } => {
                 ModuleId::new((a.number() % modules as u64) as usize)
             }
-            AddressMap::Blocked { modules, blocks_per_module } => {
+            AddressMap::Blocked {
+                modules,
+                blocks_per_module,
+            } => {
                 let idx = (a.number() / blocks_per_module).min(modules as u64 - 1);
                 ModuleId::new(idx as usize)
             }
@@ -170,7 +187,10 @@ impl AddressMap {
     pub fn slot_of(self, a: BlockAddr) -> u64 {
         match self {
             AddressMap::Interleaved { modules } => a.number() / modules as u64,
-            AddressMap::Blocked { modules, blocks_per_module } => {
+            AddressMap::Blocked {
+                modules,
+                blocks_per_module,
+            } => {
                 let module = (a.number() / blocks_per_module).min(modules as u64 - 1);
                 a.number() - module * blocks_per_module
             }
@@ -200,8 +220,9 @@ mod tests {
     #[test]
     fn interleaved_map_round_robins_blocks() {
         let map = AddressMap::interleaved(4);
-        let owners: Vec<usize> =
-            (0..8).map(|n| map.module_of(BlockAddr::new(n)).index()).collect();
+        let owners: Vec<usize> = (0..8)
+            .map(|n| map.module_of(BlockAddr::new(n)).index())
+            .collect();
         assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 

@@ -24,6 +24,7 @@
 use crate::access::{AccessKind, WritebackKind};
 use crate::addr::{BlockAddr, WordAddr};
 use crate::ids::CacheId;
+use crate::stats::CommandClass;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -82,7 +83,13 @@ pub struct CacheReply {
 
 impl fmt::Display for CacheReply {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VALIDHIT({}, {}, b={})", self.a, if self.hit { "hit" } else { "miss" }, self.way)
+        write!(
+            f,
+            "VALIDHIT({}, {}, b={})",
+            self.a,
+            if self.hit { "hit" } else { "miss" },
+            self.way
+        )
     }
 }
 
@@ -203,6 +210,19 @@ impl CacheToMemory {
                 | CacheToMemory::DirectRead { .. }
         )
     }
+
+    /// The [`CommandClass`] of this command, for statistics and tracing.
+    #[must_use]
+    pub fn class(self) -> CommandClass {
+        match self {
+            CacheToMemory::Request { .. } => CommandClass::Request,
+            CacheToMemory::MRequest { .. } => CommandClass::MRequest,
+            CacheToMemory::Eject { .. } => CommandClass::Eject,
+            CacheToMemory::PutData { .. } => CommandClass::PutData,
+            CacheToMemory::WriteThrough { .. } => CommandClass::WriteThrough,
+            CacheToMemory::DirectRead { .. } => CommandClass::DirectRead,
+        }
+    }
 }
 
 impl fmt::Display for CacheToMemory {
@@ -316,7 +336,10 @@ impl MemoryToCache {
     /// overhead of the two-bit scheme.
     #[must_use]
     pub fn is_broadcast(self) -> bool {
-        matches!(self, MemoryToCache::BroadInv { .. } | MemoryToCache::BroadQuery { .. })
+        matches!(
+            self,
+            MemoryToCache::BroadInv { .. } | MemoryToCache::BroadQuery { .. }
+        )
     }
 
     /// The single intended recipient, if this is a targeted command.
@@ -328,18 +351,45 @@ impl MemoryToCache {
             MemoryToCache::BroadInv { .. } | MemoryToCache::BroadQuery { .. } => None,
         }
     }
+
+    /// The [`CommandClass`] of this command, for statistics and tracing.
+    #[must_use]
+    pub fn class(self) -> CommandClass {
+        match self {
+            MemoryToCache::GetData { .. } => CommandClass::GetData,
+            MemoryToCache::BroadInv { .. } => CommandClass::BroadInv,
+            MemoryToCache::BroadQuery { .. } => CommandClass::BroadQuery,
+            MemoryToCache::MGranted { .. } => CommandClass::MGranted,
+            MemoryToCache::Inv { .. } => CommandClass::Inv,
+            MemoryToCache::Purge { .. } => CommandClass::Purge,
+        }
+    }
 }
 
 impl fmt::Display for MemoryToCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryToCache::GetData { k, a, version, exclusive } => {
-                write!(f, "get({k}, {a}, v{}{})", version.raw(), if *exclusive { ", excl" } else { "" })
+            MemoryToCache::GetData {
+                k,
+                a,
+                version,
+                exclusive,
+            } => {
+                write!(
+                    f,
+                    "get({k}, {a}, v{}{})",
+                    version.raw(),
+                    if *exclusive { ", excl" } else { "" }
+                )
             }
             MemoryToCache::BroadInv { a, exclude } => write!(f, "BROADINV({a}, excl {exclude})"),
             MemoryToCache::BroadQuery { a, rw } => write!(f, "BROADQUERY({a}, {rw})"),
             MemoryToCache::MGranted { k, a, granted } => {
-                write!(f, "MGRANTED({k}, {a}, {})", if *granted { "yes" } else { "no" })
+                write!(
+                    f,
+                    "MGRANTED({k}, {a}, {})",
+                    if *granted { "yes" } else { "no" }
+                )
             }
             MemoryToCache::Inv { a, to } => write!(f, "INV({a} -> {to})"),
             MemoryToCache::Purge { a, to, rw } => write!(f, "PURGE({a} -> {to}, {rw})"),
@@ -398,10 +448,26 @@ mod tests {
     fn cache_to_memory_block_and_sender() {
         let k = CacheId::new(2);
         let cmds = [
-            CacheToMemory::Request { k, a: blk(9), rw: AccessKind::Read },
-            CacheToMemory::MRequest { k, a: blk(9), version: Version::initial() },
-            CacheToMemory::Eject { k, olda: blk(9), wb: WritebackKind::Dirty },
-            CacheToMemory::PutData { from: k, a: blk(9), version: Version::initial() },
+            CacheToMemory::Request {
+                k,
+                a: blk(9),
+                rw: AccessKind::Read,
+            },
+            CacheToMemory::MRequest {
+                k,
+                a: blk(9),
+                version: Version::initial(),
+            },
+            CacheToMemory::Eject {
+                k,
+                olda: blk(9),
+                wb: WritebackKind::Dirty,
+            },
+            CacheToMemory::PutData {
+                from: k,
+                a: blk(9),
+                version: Version::initial(),
+            },
         ];
         for c in cmds {
             assert_eq!(c.block(), blk(9), "{c}");
@@ -412,22 +478,52 @@ mod tests {
     #[test]
     fn transaction_openers_are_request_and_mrequest() {
         let k = CacheId::new(0);
-        assert!(CacheToMemory::Request { k, a: blk(1), rw: AccessKind::Write }.opens_transaction());
-        assert!(CacheToMemory::MRequest { k, a: blk(1), version: Version::initial() }
-            .opens_transaction());
-        assert!(!CacheToMemory::Eject { k, olda: blk(1), wb: WritebackKind::Clean }
-            .opens_transaction());
-        assert!(!CacheToMemory::PutData { from: k, a: blk(1), version: Version::initial() }
-            .opens_transaction());
+        assert!(CacheToMemory::Request {
+            k,
+            a: blk(1),
+            rw: AccessKind::Write
+        }
+        .opens_transaction());
+        assert!(CacheToMemory::MRequest {
+            k,
+            a: blk(1),
+            version: Version::initial()
+        }
+        .opens_transaction());
+        assert!(!CacheToMemory::Eject {
+            k,
+            olda: blk(1),
+            wb: WritebackKind::Clean
+        }
+        .opens_transaction());
+        assert!(!CacheToMemory::PutData {
+            from: k,
+            a: blk(1),
+            version: Version::initial()
+        }
+        .opens_transaction());
     }
 
     #[test]
     fn broadcast_classification() {
         let k = CacheId::new(1);
-        assert!(MemoryToCache::BroadInv { a: blk(3), exclude: k }.is_broadcast());
-        assert!(MemoryToCache::BroadQuery { a: blk(3), rw: AccessKind::Read }.is_broadcast());
+        assert!(MemoryToCache::BroadInv {
+            a: blk(3),
+            exclude: k
+        }
+        .is_broadcast());
+        assert!(MemoryToCache::BroadQuery {
+            a: blk(3),
+            rw: AccessKind::Read
+        }
+        .is_broadcast());
         assert!(!MemoryToCache::Inv { a: blk(3), to: k }.is_broadcast());
-        assert!(!MemoryToCache::Purge { a: blk(3), to: k, rw: AccessKind::Write }.is_broadcast());
+        assert!(!MemoryToCache::Purge {
+            a: blk(3),
+            to: k,
+            rw: AccessKind::Write
+        }
+        .is_broadcast());
         assert!(!MemoryToCache::GetData {
             k,
             a: blk(3),
@@ -440,13 +536,25 @@ mod tests {
     #[test]
     fn unicast_targets() {
         let k = CacheId::new(4);
-        assert_eq!(MemoryToCache::Inv { a: blk(0), to: k }.unicast_target(), Some(k));
         assert_eq!(
-            MemoryToCache::MGranted { k, a: blk(0), granted: true }.unicast_target(),
+            MemoryToCache::Inv { a: blk(0), to: k }.unicast_target(),
             Some(k)
         );
         assert_eq!(
-            MemoryToCache::BroadQuery { a: blk(0), rw: AccessKind::Read }.unicast_target(),
+            MemoryToCache::MGranted {
+                k,
+                a: blk(0),
+                granted: true
+            }
+            .unicast_target(),
+            Some(k)
+        );
+        assert_eq!(
+            MemoryToCache::BroadQuery {
+                a: blk(0),
+                rw: AccessKind::Read
+            }
+            .unicast_target(),
             None
         );
     }
@@ -455,21 +563,82 @@ mod tests {
     fn displays_follow_table_3_1_spelling() {
         let k = CacheId::new(0);
         assert_eq!(
-            CacheToMemory::Request { k, a: blk(16), rw: AccessKind::Read }.to_string(),
+            CacheToMemory::Request {
+                k,
+                a: blk(16),
+                rw: AccessKind::Read
+            }
+            .to_string(),
             "REQUEST(C0, blk:0x10, read)"
         );
         assert_eq!(
-            MemoryToCache::BroadInv { a: blk(16), exclude: k }.to_string(),
+            MemoryToCache::BroadInv {
+                a: blk(16),
+                exclude: k
+            }
+            .to_string(),
             "BROADINV(blk:0x10, excl C0)"
         );
-        assert_eq!(ProcessorCmd::Store(WordAddr::new(16, 2)).to_string(), "STORE(blk:0x10+2)");
+        assert_eq!(
+            ProcessorCmd::Store(WordAddr::new(16, 2)).to_string(),
+            "STORE(blk:0x10+2)"
+        );
         assert_eq!(DataTransfer::SetMod.to_string(), "setmod");
     }
 
     #[test]
+    fn command_classes_cover_both_directions() {
+        let k = CacheId::new(0);
+        assert_eq!(
+            CacheToMemory::Request {
+                k,
+                a: blk(1),
+                rw: AccessKind::Read
+            }
+            .class(),
+            CommandClass::Request
+        );
+        assert_eq!(
+            CacheToMemory::PutData {
+                from: k,
+                a: blk(1),
+                version: Version::initial()
+            }
+            .class(),
+            CommandClass::PutData
+        );
+        assert_eq!(
+            MemoryToCache::BroadInv {
+                a: blk(1),
+                exclude: k
+            }
+            .class(),
+            CommandClass::BroadInv
+        );
+        assert_eq!(
+            MemoryToCache::GetData {
+                k,
+                a: blk(1),
+                version: Version::initial(),
+                exclusive: true
+            }
+            .class(),
+            CommandClass::GetData
+        );
+    }
+
+    #[test]
     fn cache_reply_display_shows_hit_or_miss() {
-        let hit = CacheReply { a: blk(5), hit: true, way: 1 };
-        let miss = CacheReply { a: blk(5), hit: false, way: 0 };
+        let hit = CacheReply {
+            a: blk(5),
+            hit: true,
+            way: 1,
+        };
+        let miss = CacheReply {
+            a: blk(5),
+            hit: false,
+            way: 0,
+        };
         assert!(hit.to_string().contains("hit"));
         assert!(miss.to_string().contains("miss"));
     }

@@ -69,7 +69,12 @@ impl CacheOrg {
         if words_per_block == 0 {
             return Err(ConfigError::new("block size must be nonzero"));
         }
-        Ok(CacheOrg { sets, assoc, words_per_block, replacement: ReplacementPolicy::Lru })
+        Ok(CacheOrg {
+            sets,
+            assoc,
+            words_per_block,
+            replacement: ReplacementPolicy::Lru,
+        })
     }
 
     /// Same organization with a different replacement policy.
@@ -366,7 +371,10 @@ mod tests {
     #[test]
     fn cache_org_validation() {
         assert!(CacheOrg::new(0, 1, 4).is_err());
-        assert!(CacheOrg::new(3, 1, 4).is_err(), "non-power-of-two sets rejected");
+        assert!(
+            CacheOrg::new(3, 1, 4).is_err(),
+            "non-power-of-two sets rejected"
+        );
         assert!(CacheOrg::new(4, 0, 4).is_err());
         assert!(CacheOrg::new(4, 2, 0).is_err());
         assert!(CacheOrg::new(4, 2, 4).is_ok());
@@ -395,7 +403,10 @@ mod tests {
     #[test]
     fn latency_zero_is_all_zero() {
         let z = LatencyConfig::zero();
-        assert_eq!(z.cache_hit + z.net_command + z.net_data + z.memory + z.controller, 0);
+        assert_eq!(
+            z.cache_hit + z.net_command + z.net_data + z.memory + z.controller,
+            0
+        );
     }
 
     #[test]
@@ -411,7 +422,10 @@ mod tests {
 
     #[test]
     fn protocol_display_includes_tlb_size() {
-        assert_eq!(ProtocolKind::TwoBitTlb { entries: 16 }.to_string(), "two-bit+tlb(16)");
+        assert_eq!(
+            ProtocolKind::TwoBitTlb { entries: 16 }.to_string(),
+            "two-bit+tlb(16)"
+        );
         assert_eq!(ProtocolKind::TwoBit.to_string(), "two-bit");
     }
 
@@ -439,6 +453,9 @@ mod tests {
 
     #[test]
     fn concurrency_default_is_per_block() {
-        assert_eq!(ControllerConcurrency::default(), ControllerConcurrency::PerBlock);
+        assert_eq!(
+            ControllerConcurrency::default(),
+            ControllerConcurrency::PerBlock
+        );
     }
 }

@@ -16,7 +16,9 @@ impl ConfigError {
     /// Creates a configuration error with the given message.
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 
     /// The human-readable description.
@@ -97,12 +99,20 @@ impl fmt::Display for ProtocolError {
             ProtocolError::DuplicateOwner { a, first, second } => {
                 write!(f, "both {first} and {second} claim dirty ownership of {a}")
             }
-            ProtocolError::StaleRead { a, reader, observed, expected } => write!(
+            ProtocolError::StaleRead {
+                a,
+                reader,
+                observed,
+                expected,
+            } => write!(
                 f,
                 "stale read of {a} by {reader}: observed v{observed}, expected v{expected}"
             ),
             ProtocolError::DirectoryInconsistent { a, detail } => {
-                write!(f, "directory entry for {a} inconsistent with caches: {detail}")
+                write!(
+                    f,
+                    "directory entry for {a} inconsistent with caches: {detail}"
+                )
             }
         }
     }

@@ -34,7 +34,10 @@ impl CacheId {
     /// paper have at most 64 caches).
     #[must_use]
     pub fn new(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "cache index out of range: {index}");
+        assert!(
+            index <= u16::MAX as usize,
+            "cache index out of range: {index}"
+        );
         CacheId(index as u16)
     }
 
@@ -84,7 +87,10 @@ impl ModuleId {
     /// Panics if `index` does not fit in 16 bits.
     #[must_use]
     pub fn new(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "module index out of range: {index}");
+        assert!(
+            index <= u16::MAX as usize,
+            "module index out of range: {index}"
+        );
         ModuleId(index as u16)
     }
 

@@ -404,8 +404,16 @@ impl SystemStats {
     ///
     /// Panics if the two containers have different shapes.
     pub fn merge(&mut self, other: &SystemStats) {
-        assert_eq!(self.caches.len(), other.caches.len(), "mismatched cache counts");
-        assert_eq!(self.controllers.len(), other.controllers.len(), "mismatched module counts");
+        assert_eq!(
+            self.caches.len(),
+            other.caches.len(),
+            "mismatched cache counts"
+        );
+        assert_eq!(
+            self.controllers.len(),
+            other.controllers.len(),
+            "mismatched module counts"
+        );
         for (mine, theirs) in self.caches.iter_mut().zip(&other.caches) {
             mine.merge(theirs);
         }
@@ -482,11 +490,15 @@ mod tests {
 
     #[test]
     fn controller_merge_takes_queue_peak_max() {
-        let mut a = ControllerStats::default();
-        a.queue_peak = Counter::from(3);
+        let mut a = ControllerStats {
+            queue_peak: Counter::from(3),
+            ..Default::default()
+        };
         a.requests.add(1);
-        let mut b = ControllerStats::default();
-        b.queue_peak = Counter::from(7);
+        let mut b = ControllerStats {
+            queue_peak: Counter::from(7),
+            ..Default::default()
+        };
         b.requests.add(2);
         a.merge(&b);
         assert_eq!(a.queue_peak.get(), 7);

@@ -43,7 +43,12 @@ impl Table {
         if let Some(first) = aligns.first_mut() {
             *first = Align::Left;
         }
-        Table { title: title.into(), headers, rows: Vec::new(), aligns }
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
     }
 
     /// Overrides column alignments.
@@ -62,7 +67,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(row);
     }
 
@@ -216,7 +225,10 @@ mod tests {
         // "4" and "64" end at the same column (right alignment of col 0 is
         // overridden to Left; numeric col 1 right-aligns: "0.1" under "10.5").
         let lines: Vec<&str> = s.lines().collect();
-        let row4 = lines.iter().find(|l| l.trim_start().starts_with('4')).unwrap();
+        let row4 = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with('4'))
+            .unwrap();
         let row64 = lines.iter().find(|l| l.starts_with("64")).unwrap();
         let pos_a_4 = row4.find("0.1").unwrap();
         let pos_a_64 = row64.find("10.5").unwrap();

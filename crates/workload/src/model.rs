@@ -78,10 +78,13 @@ impl SharingModel {
             )));
         }
         if SHARED_BASE / PRIVATE_REGION_STRIDE < cpus as u64 {
-            return Err(ConfigError::new("too many cpus for the private address layout"));
+            return Err(ConfigError::new(
+                "too many cpus for the private address layout",
+            ));
         }
-        let zipf =
-            params.shared_zipf_s.map(|s| Zipf::new(params.shared_blocks as usize, s));
+        let zipf = params
+            .shared_zipf_s
+            .map(|s| Zipf::new(params.shared_blocks as usize, s));
         // One RNG per CPU, decorrelated by a large odd multiplier, so a
         // CPU's stream does not depend on how streams are interleaved.
         let rngs = (0..cpus)
@@ -128,7 +131,10 @@ impl Workload for SharingModel {
             (Self::shared_block(idx), rng.gen_bool(params.w))
         } else {
             let idx = rng.gen_range(0..params.private_blocks);
-            (Self::private_block(k, idx), rng.gen_bool(params.private_write_prob))
+            (
+                Self::private_block(k, idx),
+                rng.gen_bool(params.private_write_prob),
+            )
         };
         let addr = WordAddr { block, offset: 0 };
         if write {
@@ -183,19 +189,27 @@ mod tests {
 
     #[test]
     fn shared_fraction_approximates_q() {
-        let params = SharingParams { q: 0.10, ..SharingParams::high() };
+        let params = SharingParams {
+            q: 0.10,
+            ..SharingParams::high()
+        };
         let mut w = SharingModel::new(params, 1, 11).unwrap();
         let k = CacheId::new(0);
         let n = 50_000;
-        let shared =
-            (0..n).filter(|_| SharingModel::is_shared(w.next_ref(k).addr.block)).count();
+        let shared = (0..n)
+            .filter(|_| SharingModel::is_shared(w.next_ref(k).addr.block))
+            .count();
         let frac = shared as f64 / n as f64;
         assert!((frac - 0.10).abs() < 0.01, "shared fraction {frac}");
     }
 
     #[test]
     fn write_fraction_of_shared_refs_approximates_w() {
-        let params = SharingParams { q: 0.5, w: 0.3, ..SharingParams::high() };
+        let params = SharingParams {
+            q: 0.5,
+            w: 0.3,
+            ..SharingParams::high()
+        };
         let mut wl = SharingModel::new(params, 1, 13).unwrap();
         let k = CacheId::new(0);
         let mut shared = 0usize;
@@ -231,7 +245,11 @@ mod tests {
 
     #[test]
     fn shared_pool_is_bounded() {
-        let params = SharingParams { q: 1.0, shared_blocks: 16, ..SharingParams::high() };
+        let params = SharingParams {
+            q: 1.0,
+            shared_blocks: 16,
+            ..SharingParams::high()
+        };
         let mut w = SharingModel::new(params, 1, 17).unwrap();
         for _ in 0..1000 {
             let b = w.next_ref(CacheId::new(0)).addr.block.number();
@@ -253,13 +271,19 @@ mod tests {
                 first += 1;
             }
         }
-        assert!(first > 5000 / 16, "block 0 should be over-represented, got {first}");
+        assert!(
+            first > 5000 / 16,
+            "block 0 should be over-represented, got {first}"
+        );
     }
 
     #[test]
     fn construction_validates() {
         assert!(SharingModel::new(SharingParams::low(), 0, 1).is_err());
-        let bad = SharingParams { q: 2.0, ..SharingParams::low() };
+        let bad = SharingParams {
+            q: 2.0,
+            ..SharingParams::low()
+        };
         assert!(SharingModel::new(bad, 1, 1).is_err());
     }
 }

@@ -43,14 +43,20 @@ impl SharingParams {
     /// `q = 0.05`.
     #[must_use]
     pub fn moderate() -> Self {
-        SharingParams { q: 0.05, ..SharingParams::low() }
+        SharingParams {
+            q: 0.05,
+            ..SharingParams::low()
+        }
     }
 
     /// The paper's **high sharing** case (section 4.3 case 3):
     /// `q = 0.10`.
     #[must_use]
     pub fn high() -> Self {
-        SharingParams { q: 0.10, ..SharingParams::low() }
+        SharingParams {
+            q: 0.10,
+            ..SharingParams::low()
+        }
     }
 
     /// The Table 4-2 configuration: 16 shared blocks, uniform access,
@@ -81,11 +87,15 @@ impl SharingParams {
     /// Returns [`ConfigError`] if any probability is outside `[0, 1]` or a
     /// pool is empty.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        for (name, p) in
-            [("q", self.q), ("w", self.w), ("private_write_prob", self.private_write_prob)]
-        {
+        for (name, p) in [
+            ("q", self.q),
+            ("w", self.w),
+            ("private_write_prob", self.private_write_prob),
+        ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(ConfigError::new(format!("{name} = {p} is not a probability")));
+                return Err(ConfigError::new(format!(
+                    "{name} = {p} is not a probability"
+                )));
             }
         }
         if self.shared_blocks == 0 {
@@ -96,7 +106,9 @@ impl SharingParams {
         }
         if let Some(s) = self.shared_zipf_s {
             if !s.is_finite() || s < 0.0 {
-                return Err(ConfigError::new(format!("zipf skew {s} must be finite and >= 0")));
+                return Err(ConfigError::new(format!(
+                    "zipf skew {s} must be finite and >= 0"
+                )));
             }
         }
         Ok(())
@@ -112,7 +124,11 @@ mod tests {
         assert_eq!(SharingParams::low().q, 0.01);
         assert_eq!(SharingParams::moderate().q, 0.05);
         assert_eq!(SharingParams::high().q, 0.10);
-        for p in [SharingParams::low(), SharingParams::moderate(), SharingParams::high()] {
+        for p in [
+            SharingParams::low(),
+            SharingParams::moderate(),
+            SharingParams::high(),
+        ] {
             p.validate().unwrap();
         }
     }
@@ -132,14 +148,35 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(SharingParams { q: 1.5, ..SharingParams::low() }.validate().is_err());
-        assert!(SharingParams { w: -0.1, ..SharingParams::low() }.validate().is_err());
-        assert!(SharingParams { shared_blocks: 0, ..SharingParams::low() }.validate().is_err());
-        assert!(SharingParams { private_blocks: 0, ..SharingParams::low() }.validate().is_err());
-        assert!(
-            SharingParams { shared_zipf_s: Some(f64::NAN), ..SharingParams::low() }
-                .validate()
-                .is_err()
-        );
+        assert!(SharingParams {
+            q: 1.5,
+            ..SharingParams::low()
+        }
+        .validate()
+        .is_err());
+        assert!(SharingParams {
+            w: -0.1,
+            ..SharingParams::low()
+        }
+        .validate()
+        .is_err());
+        assert!(SharingParams {
+            shared_blocks: 0,
+            ..SharingParams::low()
+        }
+        .validate()
+        .is_err());
+        assert!(SharingParams {
+            private_blocks: 0,
+            ..SharingParams::low()
+        }
+        .validate()
+        .is_err());
+        assert!(SharingParams {
+            shared_zipf_s: Some(f64::NAN),
+            ..SharingParams::low()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -25,7 +25,10 @@ use twobit_types::{CacheId, ConfigError, MemRef, WordAddr};
 
 fn private_ref(rng: &mut StdRng, k: CacheId, pool: u64, write_prob: f64) -> MemRef {
     let idx = rng.gen_range(0..pool);
-    let addr = WordAddr { block: SharingModel::private_block(k, idx), offset: 0 };
+    let addr = WordAddr {
+        block: SharingModel::private_block(k, idx),
+        offset: 0,
+    };
     if rng.gen_bool(write_prob) {
         MemRef::write(addr)
     } else {
@@ -34,7 +37,10 @@ fn private_ref(rng: &mut StdRng, k: CacheId, pool: u64, write_prob: f64) -> MemR
 }
 
 fn shared_addr(i: u64) -> WordAddr {
-    WordAddr { block: twobit_types::BlockAddr::new(SHARED_BASE + i), offset: 0 }
+    WordAddr {
+        block: twobit_types::BlockAddr::new(SHARED_BASE + i),
+        offset: 0,
+    }
 }
 
 /// Pure multiprogramming: every reference is private (`q = 0`).
@@ -53,10 +59,14 @@ impl IndependentProcesses {
     /// Returns [`ConfigError`] on zero CPUs or an empty pool.
     pub fn new(cpus: usize, pool: u64, seed: u64) -> Result<Self, ConfigError> {
         if cpus == 0 || pool == 0 {
-            return Err(ConfigError::new("independent-processes needs cpus and a pool"));
+            return Err(ConfigError::new(
+                "independent-processes needs cpus and a pool",
+            ));
         }
         Ok(IndependentProcesses {
-            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            rngs: (0..cpus)
+                .map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32))
+                .collect(),
             pool,
             write_prob: 0.3,
         })
@@ -95,13 +105,17 @@ impl ProducerConsumer {
     /// Returns [`ConfigError`] for fewer than two CPUs or an empty buffer.
     pub fn new(cpus: usize, buffer_blocks: u64, seed: u64) -> Result<Self, ConfigError> {
         if cpus < 2 {
-            return Err(ConfigError::new("producer/consumer needs at least two cpus"));
+            return Err(ConfigError::new(
+                "producer/consumer needs at least two cpus",
+            ));
         }
         if buffer_blocks == 0 {
             return Err(ConfigError::new("buffer must be nonempty"));
         }
         Ok(ProducerConsumer {
-            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            rngs: (0..cpus)
+                .map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32))
+                .collect(),
             buffer_blocks,
             sharing_fraction: 0.2,
             produce_cursor: 0,
@@ -162,7 +176,9 @@ impl LockContention {
             return Err(ConfigError::new("lock contention needs cpus and locks"));
         }
         Ok(LockContention {
-            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            rngs: (0..cpus)
+                .map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32))
+                .collect(),
             locks,
             lock_fraction: 0.1,
             pending_write: vec![None; cpus],
@@ -221,10 +237,14 @@ impl Migratory {
         seed: u64,
     ) -> Result<Self, ConfigError> {
         if cpus == 0 || region_blocks == 0 || phase_len == 0 {
-            return Err(ConfigError::new("migratory needs cpus, a region, and a phase"));
+            return Err(ConfigError::new(
+                "migratory needs cpus, a region, and a phase",
+            ));
         }
         Ok(Migratory {
-            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            rngs: (0..cpus)
+                .map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32))
+                .collect(),
             region_blocks,
             phase_len,
             counters: vec![0; cpus],
@@ -248,7 +268,7 @@ impl Workload for Migratory {
         if owner == k.index() {
             // My phase: read-modify-write the region.
             let slot = count % self.region_blocks;
-            if count % 2 == 0 {
+            if count.is_multiple_of(2) {
                 MemRef::read(shared_addr(slot))
             } else {
                 MemRef::write(shared_addr(slot))
@@ -301,10 +321,14 @@ impl ProcessMigration {
         seed: u64,
     ) -> Result<Self, ConfigError> {
         if cpus == 0 || working_set == 0 || phase_len == 0 {
-            return Err(ConfigError::new("migration needs cpus, a working set, and a phase"));
+            return Err(ConfigError::new(
+                "migration needs cpus, a working set, and a phase",
+            ));
         }
         Ok(ProcessMigration {
-            rngs: (0..cpus).map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32)).collect(),
+            rngs: (0..cpus)
+                .map(|i| StdRng::seed_from_u64(seed ^ (i as u64) << 32))
+                .collect(),
             phase_len,
             counters: vec![0; cpus],
             cpus,
@@ -405,7 +429,10 @@ mod tests {
             }
             last = Some(r);
         }
-        assert!(acquisitions > 100, "locks were contended {acquisitions} times");
+        assert!(
+            acquisitions > 100,
+            "locks were contended {acquisitions} times"
+        );
     }
 
     #[test]
@@ -436,13 +463,21 @@ mod tests {
     fn migration_rotates_processes_across_cpus() {
         let mut w = ProcessMigration::new(2, 4, 10, 3).unwrap();
         // Phase 0: cpu 0 runs process 0. Phase 1: cpu 0 runs process 1.
-        let phase0: Vec<u64> =
-            (0..10).map(|_| w.next_ref(CacheId::new(0)).addr.block.number()).collect();
-        let phase1: Vec<u64> =
-            (0..10).map(|_| w.next_ref(CacheId::new(0)).addr.block.number()).collect();
+        let phase0: Vec<u64> = (0..10)
+            .map(|_| w.next_ref(CacheId::new(0)).addr.block.number())
+            .collect();
+        let phase1: Vec<u64> = (0..10)
+            .map(|_| w.next_ref(CacheId::new(0)).addr.block.number())
+            .collect();
         let region = |b: u64| b >> 20; // PRIVATE_REGION_STRIDE = 1 << 20
-        assert!(phase0.iter().all(|&b| region(b) == 0), "phase 0 runs process 0");
-        assert!(phase1.iter().all(|&b| region(b) == 1), "phase 1 runs process 1");
+        assert!(
+            phase0.iter().all(|&b| region(b) == 0),
+            "phase 0 runs process 0"
+        );
+        assert!(
+            phase1.iter().all(|&b| region(b) == 1),
+            "phase 1 runs process 1"
+        );
     }
 
     #[test]
@@ -450,7 +485,10 @@ mod tests {
         let mut w = ProcessMigration::new(3, 8, 5, 7).unwrap();
         for i in 0..300 {
             let r = w.next_ref(CacheId::new(i % 3));
-            assert!(!SharingModel::is_shared(r.addr.block), "migration data is logically private");
+            assert!(
+                !SharingModel::is_shared(r.addr.block),
+                "migration data is logically private"
+            );
         }
     }
 }

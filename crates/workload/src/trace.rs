@@ -85,7 +85,7 @@ impl Trace {
         if data.get_u64_le() != MAGIC {
             return Err(ConfigError::new("not a twobit trace (bad magic)"));
         }
-        if data.remaining() % 12 != 0 {
+        if !data.remaining().is_multiple_of(12) {
             return Err(ConfigError::new("trace payload is not whole records"));
         }
         let mut entries = Vec::with_capacity(data.remaining() / 12);
@@ -93,8 +93,15 @@ impl Trace {
             let cpu = CacheId::new(data.get_u16_le() as usize);
             let flags = data.get_u16_le();
             let block = data.get_u64_le();
-            let addr = WordAddr { block: BlockAddr::new(block), offset: 0 };
-            let op = if flags & 1 == 1 { MemRef::write(addr) } else { MemRef::read(addr) };
+            let addr = WordAddr {
+                block: BlockAddr::new(block),
+                offset: 0,
+            };
+            let op = if flags & 1 == 1 {
+                MemRef::write(addr)
+            } else {
+                MemRef::read(addr)
+            };
             entries.push(TraceEntry { cpu, op });
         }
         Ok(Trace { entries })
@@ -120,7 +127,9 @@ impl Trace {
 
 impl FromIterator<TraceEntry> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Self {
-        Trace { entries: iter.into_iter().collect() }
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -19,7 +19,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf needs at least one item");
-        assert!(s.is_finite() && s >= 0.0, "zipf skew must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf skew must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {
@@ -67,7 +70,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?} not uniform");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "counts {counts:?} not uniform"
+            );
         }
     }
 

@@ -16,11 +16,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let protocols = [
         ("2.2 static software", ProtocolKind::StaticSoftware),
-        ("2.3 classical write-through", ProtocolKind::ClassicalWriteThrough),
+        (
+            "2.3 classical write-through",
+            ProtocolKind::ClassicalWriteThrough,
+        ),
         ("2.4.2 full map (n+1 bits)", ProtocolKind::FullMap),
         ("2.4.3 full map + local state", ProtocolKind::FullMapLocal),
         ("3    two-bit (this paper)", ProtocolKind::TwoBit),
-        ("4.4  two-bit + translation buffer", ProtocolKind::TwoBitTlb { entries: 16 }),
+        (
+            "4.4  two-bit + translation buffer",
+            ProtocolKind::TwoBitTlb { entries: 16 },
+        ),
         ("2.5  write-once (bus)", ProtocolKind::WriteOnce),
         ("2.5  Illinois/MESI (bus)", ProtocolKind::Illinois),
     ];

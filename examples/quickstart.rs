@@ -30,13 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = system.run(workload, 50_000)?;
 
     println!();
-    println!("ran {} references in {} cycles", report.stats.total_references(), report.cycles);
+    println!(
+        "ran {} references in {} cycles",
+        report.stats.total_references(),
+        report.cycles
+    );
     println!("hit ratio:                 {:.3}", report.hit_ratio());
-    println!("commands received/ref:     {:.4}  (the Table 4-1/4-2 axis)", report.commands_per_reference());
-    println!("  of which useless:        {:.4}  (broadcast probes finding nothing)", report.useless_per_reference());
-    println!("stolen cache cycles/ref:   {:.4}", report.stolen_per_reference());
-    println!("broadcasts sent/ref:       {:.4}", report.broadcasts_per_reference());
-    println!("network deliveries/ref:    {:.4}", report.deliveries_per_reference());
+    println!(
+        "commands received/ref:     {:.4}  (the Table 4-1/4-2 axis)",
+        report.commands_per_reference()
+    );
+    println!(
+        "  of which useless:        {:.4}  (broadcast probes finding nothing)",
+        report.useless_per_reference()
+    );
+    println!(
+        "stolen cache cycles/ref:   {:.4}",
+        report.stolen_per_reference()
+    );
+    println!(
+        "broadcasts sent/ref:       {:.4}",
+        report.broadcasts_per_reference()
+    );
+    println!(
+        "network deliveries/ref:    {:.4}",
+        report.deliveries_per_reference()
+    );
 
     let totals = report.stats.controller_totals();
     println!();

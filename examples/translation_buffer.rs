@@ -28,24 +28,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
-    let mut run = |label: String, protocol: ProtocolKind| -> Result<(), Box<dyn std::error::Error>> {
-        let config = SystemConfig::with_defaults(n).with_protocol(protocol);
-        let workload = SharingModel::new(params, n, 99)?;
-        let mut system = System::build(config)?;
-        let report = system.run(workload, refs_per_cpu)?;
-        let hit_ratio = report.stats.controller_totals().tlb_hit_ratio();
-        table.push_row(vec![
-            label,
-            fmt3(report.commands_per_reference()),
-            fmt3(report.useless_per_reference()),
-            if hit_ratio > 0.0 { fmt3(hit_ratio) } else { "-".into() },
-        ]);
-        Ok(())
-    };
+    let mut run =
+        |label: String, protocol: ProtocolKind| -> Result<(), Box<dyn std::error::Error>> {
+            let config = SystemConfig::with_defaults(n).with_protocol(protocol);
+            let workload = SharingModel::new(params, n, 99)?;
+            let mut system = System::build(config)?;
+            let report = system.run(workload, refs_per_cpu)?;
+            let hit_ratio = report.stats.controller_totals().tlb_hit_ratio();
+            table.push_row(vec![
+                label,
+                fmt3(report.commands_per_reference()),
+                fmt3(report.useless_per_reference()),
+                if hit_ratio > 0.0 {
+                    fmt3(hit_ratio)
+                } else {
+                    "-".into()
+                },
+            ]);
+            Ok(())
+        };
 
     run("two-bit (no buffer)".into(), ProtocolKind::TwoBit)?;
     for entries in [2u32, 4, 8, 16, 32] {
-        run(format!("two-bit + {entries}-entry buffer"), ProtocolKind::TwoBitTlb { entries })?;
+        run(
+            format!("two-bit + {entries}-entry buffer"),
+            ProtocolKind::TwoBitTlb { entries },
+        )?;
     }
     run("full map (the target)".into(), ProtocolKind::FullMap)?;
 

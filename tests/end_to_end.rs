@@ -74,9 +74,16 @@ fn larger_systems_stay_live_under_contention() {
         let mut system = System::build(config_for(protocol, n)).unwrap();
         let report = system.run(workload, 2_000).unwrap();
         assert_eq!(report.stats.total_references(), 32_000, "{protocol}");
-        let conflicts: u64 =
-            report.stats.controllers.iter().map(|c| c.conflicts_queued.get()).sum();
-        assert!(conflicts > 0, "{protocol}: contention must exercise the 3.2.5 queue");
+        let conflicts: u64 = report
+            .stats
+            .controllers
+            .iter()
+            .map(|c| c.conflicts_queued.get())
+            .sum();
+        assert!(
+            conflicts > 0,
+            "{protocol}: contention must exercise the 3.2.5 queue"
+        );
     }
 }
 
@@ -90,7 +97,10 @@ fn reports_are_deterministic_across_runs() {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.stats, b.stats, "{protocol}: simulation must be deterministic");
+        assert_eq!(
+            a.stats, b.stats,
+            "{protocol}: simulation must be deterministic"
+        );
         assert_eq!(a.cycles, b.cycles, "{protocol}");
     }
 }
@@ -120,7 +130,10 @@ fn directory_cost_hierarchy_holds() {
     let run = |protocol| {
         let workload = SharingModel::new(SharingParams::moderate(), n, 21).unwrap();
         let mut system = System::build(config_for(protocol, n)).unwrap();
-        system.run(workload, 10_000).unwrap().commands_per_reference()
+        system
+            .run(workload, 10_000)
+            .unwrap()
+            .commands_per_reference()
     };
     let full_map = run(ProtocolKind::FullMap);
     let tlb = run(ProtocolKind::TwoBitTlb { entries: 16 });
@@ -147,12 +160,19 @@ fn static_scheme_trades_hits_for_silence() {
     };
     let static_sw = run(ProtocolKind::StaticSoftware);
     let two_bit = run(ProtocolKind::TwoBit);
-    assert_eq!(static_sw.commands_per_reference(), 0.0, "no coherence commands at all");
+    assert_eq!(
+        static_sw.commands_per_reference(),
+        0.0,
+        "no coherence commands at all"
+    );
     // Every shared reference goes to memory: at least ~q of references
     // miss under the static scheme.
     let totals = static_sw.stats.cache_totals();
     let miss_rate = totals.misses() as f64 / totals.references() as f64;
-    assert!(miss_rate >= params.q * 0.9, "shared traffic never hits (miss rate {miss_rate})");
+    assert!(
+        miss_rate >= params.q * 0.9,
+        "shared traffic never hits (miss rate {miss_rate})"
+    );
     assert!(
         static_sw.hit_ratio() < two_bit.hit_ratio(),
         "read-mostly sharing: caching shared data wins ({} vs {})",

@@ -20,7 +20,11 @@ impl Replay {
         for (i, entry) in trace.entries().iter().enumerate() {
             per_cpu[entry.cpu.index()].push(i);
         }
-        Replay { trace, cursors: vec![0; cpus], per_cpu }
+        Replay {
+            trace,
+            cursors: vec![0; cpus],
+            per_cpu,
+        }
     }
 }
 
@@ -67,11 +71,26 @@ fn single_cpu_timed_equals_functional() {
         assert_eq!(f.read_hits, t.read_hits, "{protocol}: read hits");
         assert_eq!(f.read_misses, t.read_misses, "{protocol}: read misses");
         assert_eq!(f.write_misses, t.write_misses, "{protocol}: write misses");
-        assert_eq!(f.write_hits_clean, t.write_hits_clean, "{protocol}: MREQUESTs");
-        assert_eq!(f.evictions_dirty, t.evictions_dirty, "{protocol}: write-backs");
         assert_eq!(
-            f_stats.controllers.iter().map(|c| c.requests.get()).sum::<u64>(),
-            report.stats.controllers.iter().map(|c| c.requests.get()).sum::<u64>(),
+            f.write_hits_clean, t.write_hits_clean,
+            "{protocol}: MREQUESTs"
+        );
+        assert_eq!(
+            f.evictions_dirty, t.evictions_dirty,
+            "{protocol}: write-backs"
+        );
+        assert_eq!(
+            f_stats
+                .controllers
+                .iter()
+                .map(|c| c.requests.get())
+                .sum::<u64>(),
+            report
+                .stats
+                .controllers
+                .iter()
+                .map(|c| c.requests.get())
+                .sum::<u64>(),
             "{protocol}: controller requests"
         );
     }
@@ -110,8 +129,17 @@ fn multi_cpu_conservation_laws() {
     }
     // The two executors see the same workload, so gross per-protocol
     // activity lands in the same ballpark (interleaving changes details).
-    let f_recv: u64 = f_stats.caches.iter().map(|c| c.commands_received.get()).sum();
-    let t_recv: u64 = report.stats.caches.iter().map(|c| c.commands_received.get()).sum();
+    let f_recv: u64 = f_stats
+        .caches
+        .iter()
+        .map(|c| c.commands_received.get())
+        .sum();
+    let t_recv: u64 = report
+        .stats
+        .caches
+        .iter()
+        .map(|c| c.commands_received.get())
+        .sum();
     let ratio = f_recv.max(1) as f64 / t_recv.max(1) as f64;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -144,7 +172,9 @@ fn functional_soak_with_invariants() {
     for round in 0..4_000 {
         for k in CacheId::all(n) {
             let op = workload.next_ref(k);
-            system.do_ref(k, op).unwrap_or_else(|e| panic!("round {round}: {e}"));
+            system
+                .do_ref(k, op)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
 }

@@ -24,7 +24,11 @@ fn simultaneous_mrequests_verified_exhaustively() {
             ModelChecker::new(config, vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]]).unwrap();
         let result = checker.explore_exhaustive(1_000_000).unwrap();
         assert!(!result.truncated, "{protocol}: must be fully exhaustive");
-        assert!(result.interleavings > 1_000, "{protocol}: {}", result.interleavings);
+        assert!(
+            result.interleavings > 1_000,
+            "{protocol}: {}",
+            result.interleavings
+        );
     }
 }
 
@@ -41,5 +45,8 @@ fn random_walks_on_a_bigger_mix() {
     )
     .unwrap();
     let result = checker.explore_random(500, 0xfeed).unwrap();
-    assert_eq!(result.interleavings, 500, "every walk must reach clean quiescence");
+    assert_eq!(
+        result.interleavings, 500,
+        "every walk must reach clean quiescence"
+    );
 }

@@ -6,6 +6,7 @@ use twobit::analytic::{acceptability, dubois_briggs, table4_1, SharingCase};
 /// Table 4-1: every cell matches the paper's printed value to its own
 /// three-decimal precision, except the one documented erratum.
 #[test]
+#[allow(clippy::needless_range_loop)] // grid subscripts match the printed table
 fn table_4_1_matches_paper() {
     let computed = table4_1::computed_grid();
     let (eci, ewi, eni, _, corrected) = table4_1::PAPER_ERRATUM;
@@ -15,7 +16,11 @@ fn table_4_1_matches_paper() {
             for ni in 0..5 {
                 let paper = table4_1::PAPER_TABLE_4_1[ci][wi][ni];
                 let ours = computed[ci][wi][ni];
-                let expected = if (ci, wi, ni) == (eci, ewi, eni) { corrected } else { paper };
+                let expected = if (ci, wi, ni) == (eci, ewi, eni) {
+                    corrected
+                } else {
+                    paper
+                };
                 assert!(
                     (ours - expected).abs() < 0.0015,
                     "cell case{ci}/w{wi}/n{ni}: {ours:.4} vs paper {expected:.4}"
@@ -30,6 +35,7 @@ fn table_4_1_matches_paper() {
 /// Table 4-2: the reconstructed model lands within 15% of every printed
 /// cell and preserves all orderings.
 #[test]
+#[allow(clippy::needless_range_loop)] // grid subscripts match the printed table
 fn table_4_2_shape_matches_paper() {
     let computed = dubois_briggs::computed_grid();
     for qi in 0..3 {
@@ -82,7 +88,10 @@ fn directory_size_economy() {
     let block_bits = 16 * 8;
     let full_map_tag = 16 + 1;
     let overhead = full_map_tag as f64 / block_bits as f64;
-    assert!((overhead - 0.1328).abs() < 0.001, "17 bits per 128-bit block ≈ 13.3%");
+    assert!(
+        (overhead - 0.1328).abs() < 0.001,
+        "17 bits per 128-bit block ≈ 13.3%"
+    );
     let two_bit_overhead = 2.0 / block_bits as f64;
     assert!(two_bit_overhead < 0.016, "two bits per block ≈ 1.6%");
 }
@@ -91,5 +100,8 @@ fn directory_size_economy() {
 #[test]
 fn tlb_ninety_percent_claim() {
     let residual = twobit::analytic::enhancements::tlb_residual_overhead(1.0, 0.9).unwrap();
-    assert!((residual - 0.1).abs() < 1e-12, "90% hits eliminate 90% of the overhead");
+    assert!(
+        (residual - 0.1).abs() < 1e-12,
+        "90% hits eliminate 90% of the overhead"
+    );
 }

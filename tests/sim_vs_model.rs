@@ -74,7 +74,10 @@ fn received_rate_is_t_sum_not_n_minus_1_t_sum() {
         to_t_sum < to_scaled,
         "measured {measured:.3} is closer to T_SUM {t_sum:.3} than to (n-1)T_SUM {scaled:.3}"
     );
-    assert!(to_t_sum < 0.5, "and within 50% of T_SUM (got {to_t_sum:.2})");
+    assert!(
+        to_t_sum < 0.5,
+        "and within 50% of T_SUM (got {to_t_sum:.2})"
+    );
 }
 
 /// The model's emergent shared hit ratio also matches simulation: a
@@ -92,7 +95,13 @@ fn model_hit_ratio_matches_pure_shared_simulation() {
     };
     // Sixteen shared blocks fit every cache: replacement is negligible,
     // so the model's eviction rate goes to (almost) zero.
-    let model = MarkovModel { n, q: 1.0, w, shared_blocks: 16, eviction_rate: 1e-9 };
+    let model = MarkovModel {
+        n,
+        q: 1.0,
+        w,
+        shared_blocks: 16,
+        eviction_rate: 1e-9,
+    };
     let s = model.solve().unwrap();
 
     let config = SystemConfig::with_defaults(n).with_protocol(ProtocolKind::TwoBit);

@@ -31,7 +31,11 @@ fn same_trace_same_stats_across_protocol_reruns() {
     let n = 3;
     let mut gen = SharingModel::new(SharingParams::moderate(), n, 9).unwrap();
     let trace = Trace::record(&mut gen, n, 1_500);
-    for protocol in [ProtocolKind::TwoBit, ProtocolKind::FullMap, ProtocolKind::FullMapLocal] {
+    for protocol in [
+        ProtocolKind::TwoBit,
+        ProtocolKind::FullMap,
+        ProtocolKind::FullMapLocal,
+    ] {
         let run = || {
             let config = SystemConfig::with_defaults(n).with_protocol(protocol);
             let mut system = FunctionalSystem::new(config).unwrap();

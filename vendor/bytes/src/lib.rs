@@ -1,0 +1,228 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`/`BytesMut` backed by plain `Vec<u8>` plus the subset
+//! of `Buf`/`BufMut` the workspace's binary trace codec uses. No
+//! refcounted zero-copy slicing — callers here never rely on it.
+
+use std::fmt;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Total length, including consumed bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no bytes at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unconsumed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+/// Read side: sequential little-endian extraction.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes([self.get_u8(), self.get_u8()])
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes([self.get_u8(), self.get_u8(), self.get_u8(), self.get_u8()])
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        for slot in &mut b {
+            *slot = self.get_u8();
+        }
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.pos < self.data.len(), "buffer underflow");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// Write side: sequential little-endian appends.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        for b in v.to_le_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]) {
+        for &b in src {
+            self.put_u8(b);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u64_le(0xdead_beef_1234_5678);
+        w.put_u16_le(42);
+        w.put_u8(7);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.get_u64_le(), 0xdead_beef_1234_5678);
+        assert_eq!(r.get_u16_le(), 42);
+        assert_eq!(r.get_u8(), 7);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn from_static_reads() {
+        let mut b = Bytes::from_static(b"ab");
+        assert_eq!(b.get_u8(), b'a');
+        assert_eq!(b.remaining(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`: the `scope` API over
+//! `std::thread::scope` (which did not exist when crossbeam introduced
+//! scoped threads, and which fully covers this workspace's usage).
+
+use std::any::Any;
+
+/// The scope handle passed to spawned closures (crossbeam's closures take
+/// the scope again so they can spawn nested work).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope whose spawned threads all join before `scope`
+/// returns. Mirrors crossbeam's signature: the `Err` side (a panicked
+/// child) is produced by std's scope unwinding instead, so in practice
+/// this always returns `Ok` or propagates the panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share() {
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| count.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+}

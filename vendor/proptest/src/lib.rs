@@ -1,0 +1,576 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy surface this workspace's property tests use —
+//! integer ranges, `any::<T>()`, tuples, `prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`, `Just` — plus the `proptest!` test macro.
+//! Unlike real proptest there is no shrinking: each test runs its body
+//! over `cases` deterministically seeded random samples (seed derived
+//! from the test name), and a failing case panics with the plain
+//! assertion message. That keeps failures reproducible without any
+//! persistence files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner plumbing (RNG + configuration).
+pub mod test_runner {
+    use super::*;
+
+    /// The deterministic generator driving one property test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name (FNV-1a over the bytes), so every
+        /// property test has a stable, independent stream.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.gen::<u64>()
+        }
+
+        /// A float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.gen::<f64>()
+        }
+
+        /// A uniform index in `0..n`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero.
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot index an empty choice");
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` samples.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_one(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (for heterogeneous unions).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> T {
+        (**self).sample_one(rng)
+    }
+}
+
+/// `prop_map`'s strategy.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample_one(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample_one(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_one(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.arms.len());
+        self.arms[i].sample_one(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start + off as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                start + off as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = ((u128::from(rng.next_u64()) * u128::from(span as u64)) >> 64) as $u;
+                self.start.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample_one(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// A `&str` is a regex strategy producing matching `String`s, as in real
+/// proptest. Supported subset: literal characters, `[...]` classes with
+/// ranges, and the repetition operators `{n}`, `{m,n}`, `?`, `+`, `*`
+/// (unbounded repeats capped at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample_one(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a literal char or a character class.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated [class] in regex strategy")
+                    + i;
+                let mut set = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in [class]");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional repetition operator.
+            let (lo, hi) = match chars.get(i) {
+                Some('?') => {
+                    i += 1;
+                    (0usize, 1usize)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated {rep} in regex strategy")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad lower repeat bound"),
+                            n.trim().parse().expect("bad upper repeat bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            let count = if lo == hi {
+                lo
+            } else {
+                (lo..=hi).sample_one(rng)
+            };
+            for _ in 0..count {
+                out.push(atom[rng.index(atom.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Builds the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_one(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_one(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A `Vec` of `element`s with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy [`vec`] builds.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.start..self.size.end).sample_one(rng);
+            (0..len).map(|_| self.element.sample_one(rng)).collect()
+        }
+    }
+}
+
+/// Boxes a strategy for `prop_oneof!` (a free function so the macro can
+/// unify arm types by inference).
+pub fn boxed_arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    /// Mirror of real proptest's `prelude::prop` module re-export.
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof};
+    pub use crate::{proptest, Arbitrary, Just, Strategy};
+}
+
+/// Asserts inside a property body (no shrinking here: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_arm($arm)),+])
+    };
+}
+
+/// Declares property tests: each generated `#[test]` samples its
+/// arguments `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $($crate::__proptest_one! {
+            cfg = $cfg;
+            $(#[$meta])* fn $name($($arg in $strat),*) $body
+        })*
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $($crate::__proptest_one! {
+            cfg = $crate::test_runner::Config::default();
+            $(#[$meta])* fn $name($($arg in $strat),*) $body
+        })*
+    };
+}
+
+/// Expands one property test (implementation detail of [`proptest!`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),*) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample_one(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Shape {
+        Dot(u64),
+        Flag(bool),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u64..10, any::<bool>()).prop_map(|(n, b)| if b { n } else { n + 100 }),
+        ) {
+            prop_assert!(pair < 10 || (100..110).contains(&pair));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(
+            shapes in prop::collection::vec(
+                prop_oneof![
+                    (0u64..5).prop_map(Shape::Dot),
+                    any::<bool>().prop_map(Shape::Flag),
+                ],
+                1..50,
+            ),
+        ) {
+            prop_assert!(!shapes.is_empty() && shapes.len() < 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_controls_cases(_x in 0u64..2) {
+            // Just exercising the configured path.
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        let s = (0u64..1000, any::<bool>());
+        for _ in 0..50 {
+            assert_eq!(s.sample_one(&mut a), s.sample_one(&mut b));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! markers on plain data types (no `serde_json` or other serializer is in
+//! the dependency tree), so the traits here are deliberately empty: the
+//! derives expand to empty impls and everything compiles exactly as it
+//! would against real serde. Actual wire formats in this workspace are
+//! hand-rolled (`twobit-workload`'s binary trace, `twobit-obs`'s JSONL).
+
+/// Marker trait matching `serde::Serialize`'s role in this workspace.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s role in this workspace.
+pub trait Deserialize<'de> {}
+
+/// Marker trait matching `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

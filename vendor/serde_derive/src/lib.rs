@@ -1,0 +1,147 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The real serde_derive generates visitor-based impls; since the stub
+//! traits are empty markers, all we need is the item's name and generic
+//! parameters, parsed directly from the token stream (no syn/quote in an
+//! offline build). Lifetimes and type parameters are carried through so
+//! generic containers would also derive cleanly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The parts of an item header we need to emit an impl block.
+struct Header {
+    name: String,
+    /// Generic parameter *declarations*, e.g. `<'a, T: Clone>` (may be empty).
+    decl: String,
+    /// Generic parameter *uses*, e.g. `<'a, T>` (may be empty).
+    args: String,
+}
+
+/// Extracts the item name and generics from a `struct`/`enum` definition.
+fn parse_header(input: TokenStream) -> Header {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifiers until the
+    // `struct`/`enum` keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) => {
+                let word = i.to_string();
+                tokens.next();
+                if word == "struct" || word == "enum" || word == "union" {
+                    break;
+                }
+                // `pub`, `pub(crate)` parens are Groups, handled below.
+            }
+            Some(_) => {
+                tokens.next();
+            }
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    // Collect generics if the next token opens `<...>`.
+    let mut decl = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut raw = String::new();
+            for tok in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw.push_str(&tok.to_string());
+                raw.push(' ');
+            }
+            decl = format!("<{raw}>");
+            args = format!("<{}>", strip_bounds(&raw));
+        }
+    }
+    Header { name, decl, args }
+}
+
+/// Turns `'a, T: Clone + Send, const N: usize` into `'a, T, N` for the
+/// impl's type-argument position. Splits on top-level commas and keeps the
+/// first path segment of each parameter.
+fn strip_bounds(raw: &str) -> String {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in raw.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out.iter()
+        .map(|p| {
+            let p = p.trim();
+            let p = p.strip_prefix("const ").unwrap_or(p);
+            p.split(':').next().unwrap_or(p).trim().to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Derives the empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let h = parse_header(input);
+    format!(
+        "impl {decl} serde::Serialize for {name} {args} {{}}",
+        decl = h.decl,
+        name = h.name,
+        args = h.args
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let h = parse_header(input);
+    // The fresh `'de` lifetime must be threaded into existing generics.
+    let decl = if h.decl.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", &h.decl[1..])
+    };
+    format!(
+        "impl {decl} serde::Deserialize<'de> for {name} {args} {{}}",
+        name = h.name,
+        args = h.args
+    )
+    .parse()
+    .expect("generated impl parses")
+}
