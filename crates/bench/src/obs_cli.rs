@@ -27,30 +27,63 @@ pub struct ObsArgs {
     pub trace_out: Option<PathBuf>,
     /// Print the metrics summary alongside the main table.
     pub metrics: bool,
+    /// Worker threads for parallel exploration (model-checking binaries).
+    pub jobs: Option<usize>,
+    /// Node budget override for bounded exploration.
+    pub budget: Option<u64>,
 }
 
 impl ObsArgs {
-    /// Parses `--metrics` and `--trace-out <path>` (or `--trace-out=path`)
-    /// out of the process arguments, ignoring everything else.
+    /// Parses `--metrics`, `--trace-out <path>`, `--jobs <n>`, and
+    /// `--budget <n>` (each value flag also accepts the `--flag=value`
+    /// spelling) out of the process arguments, ignoring everything else.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message if `--trace-out` is given without a
-    /// path.
+    /// Panics with a usage message if a value flag is given without (or
+    /// with an unparsable) value.
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// [`ObsArgs::from_env`], but over an explicit argument list.
+    ///
+    /// # Panics
+    ///
+    /// Exactly as [`ObsArgs::from_env`].
+    #[must_use]
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        fn value(
+            flag: &str,
+            inline: Option<&str>,
+            args: &mut dyn Iterator<Item = String>,
+        ) -> String {
+            match inline {
+                Some(v) => v.to_string(),
+                None => args
+                    .next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value argument")),
+            }
+        }
+        fn parsed<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants a number, got {raw:?}"))
+        }
         let mut out = ObsArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             if arg == "--metrics" {
                 out.metrics = true;
-            } else if arg == "--trace-out" {
-                let path = args
-                    .next()
-                    .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
-                out.trace_out = Some(PathBuf::from(path));
-            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
-                out.trace_out = Some(PathBuf::from(path));
+            } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
+                let v = value("--trace-out", arg.strip_prefix("--trace-out="), &mut args);
+                out.trace_out = Some(PathBuf::from(v));
+            } else if arg == "--jobs" || arg.starts_with("--jobs=") {
+                let v = value("--jobs", arg.strip_prefix("--jobs="), &mut args);
+                out.jobs = Some(parsed("--jobs", &v));
+            } else if arg == "--budget" || arg.starts_with("--budget=") {
+                let v = value("--budget", arg.strip_prefix("--budget="), &mut args);
+                out.budget = Some(parsed("--budget", &v));
             }
         }
         out
@@ -101,6 +134,25 @@ pub fn metrics_block(label: &str, report: &Report) -> String {
 mod tests {
     use super::*;
     use twobit_types::{ProtocolKind, SystemStats};
+
+    #[test]
+    fn args_parse_all_flag_spellings() {
+        let args = ["--metrics", "--jobs", "3", "--budget=250000", "--unrelated"]
+            .into_iter()
+            .map(String::from);
+        let obs = ObsArgs::from_args(args);
+        assert!(obs.metrics);
+        assert_eq!(obs.jobs, Some(3));
+        assert_eq!(obs.budget, Some(250_000));
+        assert!(obs.trace_out.is_none());
+
+        let args = ["--jobs=8", "--trace-out", "t.jsonl"]
+            .into_iter()
+            .map(String::from);
+        let obs = ObsArgs::from_args(args);
+        assert_eq!(obs.jobs, Some(8));
+        assert_eq!(obs.trace_out, Some(PathBuf::from("t.jsonl")));
+    }
 
     #[test]
     fn metrics_block_empty_without_obs() {

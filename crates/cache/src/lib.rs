@@ -48,5 +48,5 @@ mod set;
 mod store;
 
 pub use meta::LineMeta;
-pub use set::{CacheSet, EvictedLine, Line};
-pub use store::Cache;
+pub use set::{CacheSet, CanonicalLine, EvictedLine, Line};
+pub use store::{Cache, CanonicalSet};

@@ -20,6 +20,35 @@ pub struct Line<S> {
     inserted: u64,
 }
 
+/// A replacement-order snapshot of one occupied way, with the absolute
+/// use-clock stamps reduced to per-set **ranks**.
+///
+/// Victim selection depends only on the relative order of `(stamp, way)`
+/// pairs within a set — never on absolute stamp values, and new stamps
+/// always exceed existing ones — so two sets whose canonical snapshots
+/// are equal behave identically under any future operation sequence.
+/// This is what lets the model checker fingerprint logically identical
+/// cache states reached along different interleavings to the same value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalLine<S> {
+    /// The way this line occupies.
+    pub way: u32,
+    /// The cached block.
+    pub addr: BlockAddr,
+    /// Protocol state (invalid-state lines still occupy their way and are
+    /// included: they block the free-way fast path and participate in
+    /// victim selection).
+    pub state: S,
+    /// Data stand-in.
+    pub version: Version,
+    /// Rank of this line's `(last_use, way)` among the set's occupied
+    /// ways (0 = least recently used, the LRU victim).
+    pub lru_rank: u32,
+    /// Rank of this line's `(inserted, way)` among the set's occupied
+    /// ways (0 = first inserted, the FIFO victim).
+    pub fifo_rank: u32,
+}
+
 /// A line pushed out of a set by an insertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine<S> {
@@ -164,6 +193,50 @@ impl<S: LineMeta> CacheSet<S> {
     /// Iterates over the valid lines of this set.
     pub fn valid_lines(&self) -> impl Iterator<Item = &Line<S>> {
         self.ways.iter().flatten().filter(|l| l.state.is_valid())
+    }
+
+    /// The set's occupied ways with replacement stamps reduced to ranks
+    /// (see [`CanonicalLine`]), ordered by way index.
+    #[must_use]
+    pub fn canonical_lines(&self) -> Vec<CanonicalLine<S>> {
+        let occupied: Vec<(usize, &Line<S>)> = self
+            .ways
+            .iter()
+            .enumerate()
+            .filter_map(|(w, slot)| slot.as_ref().map(|l| (w, l)))
+            .collect();
+        let rank_of = |key: &dyn Fn(&Line<S>) -> u64| -> Vec<(usize, u32)> {
+            let mut order: Vec<(u64, usize)> = occupied.iter().map(|&(w, l)| (key(l), w)).collect();
+            order.sort_unstable();
+            order
+                .into_iter()
+                .enumerate()
+                .map(|(rank, (_, w))| (w, rank as u32))
+                .collect()
+        };
+        let lru: std::collections::HashMap<usize, u32> =
+            rank_of(&|l: &Line<S>| l.last_use).into_iter().collect();
+        let fifo: std::collections::HashMap<usize, u32> =
+            rank_of(&|l: &Line<S>| l.inserted).into_iter().collect();
+        occupied
+            .into_iter()
+            .map(|(w, l)| CanonicalLine {
+                way: w as u32,
+                addr: l.addr,
+                state: l.state,
+                version: l.version,
+                lru_rank: lru[&w],
+                fifo_rank: fifo[&w],
+            })
+            .collect()
+    }
+
+    /// The per-set xorshift state driving [`ReplacementPolicy::Random`]
+    /// victim selection. Constant under LRU/FIFO; under Random it is part
+    /// of the set's future-relevant state and must be fingerprinted.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng
     }
 
     /// Number of valid lines.
@@ -350,6 +423,28 @@ mod tests {
         assert_eq!(e.addr, blk(1));
         assert_eq!(e.state, LineState::Dirty);
         assert_eq!(e.version, Version::new(5));
+    }
+
+    #[test]
+    fn canonical_lines_rank_reduce_absolute_stamps() {
+        // Same logical history at different absolute clock offsets must
+        // canonicalize identically.
+        let build = |base: u64| {
+            let mut s = lru_set(2);
+            s.insert(blk(1), LineState::Clean, Version::initial(), base);
+            s.insert(blk(3), LineState::Dirty, Version::new(2), base + 1);
+            s.touch(blk(1), base + 2);
+            s.canonical_lines()
+        };
+        assert_eq!(build(0), build(1000));
+        let lines = build(0);
+        assert_eq!(lines.len(), 2);
+        // Block 3 was inserted later (fifo_rank 1) but touched-block 1 is
+        // more recently used (block 3 has lru_rank 0).
+        let b3 = lines.iter().find(|l| l.addr == blk(3)).unwrap();
+        assert_eq!((b3.lru_rank, b3.fifo_rank), (0, 1));
+        let b1 = lines.iter().find(|l| l.addr == blk(1)).unwrap();
+        assert_eq!((b1.lru_rank, b1.fifo_rank), (1, 0));
     }
 
     #[test]

@@ -1,8 +1,20 @@
 //! The whole tag store: sets indexed by block address.
 
 use crate::meta::LineMeta;
-use crate::set::{CacheSet, EvictedLine, Line};
+use crate::set::{CacheSet, CanonicalLine, EvictedLine, Line};
 use twobit_types::{BlockAddr, CacheOrg, Version};
+
+/// One set's canonical snapshot: rank-reduced lines plus the per-set
+/// replacement rng (see [`CanonicalLine`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalSet<S> {
+    /// The set index.
+    pub index: u32,
+    /// The per-set xorshift state ([`CacheSet::rng_state`]).
+    pub rng: u64,
+    /// Occupied ways in way order, stamps reduced to ranks.
+    pub lines: Vec<CanonicalLine<S>>,
+}
 
 /// A set-associative cache tag store with per-line protocol metadata `S`.
 ///
@@ -132,6 +144,24 @@ impl<S: LineMeta> Cache<S> {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.org.total_blocks() as usize
+    }
+
+    /// Canonical per-set snapshots for state fingerprinting, in set
+    /// order. The cache's absolute use-clock is deliberately excluded:
+    /// future behavior depends only on the per-set stamp *order* captured
+    /// by the ranks (fresh stamps always exceed existing ones), so two
+    /// caches with equal snapshots are behaviorally identical.
+    #[must_use]
+    pub fn canonical_sets(&self) -> Vec<CanonicalSet<S>> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| CanonicalSet {
+                index: i as u32,
+                rng: set.rng_state(),
+                lines: set.canonical_lines(),
+            })
+            .collect()
     }
 }
 

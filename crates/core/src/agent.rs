@@ -28,8 +28,8 @@ use std::fmt;
 use twobit_cache::Cache;
 use twobit_cache::LineMeta as _;
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, CacheOrg, CacheStats, CacheToMemory, MemRef, MemoryToCache,
-    ProtocolError, Version, WritebackKind,
+    AccessKind, BlockAddr, CacheId, CacheOrg, CacheStats, CacheToMemory, Fingerprinter, MemRef,
+    MemoryToCache, ProtocolError, Version, WritebackKind,
 };
 
 /// The cache discipline an agent runs (see module docs).
@@ -224,6 +224,79 @@ impl CacheAgent {
     #[must_use]
     pub fn is_stalled(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Feeds this agent's complete future-relevant state into `fp` for
+    /// the model checker's visited-set: tag store (replacement stamps
+    /// rank-reduced, see [`Cache::canonical_sets`]), BIAS filter, and the
+    /// outstanding reference. Statistics counters never influence
+    /// behavior and are excluded, as are the per-run constants (`policy`
+    /// is still included: it is cheap and guards against cross-config
+    /// fingerprint reuse).
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_usize(self.id.index());
+        match self.policy {
+            AgentPolicy::WriteBack { use_exclusive } => {
+                fp.write_tag(0);
+                fp.write_bool(use_exclusive);
+            }
+            AgentPolicy::WriteThrough => fp.write_tag(1),
+            AgentPolicy::Static { shared_from } => {
+                fp.write_tag(2);
+                fp.write_u64(shared_from);
+            }
+        }
+        for set in self.cache.canonical_sets() {
+            fp.write_u64(u64::from(set.index));
+            fp.write_u64(set.rng);
+            fp.write_usize(set.lines.len());
+            for line in set.lines {
+                fp.write_u64(u64::from(line.way));
+                fp.write_u64(line.addr.number());
+                fp.write_tag(match line.state {
+                    LocalState::Invalid => 0,
+                    LocalState::Shared => 1,
+                    LocalState::Exclusive => 2,
+                    LocalState::Dirty => 3,
+                });
+                fp.write_u64(line.version.raw());
+                fp.write_u64(u64::from(line.lru_rank));
+                fp.write_u64(u64::from(line.fifo_rank));
+            }
+        }
+        // BIAS: both the buffered blocks and the overwrite cursor steer
+        // future filtering (the cursor picks the next slot replaced).
+        fp.write_usize(self.bias.entries.len());
+        for &a in &self.bias.entries {
+            fp.write_u64(a.number());
+        }
+        fp.write_usize(self.bias.cursor);
+        match &self.pending {
+            None => fp.write_tag(0),
+            Some(p) => {
+                fp.write_tag(1);
+                fp.write_u64(p.a.number());
+                fp.write_tag(match p.kind {
+                    PendingKind::ReadMiss => 0,
+                    PendingKind::WriteMiss => 1,
+                    PendingKind::Modify => 2,
+                    PendingKind::DirectRead => 3,
+                });
+                fp.write_u64(p.op.addr.block.number());
+                fp.write_u64(u64::from(p.op.addr.offset));
+                fp.write_tag(match p.op.kind {
+                    AccessKind::Read => 0,
+                    AccessKind::Write => 1,
+                });
+                match p.store_version {
+                    None => fp.write_tag(0),
+                    Some(v) => {
+                        fp.write_tag(1);
+                        fp.write_u64(v.raw());
+                    }
+                }
+            }
+        }
     }
 
     /// Presents a processor reference. For stores, `store_version` is the

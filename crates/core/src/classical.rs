@@ -14,7 +14,9 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
-use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
+use twobit_types::{
+    BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
+};
 
 /// The classical write-through broadcast scheme's memory side.
 #[derive(Debug, Default, Clone)]
@@ -31,6 +33,10 @@ impl ClassicalDirectory {
 impl DirectoryProtocol for ClassicalDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(5); // scheme discriminant; no directory state to add
     }
 
     fn name(&self) -> &'static str {
@@ -125,6 +131,10 @@ impl NullDirectory {
 impl DirectoryProtocol for NullDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(6); // scheme discriminant; no directory state to add
     }
 
     fn name(&self) -> &'static str {

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use twobit_obs::{ActorId, SimEvent, Tracer};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats, Counter,
-    MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
+    Fingerprinter, MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
 };
 
 /// A message the controller wants delivered, with its timing class.
@@ -162,6 +162,61 @@ impl Controller {
     #[must_use]
     pub fn busy(&self) -> bool {
         !self.awaiting.is_empty() || !self.queue.is_empty() || !self.eject_locked.is_empty()
+    }
+
+    /// Feeds the controller's complete future-relevant state into `fp`
+    /// for the model checker's visited-set: the directory FSM (via
+    /// [`DirectoryProtocol::fingerprint`]), the memory image, and the
+    /// section 3.2.5 transaction bookkeeping (awaiting set, eject locks,
+    /// conflict queue — in queue order, since service order matters).
+    /// Unordered sets are sorted first so the encoding is
+    /// path-independent; statistics are excluded.
+    pub fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_usize(self.module.index());
+        self.protocol.fingerprint(fp);
+        let mut blocks: Vec<(u64, u64)> = self
+            .memory
+            .written_blocks()
+            .map(|(a, v)| (a.number(), v.raw()))
+            .collect();
+        blocks.sort_unstable();
+        fp.write_usize(blocks.len());
+        for (a, v) in blocks {
+            fp.write_u64(a);
+            fp.write_u64(v);
+        }
+        let mut awaiting: Vec<(u64, bool)> = self
+            .awaiting
+            .iter()
+            .map(|(a, rw)| (a.number(), rw.is_write()))
+            .collect();
+        awaiting.sort_unstable();
+        fp.write_usize(awaiting.len());
+        for (a, w) in awaiting {
+            fp.write_u64(a);
+            fp.write_bool(w);
+        }
+        let mut announced: Vec<(usize, u64)> = self
+            .eject_announced
+            .iter()
+            .map(|&(k, a)| (k.index(), a.number()))
+            .collect();
+        announced.sort_unstable();
+        fp.write_usize(announced.len());
+        for (k, a) in announced {
+            fp.write_usize(k);
+            fp.write_u64(a);
+        }
+        let mut locked: Vec<u64> = self.eject_locked.iter().map(|a| a.number()).collect();
+        locked.sort_unstable();
+        fp.write_usize(locked.len());
+        for a in locked {
+            fp.write_u64(a);
+        }
+        fp.write_usize(self.queue.len());
+        for cmd in &self.queue {
+            crate::fp::cache_to_memory(cmd, fp);
+        }
     }
 
     /// Number of queued (conflict-deferred) requests.

@@ -13,7 +13,9 @@
 
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
-use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
+use twobit_types::{
+    BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
+};
 
 /// The transaction-opening commands a controller can hand a protocol,
 /// i.e. the four protocol instances of section 2.4 plus the write-through
@@ -194,6 +196,16 @@ pub trait DirectoryProtocol: std::fmt::Debug + Send {
     /// bounded model checker to branch the system state at every possible
     /// message-delivery interleaving.
     fn clone_box(&self) -> Box<dyn DirectoryProtocol>;
+
+    /// Feeds the directory's complete decision-relevant state into `fp`
+    /// in a canonical (path-independent) order, for the model checker's
+    /// visited-set. Implementations must cover everything that can steer
+    /// a future [`DirectoryProtocol::open`]/supply/eject decision —
+    /// per-block global states, waiting records, owner sets, TLB
+    /// contents — and must exclude pure observability counters (e.g. TLB
+    /// hit/miss tallies): two states differing only in counters behave
+    /// identically, and folding counters in would defeat deduplication.
+    fn fingerprint(&self, fp: &mut Fingerprinter);
 
     /// Checks that this directory's knowledge of `a` is consistent with
     /// the ground truth (`clean` = caches holding a clean copy, `dirty` =

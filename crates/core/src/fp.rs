@@ -1,0 +1,158 @@
+//! Canonical fingerprint encoders for the Table 3-1 command set.
+//!
+//! Every in-flight command is part of the model checker's system state:
+//! two states that differ only in a queued or undelivered command can
+//! diverge arbitrarily, so channel contents and controller queues feed
+//! the visited-set fingerprint through these encoders. Each variant is
+//! framed by a distinct tag before its fields, so commands with
+//! overlapping field values (e.g. `REQUEST` vs `DIRECTREAD` of the same
+//! block) cannot alias.
+
+use twobit_types::{AccessKind, CacheToMemory, Fingerprinter, MemoryToCache, WritebackKind};
+
+#[inline]
+fn rw_tag(rw: AccessKind) -> u64 {
+    match rw {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    }
+}
+
+/// Absorbs a cache→memory command.
+pub(crate) fn cache_to_memory(cmd: &CacheToMemory, fp: &mut Fingerprinter) {
+    match *cmd {
+        CacheToMemory::Request { k, a, rw } => {
+            fp.write_tag(0);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+            fp.write_tag(rw_tag(rw));
+        }
+        CacheToMemory::MRequest { k, a, version } => {
+            fp.write_tag(1);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+            fp.write_u64(version.raw());
+        }
+        CacheToMemory::Eject { k, olda, wb } => {
+            fp.write_tag(2);
+            fp.write_usize(k.index());
+            fp.write_u64(olda.number());
+            fp.write_tag(match wb {
+                WritebackKind::Clean => 0,
+                WritebackKind::Dirty => 1,
+            });
+        }
+        CacheToMemory::PutData { from, a, version } => {
+            fp.write_tag(3);
+            fp.write_usize(from.index());
+            fp.write_u64(a.number());
+            fp.write_u64(version.raw());
+        }
+        CacheToMemory::WriteThrough { k, a, version } => {
+            fp.write_tag(4);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+            fp.write_u64(version.raw());
+        }
+        CacheToMemory::DirectRead { k, a } => {
+            fp.write_tag(5);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+        }
+    }
+}
+
+/// Absorbs a memory→cache command.
+pub(crate) fn memory_to_cache(cmd: &MemoryToCache, fp: &mut Fingerprinter) {
+    match *cmd {
+        MemoryToCache::GetData {
+            k,
+            a,
+            version,
+            exclusive,
+        } => {
+            fp.write_tag(0);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+            fp.write_u64(version.raw());
+            fp.write_bool(exclusive);
+        }
+        MemoryToCache::BroadInv { a, exclude } => {
+            fp.write_tag(1);
+            fp.write_u64(a.number());
+            fp.write_usize(exclude.index());
+        }
+        MemoryToCache::BroadQuery { a, rw } => {
+            fp.write_tag(2);
+            fp.write_u64(a.number());
+            fp.write_tag(rw_tag(rw));
+        }
+        MemoryToCache::MGranted { k, a, granted } => {
+            fp.write_tag(3);
+            fp.write_usize(k.index());
+            fp.write_u64(a.number());
+            fp.write_bool(granted);
+        }
+        MemoryToCache::Inv { a, to } => {
+            fp.write_tag(4);
+            fp.write_u64(a.number());
+            fp.write_usize(to.index());
+        }
+        MemoryToCache::Purge { a, to, rw } => {
+            fp.write_tag(5);
+            fp.write_u64(a.number());
+            fp.write_usize(to.index());
+            fp.write_tag(rw_tag(rw));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::{BlockAddr, CacheId, Version};
+
+    #[test]
+    fn variant_tags_prevent_aliasing() {
+        let k = CacheId::new(0);
+        let a = BlockAddr::new(7);
+        let mut f1 = Fingerprinter::new();
+        cache_to_memory(
+            &CacheToMemory::Request {
+                k,
+                a,
+                rw: AccessKind::Read,
+            },
+            &mut f1,
+        );
+        let mut f2 = Fingerprinter::new();
+        cache_to_memory(&CacheToMemory::DirectRead { k, a }, &mut f2);
+        assert_ne!(f1.finish(), f2.finish());
+
+        let mut f3 = Fingerprinter::new();
+        memory_to_cache(&MemoryToCache::Inv { a, to: k }, &mut f3);
+        let mut f4 = Fingerprinter::new();
+        memory_to_cache(&MemoryToCache::BroadInv { a, exclude: k }, &mut f4);
+        assert_ne!(f3.finish(), f4.finish());
+
+        let mut f5 = Fingerprinter::new();
+        cache_to_memory(
+            &CacheToMemory::PutData {
+                from: k,
+                a,
+                version: Version::new(3),
+            },
+            &mut f5,
+        );
+        let mut f6 = Fingerprinter::new();
+        cache_to_memory(
+            &CacheToMemory::WriteThrough {
+                k,
+                a,
+                version: Version::new(3),
+            },
+            &mut f6,
+        );
+        assert_ne!(f5.finish(), f6.finish());
+    }
+}

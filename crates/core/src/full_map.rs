@@ -13,7 +13,8 @@ use crate::owner_set::OwnerSet;
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+    AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
+    WritebackKind,
 };
 
 /// One block's full-map entry: presence vector plus modified bit.
@@ -91,6 +92,38 @@ impl FullMapDirectory {
 impl DirectoryProtocol for FullMapDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(3); // scheme discriminant
+                         // Entries are encoded raw (no empty-entry normalization): an
+                         // empty presence vector left behind by ejects is still distinct
+                         // directory state, and encoding it as-is can only cost dedup
+                         // power, never soundness.
+        let mut entries: Vec<(u64, &Entry)> =
+            self.entries.iter().map(|(a, e)| (a.number(), e)).collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        fp.write_usize(entries.len());
+        for (a, e) in entries {
+            fp.write_u64(a);
+            fp.write_bool(e.modified);
+            fp.write_usize(e.owners.len());
+            for k in e.owners.iter() {
+                fp.write_usize(k.index());
+            }
+        }
+        let mut waiting: Vec<(u64, usize, bool)> = self
+            .waiting
+            .iter()
+            .map(|(a, w)| (a.number(), w.k.index(), w.write))
+            .collect();
+        waiting.sort_unstable();
+        fp.write_usize(waiting.len());
+        for (a, k, write) in waiting {
+            fp.write_u64(a);
+            fp.write_usize(k);
+            fp.write_bool(write);
+        }
     }
 
     fn name(&self) -> &'static str {

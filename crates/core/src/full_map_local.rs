@@ -20,7 +20,8 @@ use crate::owner_set::OwnerSet;
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+    AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
+    WritebackKind,
 };
 
 /// Directory knowledge about one block.
@@ -76,6 +77,45 @@ impl FullMapLocalDirectory {
 impl DirectoryProtocol for FullMapLocalDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(4); // scheme discriminant
+                         // `Shared(∅)` is *not* equivalent to an absent entry here (an
+                         // absent entry grants Exclusive to a sole reader, an empty shared
+                         // set does not), so entries are encoded exactly as stored.
+        let mut entries: Vec<(u64, &Entry)> =
+            self.entries.iter().map(|(a, e)| (a.number(), e)).collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        fp.write_usize(entries.len());
+        for (a, e) in entries {
+            fp.write_u64(a);
+            match e {
+                Entry::Shared(owners) => {
+                    fp.write_tag(0);
+                    fp.write_usize(owners.len());
+                    for k in owners.iter() {
+                        fp.write_usize(k.index());
+                    }
+                }
+                Entry::ExclusiveOrModified(k) => {
+                    fp.write_tag(1);
+                    fp.write_usize(k.index());
+                }
+            }
+        }
+        let mut waiting: Vec<(u64, usize, bool)> = self
+            .waiting
+            .iter()
+            .map(|(a, w)| (a.number(), w.k.index(), w.write))
+            .collect();
+        waiting.sort_unstable();
+        fp.write_usize(waiting.len());
+        for (a, k, write) in waiting {
+            fp.write_u64(a);
+            fp.write_usize(k);
+            fp.write_bool(write);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -54,6 +54,7 @@ mod classical;
 mod controller;
 mod directory;
 mod exec;
+mod fp;
 mod full_map;
 mod full_map_local;
 pub mod invariants;
@@ -73,7 +74,7 @@ pub use full_map::FullMapDirectory;
 pub use full_map_local::FullMapLocalDirectory;
 pub use local::LocalState;
 pub use memory::MemoryImage;
-pub use model_check::{Exploration, ModelChecker};
+pub use model_check::{Action, Counterexample, Exploration, ModelChecker, Node, State};
 pub use owner_set::OwnerSet;
 pub use tlb::{TranslationBuffer, TwoBitTlbDirectory};
 pub use two_bit::TwoBitDirectory;

@@ -3,8 +3,8 @@
 //! The paper closes with: "The protocols and associated hardware design
 //! need to be refined (and proven correct)." This module is the
 //! mechanized half of that refinement: it explores **message-delivery
-//! interleavings** of a small system exhaustively (up to a node budget)
-//! or by seeded random walks, checking on every complete execution that
+//! interleavings** of a small system, checking on every complete
+//! execution that
 //!
 //! 1. the system reaches quiescence with every reference retired — no
 //!    deadlock in any interleaving (the section 3.2.5 races are liveness
@@ -14,6 +14,23 @@
 //! 3. at quiescence, all structural invariants hold (SWMR, directory
 //!    conservatism/exactness — [`crate::invariants::check_system`]).
 //!
+//! Three explorers share those checks:
+//!
+//! * [`ModelChecker::explore_dedup`] — the workhorse: a parallel,
+//!   state-deduplicating breadth-first search over the interleaving
+//!   **DAG**. Each state is reduced to a canonical 128-bit fingerprint
+//!   (replacement clocks rank-reduced, maps sorted, statistics excluded)
+//!   so states reached along many interleavings are expanded once;
+//!   per-state path counts keep the interleaving totals exact. Any
+//!   violation comes back as a [`Counterexample`]: the exact action path
+//!   from the initial state, replayable step-by-step.
+//! * [`ModelChecker::explore_exhaustive`] — the original depth-first
+//!   *tree* search, kept as the differential baseline the DAG search is
+//!   tested against (and for budgets small enough that dedup overhead
+//!   does not pay).
+//! * [`ModelChecker::explore_random`] — seeded random walks for scripts
+//!   beyond either exhaustive mode.
+//!
 //! The checker also *measures* (rather than asserts) the transient
 //! staleness the paper's ack-free design admits: the controller "proceeds
 //! with get(k,a)" right after sending `BROADINV`, without waiting for
@@ -21,7 +38,9 @@
 //! in flight can momentarily hit on a stale copy. Exploration counts such
 //! reads ([`Exploration::stale_reads_observed`]) so the window's size can
 //! be studied; it is a property of the protocol as published, not an
-//! implementation bug.
+//! implementation bug. [`ModelChecker::fail_on_stale_reads`] flips that
+//! measurement into an injected violation, turning any staleness window
+//! into a concrete replayable counterexample.
 //!
 //! Nondeterminism model: all channels are per-(source, destination) FIFO
 //! queues (matching both network models in `twobit-interconnect`); an
@@ -33,18 +52,21 @@ use crate::agent::CacheAgent;
 use crate::controller::{Controller, CtrlEmit};
 use crate::exec::{build_policy_for, build_protocol_for};
 use crate::invariants;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use twobit_obs::{ActorId, NullTracer, SimEvent, Tracer};
+use twobit_obs::{ActorId, Metrics, NullTracer, RingTracer, SimEvent, Tracer};
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, CacheToMemory, ConfigError, MemRef, MemoryToCache, ModuleId,
-    ProtocolError, SystemConfig, Version,
+    AccessKind, BlockAddr, CacheId, CacheToMemory, ConfigError, Fingerprint, Fingerprinter, MemRef,
+    MemoryToCache, ModuleId, ProtocolError, SystemConfig, Version,
 };
 
 /// A channel endpoint (encoded for deterministic `BTreeMap` ordering).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Node {
+pub enum Node {
+    /// Cache `C_k` (by index).
     Cache(u16),
+    /// Memory-module controller `K_j` (by index).
     Module(u16),
 }
 
@@ -55,9 +77,12 @@ enum Msg {
     ToCache(MemoryToCache),
 }
 
-/// One branchable system state.
+/// One branchable system state. Opaque: obtained from
+/// [`ModelChecker::initial_state`] and advanced with
+/// [`ModelChecker::step`]; the accessors expose the retirement
+/// bookkeeping counterexample replays want to assert on.
 #[derive(Clone)]
-struct State {
+pub struct State {
     agents: Vec<CacheAgent>,
     controllers: Vec<Controller>,
     channels: BTreeMap<(Node, Node), Vec<Msg>>,
@@ -69,25 +94,135 @@ struct State {
     retired: usize,
 }
 
-/// An action enabled in a state.
+impl State {
+    /// References retired so far along this path.
+    #[must_use]
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// Reads so far that observed a version older than the newest retired
+    /// write (the ack-free staleness window).
+    #[must_use]
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
+    }
+}
+
+/// An action enabled in a state: either a processor issues its next
+/// scripted reference, or one channel delivers its head message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Action {
+pub enum Action {
+    /// Cache `i`'s processor issues its next scripted reference.
     Issue(usize),
+    /// The (source, destination) channel delivers its head message.
     Deliver(Node, Node),
 }
 
 /// Results of an exploration.
+///
+/// The tree and random explorers leave the dedup-only fields
+/// (`distinct_states`, `dedup_hits`, `peak_frontier`, `max_depth`,
+/// `depth_conflicts`) at zero.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Exploration {
-    /// Complete executions (quiescent leaves) verified.
+    /// Complete executions (quiescent leaves) verified. The dedup search
+    /// counts these exactly — the number of root-to-leaf action paths in
+    /// the explored DAG, computed by a paths-to-leaf recurrence over the
+    /// recorded edges (saturating at `u64::MAX` for scripts whose
+    /// interleaving count overflows).
     pub interleavings: u64,
-    /// Total states expanded.
+    /// States actually expanded (enabled-action fan-out or leaf check) —
+    /// never more than the node budget.
     pub states_visited: u64,
     /// Whether the node budget cut the exhaustive search short.
     pub truncated: bool,
     /// Reads that transiently observed a version older than the newest
     /// retired write — the ack-free invalidation window, measured.
     pub stale_reads_observed: u64,
+    /// States discovered but never expanded when the budget truncated
+    /// the search (0 when `truncated` is false).
+    pub abandoned_frontier: u64,
+    /// Dedup search: distinct states discovered (root included).
+    pub distinct_states: u64,
+    /// Dedup search: successor arrivals pruned because the state was
+    /// already known. `dedup_hits / (dedup_hits + distinct_states - 1)`
+    /// is the hit rate — the fraction of the interleaving tree the DAG
+    /// view collapsed.
+    pub dedup_hits: u64,
+    /// Dedup search: largest breadth-first frontier.
+    pub peak_frontier: u64,
+    /// Dedup search: deepest layer expanded (= longest action path).
+    pub max_depth: u64,
+    /// Dedup search: rediscoveries of a state at a *different* depth than
+    /// its first discovery — i.e. states reachable along action paths of
+    /// unequal length (a BROADQUERY round-trip happening on one path but
+    /// not another, say). Diagnostic only: the path counting runs over
+    /// the full recorded DAG, so `interleavings` and
+    /// `stale_reads_observed` stay exact regardless.
+    pub depth_conflicts: u64,
+}
+
+/// A protocol violation with the exact action path that reaches it from
+/// the initial state. Produced by [`ModelChecker::explore_dedup`];
+/// replay it with [`ModelChecker::replay`] or render it with
+/// [`ModelChecker::render_counterexample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The violated property.
+    pub error: ProtocolError,
+    /// Actions from the initial state to the violation. For a step
+    /// violation the final action is the one that fails; for a quiescent
+    /// leaf violation the path ends at the offending leaf state.
+    pub path: Vec<Action>,
+}
+
+/// What one parallel worker returns for its chunk of a frontier layer.
+#[derive(Default)]
+struct ChunkOut {
+    /// One entry per (state, enabled action) edge expanded:
+    /// (successor fp, parent fp, action, successor state).
+    successors: Vec<(Fingerprint, Fingerprint, Action, State)>,
+    expanded: u64,
+    /// Quiescent leaves checked OK: (leaf fp, its `stale_reads`).
+    leaves: Vec<(Fingerprint, u64)>,
+    /// First violation in chunk order: (state fp, failing action if a
+    /// step failed — `None` for a quiescent-leaf violation, error).
+    violation: Option<(Fingerprint, Option<Action>, ProtocolError)>,
+}
+
+/// Runs `f` over every input in parallel across up to `threads` scoped
+/// workers (the `twobit-bench` sweep idiom: shared work list, outputs
+/// keyed by input index so aggregation order is independent of
+/// scheduling). `f` must be deterministic per input.
+fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = threads.max(1).min(inputs.len());
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().rev().collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let item = work.lock().pop();
+                let Some((index, input)) = item else { break };
+                let output = f(input);
+                results.lock()[index] = Some(output);
+            });
+        }
+    })
+    .expect("model-check worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every chunk produces an output"))
+        .collect()
 }
 
 /// The model checker: a system configuration plus a finite per-cache
@@ -96,6 +231,7 @@ pub struct Exploration {
 pub struct ModelChecker {
     config: SystemConfig,
     script: Vec<Vec<MemRef>>,
+    fail_on_stale: bool,
 }
 
 impl ModelChecker {
@@ -120,10 +256,27 @@ impl ModelChecker {
                 config.caches
             )));
         }
-        Ok(ModelChecker { config, script })
+        Ok(ModelChecker {
+            config,
+            script,
+            fail_on_stale: false,
+        })
     }
 
-    fn initial_state(&self) -> State {
+    /// Arms fault injection: a read retiring with a version older than
+    /// the newest retired write — normally *measured* as the ack-free
+    /// staleness window — becomes a [`ProtocolError::StaleRead`] at the
+    /// action that retires it. With the dedup search this turns the
+    /// paper's section 3.2.5 window into an exact, replayable
+    /// counterexample path.
+    pub fn fail_on_stale_reads(&mut self, fail: bool) {
+        self.fail_on_stale = fail;
+    }
+
+    /// The pre-exploration system state: empty caches, absent directory
+    /// entries, no messages in flight.
+    #[must_use]
+    pub fn initial_state(&self) -> State {
         let agents = CacheId::all(self.config.caches)
             .map(|id| {
                 let mut agent = CacheAgent::new(
@@ -165,7 +318,10 @@ impl ModelChecker {
         self.script.iter().map(Vec::len).sum()
     }
 
-    fn enabled(&self, state: &State) -> Vec<Action> {
+    /// The actions enabled in `state`, in deterministic order (issues by
+    /// cache index, then deliveries by channel key).
+    #[must_use]
+    pub fn enabled(&self, state: &State) -> Vec<Action> {
         let mut actions = Vec::new();
         for (i, agent) in state.agents.iter().enumerate() {
             if !agent.is_stalled() && state.cursor[i] < self.script[i].len() {
@@ -178,6 +334,71 @@ impl ModelChecker {
             }
         }
         actions
+    }
+
+    /// Canonical 128-bit fingerprint of `state` for the visited-set.
+    ///
+    /// Everything future-relevant is folded in — agents (tag stores with
+    /// replacement clocks rank-reduced, BIAS, pending), controllers
+    /// (directory, memory, bookkeeping, queue), channel contents, script
+    /// cursors, version counter, retirement bookkeeping — in a canonical
+    /// order (the channel `BTreeMap` is already sorted; unordered maps
+    /// are sorted by the component encoders). Pure statistics are
+    /// excluded. `stale_reads` *is* included: two paths that differ only
+    /// in observed staleness must stay distinct for the per-leaf stale
+    /// totals to reconcile exactly with the tree search.
+    #[must_use]
+    pub fn fingerprint(&self, state: &State) -> Fingerprint {
+        let mut fp = Fingerprinter::new();
+        for agent in &state.agents {
+            agent.fingerprint(&mut fp);
+        }
+        for controller in &state.controllers {
+            controller.fingerprint(&mut fp);
+        }
+        fp.write_usize(state.channels.len());
+        for (&(src, dst), queue) in &state.channels {
+            fp.write_tag(Self::node_tag(src));
+            fp.write_tag(Self::node_tag(dst));
+            fp.write_usize(queue.len());
+            for msg in queue {
+                match msg {
+                    Msg::ToModule(cmd) => {
+                        fp.write_tag(0);
+                        crate::fp::cache_to_memory(cmd, &mut fp);
+                    }
+                    Msg::ToCache(cmd) => {
+                        fp.write_tag(1);
+                        crate::fp::memory_to_cache(cmd, &mut fp);
+                    }
+                }
+            }
+        }
+        for &c in &state.cursor {
+            fp.write_usize(c);
+        }
+        fp.write_u64(state.version_counter);
+        let mut latest: Vec<(u64, u64)> = state
+            .latest_write
+            .iter()
+            .map(|(a, v)| (a.number(), v.raw()))
+            .collect();
+        latest.sort_unstable();
+        fp.write_usize(latest.len());
+        for (a, v) in latest {
+            fp.write_u64(a);
+            fp.write_u64(v);
+        }
+        fp.write_u64(state.stale_reads);
+        fp.write_usize(state.retired);
+        fp.finish()
+    }
+
+    fn node_tag(n: Node) -> u64 {
+        match n {
+            Node::Cache(c) => u64::from(c) << 1,
+            Node::Module(m) => (u64::from(m) << 1) | 1,
+        }
     }
 
     fn push_msg(state: &mut State, src: Node, dst: Node, msg: Msg) {
@@ -224,7 +445,10 @@ impl ModelChecker {
         }
     }
 
-    fn record_retirement(state: &mut State, op: MemRef, observed: Version) {
+    /// Books a retirement; returns the staleness evidence `(block,
+    /// observed, expected)` when a read landed inside the ack-free
+    /// window.
+    fn record_retirement(state: &mut State, op: MemRef, observed: Version) -> Option<(u64, u64)> {
         state.retired += 1;
         match op.kind {
             AccessKind::Write => {
@@ -232,6 +456,7 @@ impl ModelChecker {
                 if observed > *slot {
                     *slot = observed;
                 }
+                None
             }
             AccessKind::Read => {
                 let latest = state
@@ -241,13 +466,40 @@ impl ModelChecker {
                     .unwrap_or_default();
                 if observed < latest {
                     state.stale_reads += 1;
+                    Some((observed.raw(), latest.raw()))
+                } else {
+                    None
                 }
             }
         }
     }
 
+    fn stale_error(reader: usize, a: BlockAddr, observed: u64, expected: u64) -> ProtocolError {
+        ProtocolError::StaleRead {
+            a,
+            reader: CacheId::new(reader),
+            observed,
+            expected,
+        }
+    }
+
     /// Applies one action; returns the successor state.
-    fn step(&self, mut state: State, action: Action) -> Result<State, ProtocolError> {
+    ///
+    /// Public so counterexamples can be replayed step-by-step from
+    /// [`ModelChecker::initial_state`]; `action` must be enabled in
+    /// `state` (an element of [`ModelChecker::enabled`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProtocolError`] the action provokes: an impossible
+    /// command at its recipient, or — with
+    /// [`ModelChecker::fail_on_stale_reads`] armed — a stale read
+    /// retiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is not enabled in `state`.
+    pub fn step(&self, mut state: State, action: Action) -> Result<State, ProtocolError> {
         match action {
             Action::Issue(i) => {
                 let op = self.script[i][state.cursor[i]];
@@ -261,7 +513,13 @@ impl ModelChecker {
                 };
                 let outcome = state.agents[i].start(op, version);
                 if let Some(c) = outcome.completed {
-                    Self::record_retirement(&mut state, c.op, c.observed);
+                    if let Some((observed, expected)) =
+                        Self::record_retirement(&mut state, c.op, c.observed)
+                    {
+                        if self.fail_on_stale {
+                            return Err(Self::stale_error(i, c.op.addr.block, observed, expected));
+                        }
+                    }
                 }
                 self.send_to_memory(&mut state, CacheId::new(i), outcome.sends);
             }
@@ -285,7 +543,20 @@ impl ModelChecker {
                     (Node::Cache(c), Msg::ToCache(cmd)) => {
                         let out = state.agents[c as usize].on_network(cmd)?;
                         if let Some(completion) = out.completed {
-                            Self::record_retirement(&mut state, completion.op, completion.observed);
+                            if let Some((observed, expected)) = Self::record_retirement(
+                                &mut state,
+                                completion.op,
+                                completion.observed,
+                            ) {
+                                if self.fail_on_stale {
+                                    return Err(Self::stale_error(
+                                        c as usize,
+                                        completion.op.addr.block,
+                                        observed,
+                                        expected,
+                                    ));
+                                }
+                            }
                         }
                         self.send_to_memory(&mut state, CacheId::new(c as usize), out.sends);
                     }
@@ -319,9 +590,341 @@ impl ModelChecker {
         invariants::check_system(&state.agents, &state.controllers, self.config.address_map)
     }
 
-    /// Exhaustive depth-first exploration of every interleaving, up to
-    /// `node_budget` expanded states. Returns statistics; any violated
-    /// property in any interleaving is an error.
+    /// Parallel, state-deduplicating exhaustive search over the
+    /// interleaving **DAG**, expanding at most `node_budget` distinct
+    /// states across up to `jobs` worker threads.
+    ///
+    /// States are deduplicated by canonical fingerprint
+    /// ([`ModelChecker::fingerprint`]), so a state reachable along
+    /// millions of interleavings is expanded once. The search records the
+    /// DAG's edges; a paths-to-leaf recurrence over them afterwards keeps
+    /// [`Exploration::interleavings`] and
+    /// [`Exploration::stale_reads_observed`] exactly what the tree search
+    /// would report. The search is level-synchronous and its aggregation
+    /// is keyed by submission order, so results — including which
+    /// violation is reported — are identical for every `jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// The first violated property in deterministic search order, as a
+    /// [`Counterexample`] carrying the exact action path from the
+    /// initial state.
+    pub fn explore_dedup(
+        &self,
+        node_budget: u64,
+        jobs: usize,
+    ) -> Result<Exploration, Box<Counterexample>> {
+        self.explore_dedup_observed(node_budget, jobs, None)
+    }
+
+    /// [`explore_dedup`](ModelChecker::explore_dedup), additionally
+    /// surfacing search statistics through a [`Metrics`] registry: the
+    /// frontier-size-per-depth gauge (`Metrics::frontier`) and the
+    /// dedup/throughput counters ([`Metrics::record_search`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`explore_dedup`](ModelChecker::explore_dedup).
+    pub fn explore_dedup_observed(
+        &self,
+        node_budget: u64,
+        jobs: usize,
+        mut metrics: Option<&mut Metrics>,
+    ) -> Result<Exploration, Box<Counterexample>> {
+        let jobs = jobs.max(1);
+        let started = std::time::Instant::now();
+        let mut result = Exploration::default();
+        let initial = self.initial_state();
+        let root_fp = self.fingerprint(&initial);
+        // Per-fingerprint bookkeeping; full states live only in the
+        // current frontier. `parents` holds the first (deterministic)
+        // discovery edge for counterexample reconstruction; `edges` holds
+        // *every* expanded (state, action) edge as a child list, with
+        // duplicates preserved (two actions reaching the same successor
+        // are two distinct interleaving steps), for exact path counting.
+        let mut parents: HashMap<Fingerprint, (Fingerprint, Action)> = HashMap::new();
+        let mut depths: HashMap<Fingerprint, u64> = HashMap::new();
+        let mut edges: HashMap<Fingerprint, Vec<Fingerprint>> = HashMap::new();
+        let mut leaf_stale: HashMap<Fingerprint, u64> = HashMap::new();
+        depths.insert(root_fp, 0);
+        result.distinct_states = 1;
+        let mut frontier: Vec<(Fingerprint, State)> = vec![(root_fp, initial)];
+        let mut depth: u64 = 0;
+        while !frontier.is_empty() {
+            result.peak_frontier = result.peak_frontier.max(frontier.len() as u64);
+            if let Some(m) = metrics.as_deref_mut() {
+                m.frontier.observe(depth, frontier.len() as u64);
+            }
+            let remaining = node_budget.saturating_sub(result.states_visited);
+            let expand_n = (frontier.len() as u64).min(remaining) as usize;
+            let overflow = frontier.split_off(expand_n);
+            if !overflow.is_empty() {
+                result.truncated = true;
+            }
+            if expand_n > 0 {
+                result.max_depth = result.max_depth.max(depth);
+            }
+            let chunk_size = frontier.len().div_ceil(jobs * 4).max(1);
+            let mut chunks: Vec<Vec<(Fingerprint, State)>> = Vec::new();
+            while !frontier.is_empty() {
+                let rest = frontier.split_off(chunk_size.min(frontier.len()));
+                chunks.push(std::mem::replace(&mut frontier, rest));
+            }
+            let outs = parallel_map(chunks, jobs, |chunk| self.expand_chunk(chunk));
+
+            // Deterministic sequential merge, in chunk order.
+            let mut next: Vec<(Fingerprint, State)> = Vec::new();
+            let mut seen_next: std::collections::HashSet<Fingerprint> =
+                std::collections::HashSet::new();
+            for out in outs {
+                result.states_visited += out.expanded;
+                for (fp, stale) in out.leaves {
+                    leaf_stale.insert(fp, stale);
+                }
+                if let Some((at_fp, action, error)) = out.violation {
+                    let mut path = Self::path_to(&parents, root_fp, at_fp);
+                    if let Some(a) = action {
+                        path.push(a);
+                    }
+                    return Err(Box::new(Counterexample { error, path }));
+                }
+                for (sfp, pfp, action, succ) in out.successors {
+                    edges.entry(pfp).or_default().push(sfp);
+                    if seen_next.contains(&sfp) {
+                        result.dedup_hits += 1;
+                    } else if let Some(&d) = depths.get(&sfp) {
+                        result.dedup_hits += 1;
+                        if d != depth + 1 {
+                            result.depth_conflicts += 1;
+                        }
+                    } else {
+                        depths.insert(sfp, depth + 1);
+                        parents.insert(sfp, (pfp, action));
+                        seen_next.insert(sfp);
+                        next.push((sfp, succ));
+                        result.distinct_states += 1;
+                    }
+                }
+            }
+            if !overflow.is_empty() {
+                result.abandoned_frontier = overflow.len() as u64 + next.len() as u64;
+                break;
+            }
+            frontier = next;
+            depth += 1;
+        }
+        let (interleavings, stale) = Self::count_paths(root_fp, &edges, &leaf_stale);
+        result.interleavings = u64::try_from(interleavings).unwrap_or(u64::MAX);
+        result.stale_reads_observed = u64::try_from(stale).unwrap_or(u64::MAX);
+        if let Some(m) = metrics {
+            m.record_search(twobit_obs::SearchStats {
+                states_expanded: result.states_visited,
+                distinct_states: result.distinct_states,
+                dedup_hits: result.dedup_hits,
+                max_depth: result.max_depth,
+                elapsed_secs: started.elapsed().as_secs_f64(),
+            });
+        }
+        Ok(result)
+    }
+
+    /// Expands one chunk of a frontier layer (runs on a worker thread).
+    fn expand_chunk(&self, chunk: Vec<(Fingerprint, State)>) -> ChunkOut {
+        let mut out = ChunkOut::default();
+        for (fp, state) in chunk {
+            if out.violation.is_some() {
+                break;
+            }
+            out.expanded += 1;
+            let actions = self.enabled(&state);
+            if actions.is_empty() {
+                match self.check_leaf(&state) {
+                    Ok(()) => out.leaves.push((fp, state.stale_reads)),
+                    Err(e) => out.violation = Some((fp, None, e)),
+                }
+                continue;
+            }
+            let last = actions.len() - 1;
+            let mut state = Some(state);
+            for (ai, action) in actions.into_iter().enumerate() {
+                // The final branch consumes the state instead of cloning.
+                let branch = if ai == last {
+                    state
+                        .take()
+                        .expect("state consumed only by the last branch")
+                } else {
+                    state
+                        .as_ref()
+                        .expect("state present before last branch")
+                        .clone()
+                };
+                match self.step(branch, action) {
+                    Ok(succ) => {
+                        let sfp = self.fingerprint(&succ);
+                        out.successors.push((sfp, fp, action, succ));
+                    }
+                    Err(e) => {
+                        out.violation = Some((fp, Some(action), e));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact interleaving accounting over the explored DAG: returns
+    /// `(paths, stale)` where `paths` counts root-to-leaf action paths
+    /// and `stale` sums, over every such path, the `stale_reads` of its
+    /// leaf — precisely what enumerating the interleaving tree would
+    /// tally. Computed by the recurrence `f(v) = Σ f(child)` (leaves:
+    /// `f = 1`) in iterative post-order; states with no recorded edges
+    /// that are not leaves (a truncated search's abandoned frontier)
+    /// contribute 0. Saturating in `u128`.
+    ///
+    /// The state graph is acyclic — every action either advances a script
+    /// cursor or consumes an in-flight message the finite execution must
+    /// eventually drain (the tree search terminating on these scripts is
+    /// the empirical witness) — so the post-order always completes.
+    fn count_paths(
+        root: Fingerprint,
+        edges: &HashMap<Fingerprint, Vec<Fingerprint>>,
+        leaf_stale: &HashMap<Fingerprint, u64>,
+    ) -> (u128, u128) {
+        let mut memo: HashMap<Fingerprint, (u128, u128)> = HashMap::new();
+        let mut stack: Vec<(Fingerprint, bool)> = vec![(root, false)];
+        while let Some((fp, ready)) = stack.pop() {
+            if ready {
+                let value = if let Some(&stale) = leaf_stale.get(&fp) {
+                    (1u128, u128::from(stale))
+                } else {
+                    let mut f = 0u128;
+                    let mut g = 0u128;
+                    for child in edges.get(&fp).map(Vec::as_slice).unwrap_or_default() {
+                        let &(cf, cg) = memo.get(child).unwrap_or(&(0, 0));
+                        f = f.saturating_add(cf);
+                        g = g.saturating_add(cg);
+                    }
+                    (f, g)
+                };
+                memo.insert(fp, value);
+            } else if !memo.contains_key(&fp) {
+                stack.push((fp, true));
+                for &child in edges.get(&fp).map(Vec::as_slice).unwrap_or_default() {
+                    if !memo.contains_key(&child) {
+                        stack.push((child, false));
+                    }
+                }
+            }
+        }
+        memo.get(&root).copied().unwrap_or((0, 0))
+    }
+
+    /// Walks the parent-pointer map from `target` back to `root`.
+    fn path_to(
+        parents: &HashMap<Fingerprint, (Fingerprint, Action)>,
+        root: Fingerprint,
+        target: Fingerprint,
+    ) -> Vec<Action> {
+        let mut path = Vec::new();
+        let mut cur = target;
+        while cur != root {
+            let &(parent, action) = parents
+                .get(&cur)
+                .expect("parent chain reaches the initial state");
+            path.push(action);
+            cur = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Replays an action path from the initial state through
+    /// [`ModelChecker::step`], recording each action into `tracer`
+    /// (events are stamped 1..=n with the action's position). If the
+    /// path ends at quiescence, the leaf checks run too — so replaying a
+    /// [`Counterexample::path`] reproduces its
+    /// [`Counterexample::error`].
+    ///
+    /// # Errors
+    ///
+    /// The [`ProtocolError`] the path provokes, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action in `path` is not enabled when reached.
+    pub fn replay_traced(
+        &self,
+        path: &[Action],
+        tracer: &mut dyn Tracer,
+    ) -> Result<(), ProtocolError> {
+        let mut state = self.initial_state();
+        for (i, &action) in path.iter().enumerate() {
+            if tracer.enabled() {
+                self.trace_action(&state, action, (i + 1) as u64, tracer);
+            }
+            state = self.step(state, action)?;
+        }
+        if self.enabled(&state).is_empty() {
+            self.check_leaf(&state)?;
+        }
+        Ok(())
+    }
+
+    /// [`replay_traced`](ModelChecker::replay_traced) without tracing.
+    ///
+    /// # Errors
+    ///
+    /// The [`ProtocolError`] the path provokes, if any.
+    pub fn replay(&self, path: &[Action]) -> Result<(), ProtocolError> {
+        self.replay_traced(path, &mut NullTracer)
+    }
+
+    /// Renders a counterexample as per-block `twobit-obs` timelines of
+    /// its exact action path — one coherent story from the initial
+    /// state, unlike a ring-buffer dump of a branching search, which
+    /// interleaves events from unrelated branches.
+    #[must_use]
+    pub fn render_counterexample(&self, cex: &Counterexample) -> String {
+        use std::fmt::Write as _;
+        let mut ring = RingTracer::new(cex.path.len().max(1));
+        let outcome = self.replay_traced(&cex.path, &mut ring);
+        let events: Vec<SimEvent> = ring.events().into_iter().cloned().collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "counterexample: {} action(s) from the initial state",
+            cex.path.len()
+        );
+        let mut blocks: Vec<BlockAddr> = Vec::new();
+        for e in &events {
+            if !blocks.contains(&e.block) {
+                blocks.push(e.block);
+            }
+        }
+        for block in blocks {
+            out.push_str(&twobit_obs::render_block_timeline(&events, block));
+        }
+        match outcome {
+            Err(e) => {
+                let _ = writeln!(out, "violation: {e}");
+            }
+            Ok(()) => {
+                let _ = writeln!(
+                    out,
+                    "warning: replay did not reproduce the recorded violation ({})",
+                    cex.error
+                );
+            }
+        }
+        out
+    }
+
+    /// Exhaustive depth-first **tree** exploration of every interleaving
+    /// (no state deduplication), expanding up to `node_budget` states.
+    /// Kept as the differential baseline for
+    /// [`explore_dedup`](ModelChecker::explore_dedup), which must agree
+    /// with it on every completed script.
     ///
     /// # Errors
     ///
@@ -333,10 +936,10 @@ impl ModelChecker {
 
     /// [`explore_exhaustive`](ModelChecker::explore_exhaustive), recording
     /// every applied action into `tracer`. The checker has no clock, so
-    /// events are stamped with a running action counter; when a violation
-    /// is returned, a bounded [`twobit_obs::RingTracer`] therefore ends on
-    /// the actions leading up to it (across DFS branches — the last
-    /// recorded event is always the offending one).
+    /// events are stamped with a running action counter. Note the events
+    /// cross DFS branches; for a coherent single-path rendering of a
+    /// failure, use [`explore_dedup`](ModelChecker::explore_dedup) and
+    /// [`render_counterexample`](ModelChecker::render_counterexample).
     ///
     /// # Errors
     ///
@@ -350,11 +953,15 @@ impl ModelChecker {
         let mut stack = vec![self.initial_state()];
         let mut steps: u64 = 0;
         while let Some(state) = stack.pop() {
-            result.states_visited += 1;
-            if result.states_visited > node_budget {
+            if result.states_visited >= node_budget {
+                // The popped state and everything still stacked are
+                // abandoned unexpanded; report them instead of silently
+                // over-counting the breaching state as visited.
                 result.truncated = true;
+                result.abandoned_frontier = stack.len() as u64 + 1;
                 break;
             }
+            result.states_visited += 1;
             let actions = self.enabled(&state);
             if actions.is_empty() {
                 if let Err(e) = self.check_leaf(&state) {
@@ -418,16 +1025,30 @@ impl ModelChecker {
     }
 
     /// Seeded random-walk exploration: `walks` complete executions, each
-    /// choosing uniformly among enabled actions (xorshift; fully
-    /// deterministic per seed). Scales to scripts exhaustive search
-    /// cannot cover.
+    /// choosing uniformly among enabled actions (splitmix64-mixed seed
+    /// feeding an xorshift stream; fully deterministic per seed, and
+    /// distinct — including adjacent — seeds produce distinct streams).
+    /// Scales to scripts exhaustive search cannot cover.
     ///
     /// # Errors
     ///
     /// Returns the first [`ProtocolError`] found on any walk.
     pub fn explore_random(&self, walks: u64, seed: u64) -> Result<Exploration, ProtocolError> {
         let mut result = Exploration::default();
-        let mut rng = seed | 1;
+        // splitmix64 the seed before the xorshift loop: xorshift state
+        // must be nonzero, and the previous `seed | 1` fix-up collapsed
+        // seeds 2k and 2k+1 onto the same walk sequence.
+        let mut rng = {
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            if z == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                z
+            }
+        };
         let mut next = move || {
             rng ^= rng << 13;
             rng ^= rng >> 7;
@@ -516,7 +1137,7 @@ mod tests {
     /// Three caches, upgrade storm on one block. The full interleaving
     /// tree is enormous; a bounded prefix still verifies hundreds of
     /// thousands of distinct orderings (every *completed* path is fully
-    /// checked), and the random-walk test below covers the deep tail.
+    /// checked), and the deduplicated search covers it exhaustively.
     #[test]
     fn three_way_upgrade_storm_bounded() {
         let mc = checker(
@@ -528,6 +1149,98 @@ mod tests {
         // The staleness window of the ack-free design is measurable here;
         // we record rather than assert it (it depends on ordering luck).
         let _ = result.stale_reads_observed;
+    }
+
+    /// The deduplicated search agrees exactly with the tree search on a
+    /// script both can finish: same interleaving count, same staleness
+    /// total — and strictly fewer expansions.
+    #[test]
+    fn dedup_search_agrees_with_tree_search() {
+        for protocol in PROTOCOLS {
+            let mc = checker(protocol, vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]]);
+            let tree = mc.explore_exhaustive(2_000_000).unwrap();
+            let dag = mc.explore_dedup(2_000_000, 2).unwrap();
+            assert!(!dag.truncated, "{protocol}");
+            assert_eq!(dag.interleavings, tree.interleavings, "{protocol}");
+            assert_eq!(
+                dag.stale_reads_observed, tree.stale_reads_observed,
+                "{protocol}"
+            );
+            assert!(
+                dag.states_visited < tree.states_visited,
+                "{protocol}: dedup must shrink the search ({} vs {})",
+                dag.states_visited,
+                tree.states_visited
+            );
+        }
+    }
+
+    /// The dedup search's deterministic aggregation: identical results
+    /// regardless of worker count.
+    #[test]
+    fn dedup_search_is_deterministic_across_jobs() {
+        let mc = checker(
+            ProtocolKind::TwoBit,
+            vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)], vec![rd(1)]],
+        );
+        let one = mc.explore_dedup(500_000, 1).unwrap();
+        let four = mc.explore_dedup(500_000, 4).unwrap();
+        assert_eq!(one, four);
+    }
+
+    /// Armed staleness injection turns the section 3.2.5 ack-free window
+    /// into a counterexample whose path replays step-by-step through
+    /// `step` to exactly the reported violation.
+    #[test]
+    fn stale_read_injection_yields_replayable_counterexample() {
+        let mut mc = checker(
+            ProtocolKind::TwoBit,
+            vec![vec![rd(1), wr(1)], vec![rd(1), rd(1)]],
+        );
+        mc.fail_on_stale_reads(true);
+        let cex = mc.explore_dedup(1_000_000, 2).unwrap_err();
+        assert!(
+            matches!(cex.error, ProtocolError::StaleRead { .. }),
+            "expected an injected stale read, got {}",
+            cex.error
+        );
+        // Replay manually through the public step API: every prefix
+        // action applies cleanly, the final action reproduces the error.
+        let mut state = mc.initial_state();
+        for (i, &action) in cex.path.iter().enumerate() {
+            assert!(
+                mc.enabled(&state).contains(&action),
+                "action {i} of the path must be enabled"
+            );
+            match mc.step(state, action) {
+                Ok(next) => {
+                    assert!(i + 1 < cex.path.len(), "only the last action may fail");
+                    state = next;
+                }
+                Err(e) => {
+                    assert_eq!(i + 1, cex.path.len(), "violation is the path's last action");
+                    assert_eq!(e, cex.error);
+                    // And the packaged replay agrees.
+                    assert_eq!(mc.replay(&cex.path), Err(cex.error.clone()));
+                    return;
+                }
+            }
+        }
+        panic!("replay completed without reproducing the violation");
+    }
+
+    /// The rendered counterexample is a coherent single-path timeline.
+    #[test]
+    fn counterexample_renders_a_timeline() {
+        let mut mc = checker(
+            ProtocolKind::TwoBit,
+            vec![vec![rd(1), wr(1)], vec![rd(1), rd(1)]],
+        );
+        mc.fail_on_stale_reads(true);
+        let cex = mc.explore_dedup(1_000_000, 2).unwrap_err();
+        let rendered = mc.render_counterexample(&cex);
+        assert!(rendered.contains("counterexample:"));
+        assert!(rendered.contains("violation: stale read"));
     }
 
     /// Random walks scale the same checks to longer scripts.
@@ -556,7 +1269,28 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    /// Budget truncation is reported, not silent.
+    /// Regression for the `seed | 1` aliasing bug: adjacent seeds (2k,
+    /// 2k+1) must diverge, not silently explore identical walks.
+    #[test]
+    fn adjacent_seeds_diverge() {
+        let mc = checker(
+            ProtocolKind::TwoBit,
+            vec![
+                vec![rd(1), wr(2), rd(1), wr(1), rd(2)],
+                vec![wr(1), rd(2), wr(2), rd(1), wr(1)],
+                vec![rd(2), rd(1), wr(1), rd(2), wr(2)],
+            ],
+        );
+        for seed in [0u64, 6, 0xdeca_de00] {
+            let even = mc.explore_random(50, seed).unwrap();
+            let odd = mc.explore_random(50, seed + 1).unwrap();
+            assert_ne!(even, odd, "seeds {seed} and {} alias", seed + 1);
+        }
+    }
+
+    /// Budget truncation is reported, not silent — and exactly: visited
+    /// states never exceed the budget, and the abandoned frontier is
+    /// accounted for.
     #[test]
     fn budget_truncation_is_flagged() {
         let mc = checker(
@@ -565,6 +1299,19 @@ mod tests {
         );
         let result = mc.explore_exhaustive(100).unwrap();
         assert!(result.truncated);
+        assert_eq!(
+            result.states_visited, 100,
+            "exactly the budget is expanded, not budget + 1"
+        );
+        assert!(
+            result.abandoned_frontier > 0,
+            "truncation abandons stacked states"
+        );
+
+        let dag = mc.explore_dedup(100, 2).unwrap();
+        assert!(dag.truncated);
+        assert!(dag.states_visited <= 100);
+        assert!(dag.abandoned_frontier > 0);
     }
 
     #[test]
@@ -580,5 +1327,28 @@ mod tests {
             ModelChecker::new(bus, vec![vec![], vec![]]).is_err(),
             "bus protocols"
         );
+    }
+
+    /// Fingerprints separate distinct states and identify equal ones.
+    #[test]
+    fn fingerprints_are_canonical() {
+        let mc = checker(ProtocolKind::TwoBit, vec![vec![rd(1), wr(1)], vec![rd(2)]]);
+        let s0 = mc.initial_state();
+        let fp0 = mc.fingerprint(&s0);
+        assert_eq!(fp0, mc.fingerprint(&mc.initial_state()), "deterministic");
+        let s1 = mc.step(s0.clone(), Action::Issue(0)).unwrap();
+        assert_ne!(fp0, mc.fingerprint(&s1), "issuing changes the state");
+        // Two independent issues commute to the same state: the DAG
+        // property the dedup search exploits.
+        let a01 = mc
+            .step(
+                mc.step(s0.clone(), Action::Issue(0)).unwrap(),
+                Action::Issue(1),
+            )
+            .unwrap();
+        let a10 = mc
+            .step(mc.step(s0, Action::Issue(1)).unwrap(), Action::Issue(0))
+            .unwrap();
+        assert_eq!(mc.fingerprint(&a01), mc.fingerprint(&a10));
     }
 }

@@ -29,7 +29,9 @@ use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use crate::two_bit::TwoBitDirectory;
 use std::collections::HashMap;
-use twobit_types::{BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind};
+use twobit_types::{
+    BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
+};
 
 /// A bounded LRU buffer of exact owner sets.
 #[derive(Debug, Clone)]
@@ -243,6 +245,39 @@ impl TwoBitTlbDirectory {
 impl DirectoryProtocol for TwoBitTlbDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(2); // scheme discriminant
+        self.inner.fingerprint(fp);
+        // TLB entries sorted by block, with the absolute LRU stamps
+        // reduced to ranks: victim selection is `min (stamp, block)` and
+        // fresh stamps always exceed existing ones, so only the stamp
+        // *order* is future-relevant. The clock and the hit/miss tallies
+        // are pure observability and excluded.
+        let mut entries: Vec<(u64, u64, &OwnerSet)> = self
+            .tlb
+            .entries
+            .iter()
+            .map(|(a, (owners, stamp))| (*stamp, a.number(), owners))
+            .collect();
+        entries.sort_unstable_by_key(|&(stamp, a, _)| (stamp, a));
+        let ranks: Vec<(u64, u64, &OwnerSet)> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, a, owners))| (a, rank as u64, owners))
+            .collect();
+        let mut by_block = ranks;
+        by_block.sort_unstable_by_key(|&(a, _, _)| a);
+        fp.write_usize(by_block.len());
+        for (a, rank, owners) in by_block {
+            fp.write_u64(a);
+            fp.write_u64(rank);
+            fp.write_usize(owners.len());
+            for k in owners.iter() {
+                fp.write_usize(k.index());
+            }
+        }
     }
 
     fn name(&self) -> &'static str {

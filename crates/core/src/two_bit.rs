@@ -37,7 +37,8 @@ use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use std::collections::HashMap;
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, GlobalState, MemoryToCache, Version, WritebackKind,
+    AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
+    WritebackKind,
 };
 
 /// What an in-flight transaction awaits.
@@ -95,6 +96,35 @@ impl TwoBitDirectory {
 impl DirectoryProtocol for TwoBitDirectory {
     fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_tag(1); // scheme discriminant (see DirectoryProtocol impls)
+                         // `set_state` removes Absent entries, so the map is already
+                         // canonical; only the iteration order needs fixing.
+        let mut states: Vec<(u64, u64)> = self
+            .states
+            .iter()
+            .map(|(a, s)| (a.number(), u64::from(s.bits())))
+            .collect();
+        states.sort_unstable();
+        fp.write_usize(states.len());
+        for (a, s) in states {
+            fp.write_u64(a);
+            fp.write_u64(s);
+        }
+        let mut waiting: Vec<(u64, usize, bool)> = self
+            .waiting
+            .iter()
+            .map(|(a, w)| (a.number(), w.k.index(), w.write))
+            .collect();
+        waiting.sort_unstable();
+        fp.write_usize(waiting.len());
+        for (a, k, write) in waiting {
+            fp.write_u64(a);
+            fp.write_usize(k);
+            fp.write_bool(write);
+        }
     }
 
     fn name(&self) -> &'static str {

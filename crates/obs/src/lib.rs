@@ -29,6 +29,8 @@ pub mod timeline;
 pub mod tracer;
 
 pub use event::{ActorId, SimEvent, StateChange};
-pub use metrics::{Gauge, Histogram, LatencySummary, Metrics, MetricsSummary, TxnClass};
+pub use metrics::{
+    Gauge, Histogram, LatencySummary, Metrics, MetricsSummary, SearchStats, TxnClass,
+};
 pub use timeline::render_block_timeline;
 pub use tracer::{JsonlTracer, NullTracer, RingTracer, Tracer};

@@ -35,6 +35,7 @@ pub mod addr;
 pub mod command;
 pub mod config;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod state;
 pub mod stats;
@@ -48,6 +49,7 @@ pub use config::{
     CacheOrg, ControllerConcurrency, LatencyConfig, ProtocolKind, ReplacementPolicy, SystemConfig,
 };
 pub use error::{ConfigError, ProtocolError};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use ids::{CacheId, ModuleId, TxnId};
 pub use state::{GlobalState, LineState};
 pub use stats::{CacheStats, CommandClass, ControllerStats, Counter, NetworkStats, SystemStats};
