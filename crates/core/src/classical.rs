@@ -14,6 +14,8 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
+use crate::transitions::{ActionKind, Delivery, EventKind, EventSpec, StateSet, TransitionTable};
+use std::sync::OnceLock;
 use twobit_types::{
     BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
 };
@@ -100,6 +102,10 @@ impl DirectoryProtocol for ClassicalDirectory {
         None
     }
 
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(classical_table())
+    }
+
     fn check_consistency(
         &self,
         _a: BlockAddr,
@@ -113,6 +119,38 @@ impl DirectoryProtocol for ClassicalDirectory {
             Err(format!("{} dirty copies under write-through", dirty.len()))
         }
     }
+}
+
+/// The classical write-through scheme's table. The scheme keeps no
+/// directory state (`tracks_state = false`; the constant reported state
+/// is `Present*`), so the relation is two rules: fills from memory, and
+/// the per-store memory-update-plus-invalidate-broadcast that defines
+/// the scheme.
+pub(crate) fn classical_table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        let here = StateSet::only(GlobalState::PresentStar);
+        TransitionTable {
+            scheme: "classical-wt",
+            tracks_state: false,
+            events: vec![
+                EventSpec::new(E::ReadMiss, here, &[]),
+                EventSpec::new(E::WriteThrough, here, &[]),
+                EventSpec::new(E::EjectClean, here, &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss", E::ReadMiss, here).action(A::Grant { exclusive: false }),
+                crate::rule!("write-through", E::WriteThrough, here)
+                    .action(A::WriteMemory)
+                    .action(A::Invalidate {
+                        delivery: Delivery::Broadcast,
+                    }),
+                crate::rule!("eject-clean", E::EjectClean, here),
+            ],
+        }
+    })
 }
 
 /// The memory side of the static software scheme: plain memory service,
@@ -191,6 +229,10 @@ impl DirectoryProtocol for NullDirectory {
         None
     }
 
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(null_table())
+    }
+
     fn check_consistency(
         &self,
         _a: BlockAddr,
@@ -208,6 +250,39 @@ impl DirectoryProtocol for NullDirectory {
             ))
         }
     }
+}
+
+/// The static software scheme's table: plain memory service with no
+/// coherence traffic whatsoever — the broadcast-necessity analysis
+/// verifies the *absence* of invalidates and recalls here.
+pub(crate) fn null_table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        let here = StateSet::only(GlobalState::PresentStar);
+        TransitionTable {
+            scheme: "static-sw",
+            tracks_state: false,
+            events: vec![
+                EventSpec::new(E::ReadMiss, here, &[]),
+                EventSpec::new(E::WriteMiss, here, &[]),
+                EventSpec::new(E::DirectRead, here, &[]),
+                EventSpec::new(E::WriteThrough, here, &[]),
+                EventSpec::new(E::EjectClean, here, &[]),
+                EventSpec::new(E::EjectDirty, here, &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss", E::ReadMiss, here).action(A::Grant { exclusive: false }),
+                crate::rule!("write-miss", E::WriteMiss, here).action(A::Grant { exclusive: true }),
+                crate::rule!("direct-read", E::DirectRead, here)
+                    .action(A::Grant { exclusive: false }),
+                crate::rule!("write-through", E::WriteThrough, here).action(A::WriteMemory),
+                crate::rule!("eject-clean", E::EjectClean, here),
+                crate::rule!("eject-dirty", E::EjectDirty, here).action(A::WriteMemory),
+            ],
+        }
+    })
 }
 
 #[cfg(test)]

@@ -192,6 +192,16 @@ pub trait DirectoryProtocol: std::fmt::Debug + Send {
         None
     }
 
+    /// The protocol's transition relation as a declarative guarded-action
+    /// table, for static analysis by `twobit-lint` and differential
+    /// reconciliation against the executable paths (see
+    /// [`transitions`](crate::transitions)). Every shipped scheme
+    /// publishes one; the default exists so wrappers and test doubles
+    /// need not.
+    fn transition_table(&self) -> Option<&'static crate::transitions::TransitionTable> {
+        None
+    }
+
     /// Clones the protocol state behind the trait object — used by the
     /// bounded model checker to branch the system state at every possible
     /// message-delivery interleaving.

@@ -10,8 +10,12 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
+use crate::transitions::{
+    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+};
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
     WritebackKind,
@@ -266,6 +270,10 @@ impl DirectoryProtocol for FullMapDirectory {
         )
     }
 
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(table())
+    }
+
     fn check_consistency(
         &self,
         a: BlockAddr,
@@ -294,6 +302,130 @@ impl DirectoryProtocol for FullMapDirectory {
         }
         Ok(())
     }
+}
+
+/// The full-map transition table. Identities are always known, so every
+/// non-initiator command is [`Delivery::Targeted`]; successor sets are
+/// wider than two-bit's in places (a read miss may rejoin a holder whose
+/// eject notice is in flight, a clean eject may or may not empty the
+/// vector) because the presence vector, not a 2-bit code, is the state.
+pub(crate) fn table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        use GlobalState as G;
+        let targeted = Delivery::Targeted;
+        TransitionTable {
+            scheme: "full-map",
+            tracks_state: true,
+            events: vec![
+                EventSpec::new(E::ReadMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::WriteMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::Modify, StateSet::ALL, &[Cond::Fresh]),
+                EventSpec::new(
+                    E::Supply,
+                    StateSet::only(G::PresentM),
+                    &[Cond::WaitWrite, Cond::Retains],
+                ),
+                EventSpec::new(E::EjectClean, StateSet::ALL, &[]),
+                EventSpec::new(E::EjectDirty, StateSet::only(G::PresentM), &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss-absent", E::ReadMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::only(G::Present1)),
+                crate::rule!("read-miss-shared", E::ReadMiss, StateSet::SHARED)
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::SHARED),
+                crate::rule!(
+                    "read-miss-modified",
+                    E::ReadMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: targeted })
+                .awaits(),
+                crate::rule!("write-miss-absent", E::WriteMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
+                    .action(A::Invalidate { delivery: targeted })
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "write-miss-modified",
+                    E::WriteMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: targeted })
+                .awaits(),
+                crate::rule!("modify-fresh", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, true)
+                    .action(A::Invalidate { delivery: targeted })
+                    .action(A::ModifyGrant { granted: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-stale-state",
+                    E::Modify,
+                    StateSet::of(&[G::Absent, G::PresentM])
+                )
+                .action(A::ModifyGrant { granted: false }),
+                crate::rule!("modify-stale-copy", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, false)
+                    .action(A::ModifyGrant { granted: false }),
+                crate::rule!("supply-write", E::Supply, StateSet::only(G::PresentM))
+                    .requires(Cond::WaitWrite, true)
+                    .action(A::WriteMemory)
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "supply-read-retained",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, true)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "supply-read-departed",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, false)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::Present1)),
+                crate::rule!(
+                    "eject-clean-absent",
+                    E::EjectClean,
+                    StateSet::only(G::Absent)
+                ),
+                crate::rule!(
+                    "eject-clean-present1",
+                    E::EjectClean,
+                    StateSet::only(G::Present1)
+                )
+                .to(StateSet::of(&[G::Absent, G::Present1])),
+                crate::rule!(
+                    "eject-clean-pstar",
+                    E::EjectClean,
+                    StateSet::only(G::PresentStar)
+                )
+                .to(StateSet::SHARED),
+                crate::rule!(
+                    "eject-clean-modified",
+                    E::EjectClean,
+                    StateSet::only(G::PresentM)
+                ),
+                crate::rule!("eject-dirty", E::EjectDirty, StateSet::only(G::PresentM))
+                    .action(A::WriteMemory)
+                    .to(StateSet::only(G::Absent)),
+            ],
+        }
+    })
 }
 
 #[cfg(test)]

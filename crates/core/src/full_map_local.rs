@@ -17,8 +17,12 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
+use crate::transitions::{
+    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+};
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
     WritebackKind,
@@ -174,7 +178,9 @@ impl DirectoryProtocol for FullMapLocalDirectory {
                 }
                 // Exclusive holders never send MREQUEST; anything else is
                 // a stale request whose copy was invalidated in flight.
-                _ => DirStep::done().with_send(mgranted(k, a, false)),
+                None | Some(Entry::Shared(_) | Entry::ExclusiveOrModified(_)) => {
+                    DirStep::done().with_send(mgranted(k, a, false))
+                }
             },
             OpenKind::WriteThrough(_) | OpenKind::DirectRead => {
                 panic!("full-map+local directory serves only write-back caches (got {kind:?})")
@@ -232,7 +238,8 @@ impl DirectoryProtocol for FullMapLocalDirectory {
             Some(&mut Entry::ExclusiveOrModified(i)) if i == k => {
                 self.entries.remove(&a);
             }
-            _ => {}
+            // A clean eject from a non-holder is stale information.
+            None | Some(&mut Entry::ExclusiveOrModified(_)) => {}
         }
     }
 
@@ -263,6 +270,10 @@ impl DirectoryProtocol for FullMapLocalDirectory {
             Some(Entry::Shared(owners)) => owners.clone(),
             Some(&Entry::ExclusiveOrModified(i)) => OwnerSet::singleton(self.width, i),
         })
+    }
+
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(table())
     }
 
     fn check_consistency(
@@ -296,7 +307,7 @@ impl DirectoryProtocol for FullMapLocalDirectory {
                     Err(format!("exclusive-or-modified at {i} but holders are clean {clean} / dirty {dirty}"))
                 }
             }
-            _ => {
+            None | Some(Entry::Shared(_)) => {
                 if dirty.is_empty() {
                     Ok(())
                 } else {
@@ -305,6 +316,133 @@ impl DirectoryProtocol for FullMapLocalDirectory {
             }
         }
     }
+}
+
+/// The Yen–Fu table. It differs from the plain full map in exactly one
+/// rule: a read miss on an absent block grants an *exclusive* fill
+/// (`read-miss-absent` lands in `PresentM`, the conservative
+/// maybe-modified rendering of `ExclusiveOrModified`), which is the
+/// scheme's entire point — the sole reader can later upgrade without a
+/// directory transaction. Everything reaching other caches stays
+/// [`Delivery::Targeted`].
+pub(crate) fn table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        use GlobalState as G;
+        let targeted = Delivery::Targeted;
+        TransitionTable {
+            scheme: "full-map+local",
+            tracks_state: true,
+            events: vec![
+                EventSpec::new(E::ReadMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::WriteMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::Modify, StateSet::ALL, &[Cond::Fresh]),
+                EventSpec::new(
+                    E::Supply,
+                    StateSet::only(G::PresentM),
+                    &[Cond::WaitWrite, Cond::Retains],
+                ),
+                EventSpec::new(E::EjectClean, StateSet::ALL, &[]),
+                EventSpec::new(E::EjectDirty, StateSet::only(G::PresentM), &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss-absent", E::ReadMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!("read-miss-shared", E::ReadMiss, StateSet::SHARED)
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::SHARED),
+                crate::rule!(
+                    "read-miss-exclusive",
+                    E::ReadMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: targeted })
+                .awaits(),
+                crate::rule!("write-miss-absent", E::WriteMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
+                    .action(A::Invalidate { delivery: targeted })
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "write-miss-exclusive",
+                    E::WriteMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: targeted })
+                .awaits(),
+                crate::rule!("modify-fresh", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, true)
+                    .action(A::Invalidate { delivery: targeted })
+                    .action(A::ModifyGrant { granted: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-stale-state",
+                    E::Modify,
+                    StateSet::of(&[G::Absent, G::PresentM])
+                )
+                .action(A::ModifyGrant { granted: false }),
+                crate::rule!("modify-stale-copy", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, false)
+                    .action(A::ModifyGrant { granted: false }),
+                crate::rule!("supply-write", E::Supply, StateSet::only(G::PresentM))
+                    .requires(Cond::WaitWrite, true)
+                    .action(A::WriteMemory)
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "supply-read-retained",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, true)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "supply-read-departed",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, false)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::Present1)),
+                crate::rule!(
+                    "eject-clean-absent",
+                    E::EjectClean,
+                    StateSet::only(G::Absent)
+                ),
+                crate::rule!(
+                    "eject-clean-present1",
+                    E::EjectClean,
+                    StateSet::only(G::Present1)
+                )
+                .to(StateSet::of(&[G::Absent, G::Present1])),
+                crate::rule!(
+                    "eject-clean-pstar",
+                    E::EjectClean,
+                    StateSet::only(G::PresentStar)
+                )
+                .to(StateSet::SHARED),
+                crate::rule!(
+                    "eject-clean-exclusive",
+                    E::EjectClean,
+                    StateSet::only(G::PresentM)
+                )
+                .to(StateSet::of(&[G::Absent, G::PresentM])),
+                crate::rule!("eject-dirty", E::EjectDirty, StateSet::only(G::PresentM))
+                    .action(A::WriteMemory)
+                    .to(StateSet::only(G::Absent)),
+            ],
+        }
+    })
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ mod memory;
 pub mod model_check;
 mod owner_set;
 mod tlb;
+pub mod transitions;
 mod two_bit;
 
 pub use agent::{AgentPolicy, CacheAgent, Completion, NetOutcome, StartOutcome};
@@ -77,4 +78,8 @@ pub use memory::MemoryImage;
 pub use model_check::{Action, Counterexample, Exploration, ModelChecker, Node, State};
 pub use owner_set::OwnerSet;
 pub use tlb::{TranslationBuffer, TwoBitTlbDirectory};
+pub use transitions::{
+    shipped_tables, ActionKind, Cond, Delivery, EventKind, EventSpec, Next, Reconciled, Rule,
+    StateSet, TransitionTable, ViolationSink,
+};
 pub use two_bit::TwoBitDirectory;

@@ -232,6 +232,7 @@ pub struct ModelChecker {
     config: SystemConfig,
     script: Vec<Vec<MemRef>>,
     fail_on_stale: bool,
+    reconcile: Option<crate::transitions::ViolationSink>,
 }
 
 impl ModelChecker {
@@ -260,6 +261,7 @@ impl ModelChecker {
             config,
             script,
             fail_on_stale: false,
+            reconcile: None,
         })
     }
 
@@ -271,6 +273,19 @@ impl ModelChecker {
     /// counterexample path.
     pub fn fail_on_stale_reads(&mut self, fail: bool) {
         self.fail_on_stale = fail;
+    }
+
+    /// Arms differential table reconciliation: every directory protocol
+    /// instance in every explored state is wrapped in a
+    /// [`Reconciled`](crate::transitions::Reconciled) decorator, so each
+    /// DAG edge's `open`/`supply`/eject decision is replayed against the
+    /// scheme's declarative [`TransitionTable`](crate::transitions::TransitionTable).
+    /// Returns the shared sink; after exploration, an empty sink proves
+    /// table/implementation agreement over every edge visited.
+    pub fn reconcile_tables(&mut self) -> crate::transitions::ViolationSink {
+        let sink = crate::transitions::ViolationSink::new();
+        self.reconcile = Some(sink.clone());
+        sink
     }
 
     /// The pre-exploration system state: empty caches, absent directory
@@ -294,12 +309,11 @@ impl ModelChecker {
             .collect();
         let controllers = ModuleId::all(self.config.address_map.modules())
             .map(|m| {
-                Controller::new(
-                    m,
-                    build_protocol_for(&self.config),
-                    self.config.caches,
-                    self.config.concurrency,
-                )
+                let mut protocol = build_protocol_for(&self.config);
+                if let Some(sink) = &self.reconcile {
+                    protocol = crate::transitions::Reconciled::wrap(protocol, sink.clone());
+                }
+                Controller::new(m, protocol, self.config.caches, self.config.concurrency)
             })
             .collect();
         State {
@@ -1112,6 +1126,23 @@ mod tests {
                 result.interleavings > 10,
                 "{protocol}: expected many interleavings, got {}",
                 result.interleavings
+            );
+        }
+    }
+
+    /// With reconciliation armed, every DAG edge of the write race is
+    /// explained by the scheme's declarative transition table.
+    #[test]
+    fn reconcile_tables_agrees_on_the_write_race() {
+        for protocol in PROTOCOLS {
+            let mut mc = checker(protocol, vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]]);
+            let sink = mc.reconcile_tables();
+            let result = mc.explore_dedup(2_000_000, 2).unwrap();
+            assert!(!result.truncated, "{protocol}");
+            assert!(
+                sink.is_empty(),
+                "{protocol}: table disagrees with implementation: {:#?}",
+                sink.snapshot()
             );
         }
     }

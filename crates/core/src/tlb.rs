@@ -27,8 +27,12 @@
 use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
+use crate::transitions::{
+    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+};
 use crate::two_bit::TwoBitDirectory;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use twobit_types::{
     BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
 };
@@ -223,7 +227,10 @@ impl TwoBitTlbDirectory {
                 GlobalState::Present1 => self.tlb.record(a, self.tlb.exact_singleton(k)),
                 // Joining existing readers: extend only if tracked.
                 GlobalState::PresentStar => self.tlb.extend_if_tracked(a, k),
-                _ => {}
+                // A *completed* read miss always lands in Present1 or
+                // Present*; these arms are unreachable but spelled out
+                // (no wildcards on protocol state enums).
+                GlobalState::Absent | GlobalState::PresentM => {}
             },
             OpenKind::WriteMiss => {
                 // A completed write miss ends with holders = {k}, whether
@@ -363,6 +370,10 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
         Some((self.hits, self.misses))
     }
 
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(table())
+    }
+
     fn check_consistency(
         &self,
         a: BlockAddr,
@@ -388,6 +399,132 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
             None => Ok(()),
         }
     }
+}
+
+/// The translation-buffer scheme's table: the two-bit relation with
+/// every non-initiator command's delivery relaxed to
+/// [`Delivery::Either`] — targeted on a buffer hit, broadcast on a miss.
+/// The global-state skeleton is identical to the plain two-bit table
+/// (the buffer is a pure traffic accelerator), which the lint's
+/// analyses verify independently for both.
+pub(crate) fn table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        use GlobalState as G;
+        let either = Delivery::Either;
+        TransitionTable {
+            scheme: "two-bit+tlb",
+            tracks_state: true,
+            events: vec![
+                EventSpec::new(E::ReadMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::WriteMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::Modify, StateSet::ALL, &[Cond::Fresh]),
+                EventSpec::new(
+                    E::Supply,
+                    StateSet::only(G::PresentM),
+                    &[Cond::WaitWrite, Cond::Retains],
+                ),
+                EventSpec::new(E::EjectClean, StateSet::ALL, &[]),
+                EventSpec::new(E::EjectDirty, StateSet::only(G::PresentM), &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss-absent", E::ReadMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::only(G::Present1)),
+                crate::rule!("read-miss-shared", E::ReadMiss, StateSet::SHARED)
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "read-miss-modified",
+                    E::ReadMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: either })
+                .awaits(),
+                crate::rule!("write-miss-absent", E::WriteMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
+                    .action(A::Invalidate { delivery: either })
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "write-miss-modified",
+                    E::WriteMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall { delivery: either })
+                .awaits(),
+                crate::rule!(
+                    "modify-fresh-present1",
+                    E::Modify,
+                    StateSet::only(G::Present1)
+                )
+                .requires(Cond::Fresh, true)
+                .action(A::ModifyGrant { granted: true })
+                .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-fresh-shared",
+                    E::Modify,
+                    StateSet::only(G::PresentStar)
+                )
+                .requires(Cond::Fresh, true)
+                .action(A::Invalidate { delivery: either })
+                .action(A::ModifyGrant { granted: true })
+                .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-stale-state",
+                    E::Modify,
+                    StateSet::of(&[G::Absent, G::PresentM])
+                )
+                .action(A::ModifyGrant { granted: false }),
+                crate::rule!("modify-stale-copy", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, false)
+                    .action(A::ModifyGrant { granted: false }),
+                crate::rule!("supply-write", E::Supply, StateSet::only(G::PresentM))
+                    .requires(Cond::WaitWrite, true)
+                    .action(A::WriteMemory)
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "supply-read-retained",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, true)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "supply-read-departed",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, false)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::Present1)),
+                crate::rule!(
+                    "eject-clean-present1",
+                    E::EjectClean,
+                    StateSet::only(G::Present1)
+                )
+                .to(StateSet::only(G::Absent)),
+                crate::rule!(
+                    "eject-clean-ignored",
+                    E::EjectClean,
+                    StateSet::of(&[G::Absent, G::PresentStar, G::PresentM])
+                ),
+                crate::rule!("eject-dirty", E::EjectDirty, StateSet::only(G::PresentM))
+                    .action(A::WriteMemory)
+                    .to(StateSet::only(G::Absent)),
+            ],
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,894 @@
+//! Declarative guarded-action transition tables for the directory
+//! protocols, and the machinery that reconciles the executable `step()`
+//! paths against them.
+//!
+//! Every [`DirectoryProtocol`] implementation in this crate exposes its
+//! transition relation as data: a [`TransitionTable`] of guarded rules,
+//! each naming the triggering [`EventKind`], the global states it fires
+//! from, the boolean [`Cond`]itions it requires, the abstract
+//! [`ActionKind`]s it performs, and the successor-state set. The tables
+//! exist so the relation can be *analyzed* — exhaustiveness, determinism,
+//! dead rules, invariant preservation, broadcast necessity (see the
+//! `twobit-lint` crate) — instead of only being executed.
+//!
+//! Two mechanisms keep the tables honest:
+//!
+//! * [`Reconciled`] wraps any protocol and checks, call by call, that
+//!   every observed `open`/`supply`/eject decision is explained by
+//!   exactly the rules of the table — same source state, same abstract
+//!   actions, an admitted successor state. Mismatches accumulate in a
+//!   shared [`ViolationSink`].
+//! * `ModelChecker::reconcile_tables` (see
+//!   [`model_check`](crate::model_check)) arms that wrapper inside the
+//!   bounded model checker, differentially replaying every edge of the
+//!   explored state DAG against the table.
+//!
+//! The abstraction is deliberately coarse where the paper's schemes
+//! differ mechanically: an [`ActionKind::Invalidate`] stands for a
+//! `BROADINV` broadcast (two-bit), a set of targeted `INV`s (full-map),
+//! or either (the translation-buffer scheme) — the [`Delivery`] field
+//! records which shapes a scheme admits, which is precisely what the
+//! broadcast-necessity analysis inspects.
+
+use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind};
+use crate::memory::MemoryImage;
+use crate::owner_set::OwnerSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use twobit_types::{
+    BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
+};
+
+/// The events a directory protocol reacts to: the trait calls of
+/// [`DirectoryProtocol`], with `open`'s [`OpenKind`]s split out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// `open(.., OpenKind::ReadMiss, ..)`.
+    ReadMiss,
+    /// `open(.., OpenKind::WriteMiss, ..)`.
+    WriteMiss,
+    /// `open(.., OpenKind::Modify(v), ..)` — an MREQUEST.
+    Modify,
+    /// `open(.., OpenKind::WriteThrough(v), ..)`.
+    WriteThrough,
+    /// `open(.., OpenKind::DirectRead, ..)`.
+    DirectRead,
+    /// `supply(..)` — data resolving an awaited transaction.
+    Supply,
+    /// `eject_clean(..)` — an advisory clean-replacement notice.
+    EjectClean,
+    /// `eject_dirty(..)` — a dirty replacement's write-back landing.
+    EjectDirty,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventKind::ReadMiss => "read-miss",
+            EventKind::WriteMiss => "write-miss",
+            EventKind::Modify => "modify",
+            EventKind::WriteThrough => "write-through",
+            EventKind::DirectRead => "direct-read",
+            EventKind::Supply => "supply",
+            EventKind::EjectClean => "eject-clean",
+            EventKind::EjectDirty => "eject-dirty",
+        })
+    }
+}
+
+/// A boolean guard variable whose value is decided per call, not per
+/// state. Each scheme gives the variable its own concrete reading; the
+/// table only cares that it is a boolean the guards may test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// The [`EventKind::Modify`] requester's copy is current: the two-bit
+    /// scheme compares the carried version against memory, the full maps
+    /// check the requester is a recorded holder.
+    Fresh,
+    /// The waiting transaction a [`EventKind::Supply`] resolves was a
+    /// write miss.
+    WaitWrite,
+    /// The [`EventKind::Supply`]ing cache kept a clean copy (a
+    /// `BROADQUERY(read)`/`PURGE(read)` response, as opposed to an
+    /// invalidating response or a racing write-back).
+    Retains,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cond::Fresh => "fresh",
+            Cond::WaitWrite => "wait-write",
+            Cond::Retains => "retains",
+        })
+    }
+}
+
+const fn mask(s: GlobalState) -> u8 {
+    match s {
+        GlobalState::Absent => 1 << 0,
+        GlobalState::Present1 => 1 << 1,
+        GlobalState::PresentStar => 1 << 2,
+        GlobalState::PresentM => 1 << 3,
+    }
+}
+
+/// A set of [`GlobalState`]s, as a 4-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateSet(u8);
+
+impl StateSet {
+    /// The empty set.
+    pub const EMPTY: StateSet = StateSet(0);
+    /// All four global states.
+    pub const ALL: StateSet = StateSet(0b1111);
+    /// The clean shared states `{Present1, Present*}`.
+    pub const SHARED: StateSet =
+        StateSet(mask(GlobalState::Present1) | mask(GlobalState::PresentStar));
+
+    /// The singleton set `{s}`.
+    #[must_use]
+    pub const fn only(s: GlobalState) -> StateSet {
+        StateSet(mask(s))
+    }
+
+    /// The set of the listed states.
+    #[must_use]
+    pub fn of(states: &[GlobalState]) -> StateSet {
+        StateSet(states.iter().fold(0, |acc, &s| acc | mask(s)))
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub const fn contains(self, s: GlobalState) -> bool {
+        self.0 & mask(s) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: StateSet) -> StateSet {
+        StateSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersect(self, other: StateSet) -> StateSet {
+        StateSet(self.0 & other.0)
+    }
+
+    /// `true` when no state is in the set.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the member states in encoding order.
+    pub fn iter(self) -> impl Iterator<Item = GlobalState> {
+        GlobalState::ALL
+            .into_iter()
+            .filter(move |&s| self.contains(s))
+    }
+}
+
+impl fmt::Display for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for s in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// How a non-initiator command reaches the caches it concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// One broadcast to every cache but the initiator (`BROADINV`,
+    /// `BROADQUERY`) — holder identities are unknown.
+    Broadcast,
+    /// Targeted unicasts to recorded holders (`INV`, `PURGE`).
+    Targeted,
+    /// Either shape, decided per call (the translation-buffer scheme:
+    /// targeted on a buffer hit, broadcast on a miss).
+    Either,
+}
+
+/// An abstract protocol action — the [`DirStep`] contents lifted to the
+/// vocabulary the analyses reason in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// A `GETDATA` grant to the initiator.
+    Grant {
+        /// Whether the fill is exclusive (write miss, or the Yen–Fu
+        /// sole-reader optimization).
+        exclusive: bool,
+    },
+    /// An `MGRANTED` reply to the initiator.
+    ModifyGrant {
+        /// Whether the upgrade was granted or denied as stale.
+        granted: bool,
+    },
+    /// Invalidation of non-initiator copies — fire-and-forget.
+    Invalidate {
+        /// Broadcast, targeted, or per-call choice.
+        delivery: Delivery,
+    },
+    /// A data recall (`BROADQUERY`/`PURGE`) that the protocol then waits
+    /// on.
+    Recall {
+        /// Broadcast, targeted, or per-call choice.
+        delivery: Delivery,
+    },
+    /// A block write into module memory (write-back landing or
+    /// write-through update).
+    WriteMemory,
+}
+
+/// The successor-state constraint of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// The global state is unchanged by the rule.
+    Same,
+    /// The global state after the rule is a member of the set.
+    In(StateSet),
+}
+
+/// Declares one event a scheme reacts to: the states it may arrive in
+/// and the condition variables its guards may test.
+#[derive(Debug, Clone)]
+pub struct EventSpec {
+    /// The event.
+    pub kind: EventKind,
+    /// The states the event can be observed in. An event arriving
+    /// outside its domain is a table/implementation disagreement.
+    pub domain: StateSet,
+    /// The condition variables meaningful for this event; guards may
+    /// only test these.
+    pub conds: Vec<Cond>,
+}
+
+impl EventSpec {
+    /// A new event declaration.
+    #[must_use]
+    pub fn new(kind: EventKind, domain: StateSet, conds: &[Cond]) -> EventSpec {
+        EventSpec {
+            kind,
+            domain,
+            conds: conds.to_vec(),
+        }
+    }
+}
+
+/// One guarded-action rule: *when* `event` arrives in a state of `when`
+/// with `requires` holding, *do* `actions` and move to a state admitted
+/// by `next`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable rule name, unique within its table.
+    pub name: &'static str,
+    /// Source file of the table entry (for finding provenance).
+    pub file: &'static str,
+    /// Source line of the table entry.
+    pub line: u32,
+    /// The triggering event.
+    pub event: EventKind,
+    /// The source states the guard admits.
+    pub when: StateSet,
+    /// Condition literals the guard requires, as `(variable, value)`
+    /// conjuncts.
+    pub requires: Vec<(Cond, bool)>,
+    /// The abstract actions performed.
+    pub actions: Vec<ActionKind>,
+    /// The successor-state constraint.
+    pub next: Next,
+    /// `false` when the rule leaves the transaction awaiting a
+    /// [`EventKind::Supply`].
+    pub completes: bool,
+}
+
+impl Rule {
+    /// A new rule; prefer the [`rule!`](crate::rule) macro, which fills
+    /// in provenance automatically.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        file: &'static str,
+        line: u32,
+        event: EventKind,
+        when: StateSet,
+    ) -> Rule {
+        Rule {
+            name,
+            file,
+            line,
+            event,
+            when,
+            requires: Vec::new(),
+            actions: Vec::new(),
+            next: Next::Same,
+            completes: true,
+        }
+    }
+
+    /// Adds a condition literal to the guard.
+    #[must_use]
+    pub fn requires(mut self, cond: Cond, value: bool) -> Rule {
+        self.requires.push((cond, value));
+        self
+    }
+
+    /// Adds an action.
+    #[must_use]
+    pub fn action(mut self, action: ActionKind) -> Rule {
+        self.actions.push(action);
+        self
+    }
+
+    /// Sets the successor-state set.
+    #[must_use]
+    pub fn to(mut self, next: StateSet) -> Rule {
+        self.next = Next::In(next);
+        self
+    }
+
+    /// Marks the rule as leaving the transaction awaiting a supply.
+    #[must_use]
+    pub fn awaits(mut self) -> Rule {
+        self.completes = false;
+        self
+    }
+
+    /// `file:line` of the table entry.
+    #[must_use]
+    pub fn provenance(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+/// Builds a [`Rule`] with the provenance of the macro call site.
+#[macro_export]
+macro_rules! rule {
+    ($name:literal, $event:expr, $when:expr) => {
+        $crate::transitions::Rule::new($name, file!(), line!(), $event, $when)
+    };
+}
+
+/// A protocol's complete transition relation as analyzable data.
+#[derive(Debug, Clone)]
+pub struct TransitionTable {
+    /// The scheme's stable name (matches [`DirectoryProtocol::name`]).
+    pub scheme: &'static str,
+    /// Whether the scheme maintains per-block global state. The
+    /// stateless comparators (classical write-through, static software)
+    /// report a constant state, and the state-dependent invariants do
+    /// not apply to them.
+    pub tracks_state: bool,
+    /// The declared events with their domains and condition variables.
+    pub events: Vec<EventSpec>,
+    /// The guarded-action rules.
+    pub rules: Vec<Rule>,
+}
+
+impl TransitionTable {
+    /// The declaration for `kind`, if the scheme reacts to it.
+    #[must_use]
+    pub fn spec(&self, kind: EventKind) -> Option<&EventSpec> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// Looks up a rule by name.
+    #[must_use]
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up a rule by name, mutably — used by tests and the seeded
+    /// bug demo to break a shipped table on purpose.
+    pub fn rule_mut(&mut self, name: &str) -> Option<&mut Rule> {
+        self.rules.iter_mut().find(|r| r.name == name)
+    }
+}
+
+/// The tables of all six shipped schemes, in protocol-tag order.
+#[must_use]
+pub fn shipped_tables() -> [&'static TransitionTable; 6] {
+    [
+        crate::two_bit::table(),
+        crate::tlb::table(),
+        crate::full_map::table(),
+        crate::full_map_local::table(),
+        crate::classical::classical_table(),
+        crate::classical::null_table(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Observation: lifting a concrete DirStep into the abstract vocabulary.
+// ---------------------------------------------------------------------
+
+/// A [`DirStep`] summarized into abstract-action shape.
+#[derive(Debug, Default)]
+struct Observed {
+    grants: Vec<bool>,
+    mgrants: Vec<bool>,
+    inv_broadcasts: usize,
+    inv_unicasts: usize,
+    recall_broadcasts: usize,
+    recall_unicasts: usize,
+    unclassified: usize,
+    wrote_memory: bool,
+}
+
+fn observe(step: &DirStep) -> Observed {
+    let mut obs = Observed {
+        wrote_memory: step.write_memory.is_some(),
+        ..Observed::default()
+    };
+    for send in &step.sends {
+        match send {
+            DirSend::Unicast { cmd, .. } => match cmd {
+                MemoryToCache::GetData { exclusive, .. } => obs.grants.push(*exclusive),
+                MemoryToCache::MGranted { granted, .. } => obs.mgrants.push(*granted),
+                MemoryToCache::Inv { .. } => obs.inv_unicasts += 1,
+                MemoryToCache::Purge { .. } => obs.recall_unicasts += 1,
+                MemoryToCache::BroadInv { .. } | MemoryToCache::BroadQuery { .. } => {
+                    obs.unclassified += 1;
+                }
+            },
+            DirSend::Broadcast { cmd, .. } => match cmd {
+                MemoryToCache::BroadInv { .. } => obs.inv_broadcasts += 1,
+                MemoryToCache::BroadQuery { .. } => obs.recall_broadcasts += 1,
+                MemoryToCache::GetData { .. }
+                | MemoryToCache::MGranted { .. }
+                | MemoryToCache::Inv { .. }
+                | MemoryToCache::Purge { .. } => obs.unclassified += 1,
+            },
+        }
+    }
+    obs
+}
+
+/// Whether observed broadcast/unicast counts fit an optional action's
+/// delivery. Invalidations are fire-and-forget and may be vacuous when
+/// targeted (no other holder to invalidate); a targeted recall names the
+/// single recorded owner, so exactly one is required. A vacuous `Either`
+/// recall (zero sends) is admitted: a translation-buffer entry emptied
+/// by racing ejects rewrites the broadcast into zero unicasts.
+fn delivery_matches(
+    want: Option<Delivery>,
+    broadcasts: usize,
+    unicasts: usize,
+    exact_one_targeted: bool,
+) -> bool {
+    match want {
+        None => broadcasts == 0 && unicasts == 0,
+        Some(Delivery::Broadcast) => broadcasts == 1 && unicasts == 0,
+        Some(Delivery::Targeted) => broadcasts == 0 && (!exact_one_targeted || unicasts == 1),
+        Some(Delivery::Either) => broadcasts <= 1 && (broadcasts == 0 || unicasts == 0),
+    }
+}
+
+fn multiset_eq(a: &[bool], b: &[bool]) -> bool {
+    let count = |v: &[bool]| (v.iter().filter(|&&x| x).count(), v.len());
+    count(a) == count(b)
+}
+
+fn actions_match(actions: &[ActionKind], obs: &Observed) -> bool {
+    if obs.unclassified > 0 {
+        return false;
+    }
+    let mut grants = Vec::new();
+    let mut mgrants = Vec::new();
+    let mut inv = None;
+    let mut recall = None;
+    let mut wm = false;
+    for action in actions {
+        match *action {
+            ActionKind::Grant { exclusive } => grants.push(exclusive),
+            ActionKind::ModifyGrant { granted } => mgrants.push(granted),
+            ActionKind::Invalidate { delivery } => inv = Some(delivery),
+            ActionKind::Recall { delivery } => recall = Some(delivery),
+            ActionKind::WriteMemory => wm = true,
+        }
+    }
+    multiset_eq(&grants, &obs.grants)
+        && multiset_eq(&mgrants, &obs.mgrants)
+        && wm == obs.wrote_memory
+        && delivery_matches(inv, obs.inv_broadcasts, obs.inv_unicasts, false)
+        && delivery_matches(recall, obs.recall_broadcasts, obs.recall_unicasts, true)
+}
+
+fn next_admits(next: Next, before: GlobalState, after: GlobalState) -> bool {
+    match next {
+        Next::Same => after == before,
+        Next::In(set) => set.contains(after),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reconciling decorator.
+// ---------------------------------------------------------------------
+
+/// A shared, clone-tolerant collector of table/implementation
+/// disagreements. Cloning (as the model checker does when branching
+/// system states) shares the underlying buffer, so violations found on
+/// any branch surface in one place.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationSink(Arc<Mutex<Vec<String>>>);
+
+/// Cap on distinct recorded violations: the model checker can replay
+/// the same disagreeing edge from many interleavings, and unbounded
+/// growth would help nobody.
+const SINK_CAP: usize = 64;
+
+impl ViolationSink {
+    /// A new, empty sink.
+    #[must_use]
+    pub fn new() -> ViolationSink {
+        ViolationSink::default()
+    }
+
+    /// Records a violation, deduplicating exact repeats and capping the
+    /// buffer.
+    pub fn push(&self, message: String) {
+        let mut buf = self.0.lock().expect("violation sink poisoned");
+        if buf.len() < SINK_CAP && !buf.contains(&message) {
+            buf.push(message);
+        }
+    }
+
+    /// `true` when no violation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().expect("violation sink poisoned").is_empty()
+    }
+
+    /// Drains and returns all recorded violations.
+    #[must_use]
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.0.lock().expect("violation sink poisoned"))
+    }
+
+    /// A copy of the recorded violations, leaving them in place.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<String> {
+        self.0.lock().expect("violation sink poisoned").clone()
+    }
+}
+
+/// A decorator that runs an inner protocol unchanged while checking
+/// every decision against its declarative [`TransitionTable`].
+///
+/// The wrapper observes the global state before and after each call,
+/// lifts the returned [`DirStep`] into abstract actions, and searches
+/// the table for a rule that explains the transition: matching event,
+/// source state, condition literals (per-call condition values the
+/// wrapper cannot compute, like a scheme's staleness test, are treated
+/// existentially — the observed actions pin the rule down), actions,
+/// completion flag, and admitted successor state. Disagreements are
+/// recorded in the [`ViolationSink`] rather than panicking, so a
+/// model-checking run can complete and report every mismatch at once.
+#[derive(Debug)]
+pub struct Reconciled {
+    inner: Box<dyn DirectoryProtocol>,
+    table: Arc<TransitionTable>,
+    /// Shadow of the in-flight waits: block → was-it-a-write, to supply
+    /// the [`Cond::WaitWrite`] value at [`EventKind::Supply`] time.
+    waiting_write: HashMap<BlockAddr, bool>,
+    sink: ViolationSink,
+}
+
+impl Reconciled {
+    /// Wraps `inner` in a reconciling decorator against its own declared
+    /// table. Returns `inner` unchanged (and records a violation) if the
+    /// protocol declares no table.
+    #[must_use]
+    pub fn wrap(
+        inner: Box<dyn DirectoryProtocol>,
+        sink: ViolationSink,
+    ) -> Box<dyn DirectoryProtocol> {
+        match inner.transition_table() {
+            Some(table) => Box::new(Reconciled {
+                table: Arc::new(table.clone()),
+                inner,
+                waiting_write: HashMap::new(),
+                sink,
+            }),
+            None => {
+                sink.push(format!(
+                    "{}: protocol declares no transition table",
+                    inner.name()
+                ));
+                inner
+            }
+        }
+    }
+
+    /// Wraps `inner` against an explicit table — lets tests reconcile an
+    /// implementation against a deliberately wrong table.
+    #[must_use]
+    pub fn with_table(
+        inner: Box<dyn DirectoryProtocol>,
+        table: TransitionTable,
+        sink: ViolationSink,
+    ) -> Reconciled {
+        Reconciled {
+            inner,
+            table: Arc::new(table),
+            waiting_write: HashMap::new(),
+            sink,
+        }
+    }
+
+    /// The sink violations are recorded into.
+    #[must_use]
+    pub fn sink(&self) -> &ViolationSink {
+        &self.sink
+    }
+
+    fn check(
+        &self,
+        event: EventKind,
+        known: &[(Cond, bool)],
+        before: GlobalState,
+        after: GlobalState,
+        step: &DirStep,
+    ) {
+        let scheme = self.table.scheme;
+        let Some(spec) = self.table.spec(event) else {
+            self.sink.push(format!(
+                "{scheme}: {event} observed but not declared in the table (state {before})"
+            ));
+            return;
+        };
+        if !spec.domain.contains(before) {
+            self.sink.push(format!(
+                "{scheme}: {event} observed in {before}, outside its declared domain {}",
+                spec.domain
+            ));
+            return;
+        }
+        let obs = observe(step);
+        let explained = self.table.rules.iter().any(|r| {
+            r.event == event
+                && r.when.contains(before)
+                && r.requires.iter().all(|(cond, value)| {
+                    known
+                        .iter()
+                        .find(|(k, _)| k == cond)
+                        .is_none_or(|(_, v)| v == value)
+                })
+                && r.completes == step.completes
+                && actions_match(&r.actions, &obs)
+                && next_admits(r.next, before, after)
+        });
+        if !explained {
+            let conds = known
+                .iter()
+                .map(|(c, v)| format!("{c}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.sink.push(format!(
+                "{scheme}: no rule explains {event} [{conds}] in {before} → {after} \
+                 (observed {obs:?})"
+            ));
+        }
+    }
+}
+
+impl DirectoryProtocol for Reconciled {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
+        let before = self.inner.global_state(a);
+        let step = self.inner.open(k, a, kind, mem);
+        let after = self.inner.global_state(a);
+        let event = match kind {
+            OpenKind::ReadMiss => EventKind::ReadMiss,
+            OpenKind::WriteMiss => EventKind::WriteMiss,
+            OpenKind::Modify(_) => EventKind::Modify,
+            OpenKind::WriteThrough(_) => EventKind::WriteThrough,
+            OpenKind::DirectRead => EventKind::DirectRead,
+        };
+        if !step.completes {
+            self.waiting_write
+                .insert(a, matches!(kind, OpenKind::WriteMiss));
+        }
+        // `Fresh` is scheme-internal (version comparison / holder-set
+        // membership); it stays existential in the rule search.
+        self.check(event, &[], before, after, &step);
+        step
+    }
+
+    fn supply(
+        &mut self,
+        a: BlockAddr,
+        from: CacheId,
+        version: Version,
+        retains: bool,
+        mem: &MemoryImage,
+    ) -> DirStep {
+        let before = self.inner.global_state(a);
+        let step = self.inner.supply(a, from, version, retains, mem);
+        let after = self.inner.global_state(a);
+        let known = match self.waiting_write.remove(&a) {
+            Some(write) => vec![(Cond::WaitWrite, write), (Cond::Retains, retains)],
+            None => vec![(Cond::Retains, retains)],
+        };
+        self.check(EventKind::Supply, &known, before, after, &step);
+        step
+    }
+
+    fn eject_satisfies_wait(&self, a: BlockAddr, k: CacheId, wb: WritebackKind) -> bool {
+        self.inner.eject_satisfies_wait(a, k, wb)
+    }
+
+    fn eject_clean(&mut self, k: CacheId, a: BlockAddr) {
+        let before = self.inner.global_state(a);
+        self.inner.eject_clean(k, a);
+        let after = self.inner.global_state(a);
+        self.check(EventKind::EjectClean, &[], before, after, &DirStep::done());
+    }
+
+    fn eject_dirty(&mut self, k: CacheId, a: BlockAddr, version: Version) -> DirStep {
+        let before = self.inner.global_state(a);
+        let step = self.inner.eject_dirty(k, a, version);
+        let after = self.inner.global_state(a);
+        self.check(EventKind::EjectDirty, &[], before, after, &step);
+        step
+    }
+
+    fn awaiting(&self, a: BlockAddr) -> bool {
+        self.inner.awaiting(a)
+    }
+
+    fn global_state(&self, a: BlockAddr) -> GlobalState {
+        self.inner.global_state(a)
+    }
+
+    fn holders(&self, a: BlockAddr) -> Option<OwnerSet> {
+        self.inner.holders(a)
+    }
+
+    fn tlb_counters(&self) -> Option<(u64, u64)> {
+        self.inner.tlb_counters()
+    }
+
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        self.inner.transition_table()
+    }
+
+    fn clone_box(&self) -> Box<dyn DirectoryProtocol> {
+        Box::new(Reconciled {
+            inner: self.inner.clone_box(),
+            table: Arc::clone(&self.table),
+            waiting_write: self.waiting_write.clone(),
+            sink: self.sink.clone(),
+        })
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        // The shadow waiting map is fully determined by the inner
+        // waiting records (inserted on `!completes` opens, removed on
+        // supply), which the inner fingerprint already covers.
+        self.inner.fingerprint(fp);
+    }
+
+    fn check_consistency(
+        &self,
+        a: BlockAddr,
+        clean: &OwnerSet,
+        dirty: &OwnerSet,
+    ) -> Result<(), String> {
+        self.inner.check_consistency(a, clean, dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_bit::TwoBitDirectory;
+
+    #[test]
+    fn state_set_operations() {
+        let shared = StateSet::SHARED;
+        assert!(shared.contains(GlobalState::Present1));
+        assert!(shared.contains(GlobalState::PresentStar));
+        assert!(!shared.contains(GlobalState::Absent));
+        assert_eq!(shared.iter().count(), 2);
+        assert_eq!(
+            StateSet::ALL.intersect(StateSet::only(GlobalState::PresentM)),
+            StateSet::only(GlobalState::PresentM)
+        );
+        assert!(StateSet::EMPTY.is_empty());
+        assert_eq!(shared.to_string(), "{Present1, Present*}");
+        assert_eq!(
+            StateSet::of(&[GlobalState::Present1, GlobalState::PresentStar]),
+            shared
+        );
+    }
+
+    #[test]
+    fn delivery_matching_shapes() {
+        // No action declared: no traffic allowed.
+        assert!(delivery_matches(None, 0, 0, false));
+        assert!(!delivery_matches(None, 0, 2, false));
+        // Broadcast: exactly one broadcast.
+        assert!(delivery_matches(Some(Delivery::Broadcast), 1, 0, false));
+        assert!(!delivery_matches(Some(Delivery::Broadcast), 0, 1, false));
+        // Targeted invalidations may be vacuous; targeted recalls not.
+        assert!(delivery_matches(Some(Delivery::Targeted), 0, 0, false));
+        assert!(delivery_matches(Some(Delivery::Targeted), 0, 3, false));
+        assert!(!delivery_matches(Some(Delivery::Targeted), 0, 0, true));
+        assert!(delivery_matches(Some(Delivery::Targeted), 0, 1, true));
+        // Either: one broadcast, or any unicasts, never both.
+        assert!(delivery_matches(Some(Delivery::Either), 1, 0, false));
+        assert!(delivery_matches(Some(Delivery::Either), 0, 2, false));
+        assert!(delivery_matches(Some(Delivery::Either), 0, 0, false));
+        assert!(!delivery_matches(Some(Delivery::Either), 1, 1, false));
+    }
+
+    #[test]
+    fn reconciled_accepts_the_shipped_two_bit_table() {
+        let sink = ViolationSink::new();
+        let mut d = Reconciled::wrap(Box::new(TwoBitDirectory::new()), sink.clone());
+        let mem = MemoryImage::new();
+        let (a, c0, c1) = (BlockAddr::new(1), CacheId::new(0), CacheId::new(1));
+        d.open(c0, a, OpenKind::ReadMiss, &mem);
+        d.open(c1, a, OpenKind::ReadMiss, &mem);
+        d.open(c0, a, OpenKind::Modify(mem.read(a)), &mem);
+        d.open(c1, a, OpenKind::ReadMiss, &mem); // recall, awaits
+        d.supply(a, c0, Version::new(5), true, &mem);
+        d.eject_clean(c0, a);
+        assert!(
+            sink.is_empty(),
+            "shipped table must explain every step: {:?}",
+            sink.snapshot()
+        );
+    }
+
+    #[test]
+    fn reconciled_flags_a_wrong_table() {
+        // A table claiming a read miss from Absent grants *exclusively*
+        // disagrees with the implementation's shared grant.
+        let mut table = TwoBitDirectory::new()
+            .transition_table()
+            .expect("two-bit declares a table")
+            .clone();
+        table
+            .rule_mut("read-miss-absent")
+            .expect("rule exists")
+            .actions = vec![ActionKind::Grant { exclusive: true }];
+        let sink = ViolationSink::new();
+        let mut d = Reconciled::with_table(Box::new(TwoBitDirectory::new()), table, sink.clone());
+        let mem = MemoryImage::new();
+        d.open(CacheId::new(0), BlockAddr::new(1), OpenKind::ReadMiss, &mem);
+        let violations = sink.take();
+        assert_eq!(violations.len(), 1, "exactly one mismatch: {violations:?}");
+        assert!(violations[0].contains("read-miss"), "{violations:?}");
+    }
+
+    #[test]
+    fn sink_dedups_and_caps() {
+        let sink = ViolationSink::new();
+        for _ in 0..3 {
+            sink.push("same".to_string());
+        }
+        assert_eq!(sink.snapshot().len(), 1);
+        for i in 0..100 {
+            sink.push(format!("v{i}"));
+        }
+        assert!(sink.snapshot().len() <= 64);
+        assert!(!sink.is_empty());
+        let taken = sink.take();
+        assert!(!taken.is_empty() && sink.is_empty());
+    }
+}

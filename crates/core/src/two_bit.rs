@@ -35,7 +35,11 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
+use crate::transitions::{
+    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
     WritebackKind,
@@ -164,16 +168,16 @@ impl DirectoryProtocol for TwoBitDirectory {
                     DirStep::awaiting(vec![Self::broad_query(a, AccessKind::Write, k)])
                 }
             },
-            OpenKind::Modify(version) => match self.state(a) {
-                // The version check detects the crossing-window race the
-                // two-bit map cannot see by identity: a clean copy's
-                // version equals memory's unless an invalidation for it
-                // is in flight (see the `MREQUEST` docs in twobit-types).
-                GlobalState::Present1 if version == mem.read(a) => {
+            // The version check detects the crossing-window race the
+            // two-bit map cannot see by identity: a clean copy's version
+            // equals memory's unless an invalidation for it is in flight
+            // (see the `MREQUEST` docs in twobit-types).
+            OpenKind::Modify(version) => match (self.state(a), version == mem.read(a)) {
+                (GlobalState::Present1, true) => {
                     self.set_state(a, GlobalState::PresentM);
                     DirStep::done().with_send(mgranted(k, a, true))
                 }
-                GlobalState::PresentStar if version == mem.read(a) => {
+                (GlobalState::PresentStar, true) => {
                     self.set_state(a, GlobalState::PresentM);
                     DirStep::done()
                         .with_send(Self::broad_inv(a, k))
@@ -183,7 +187,10 @@ impl DirectoryProtocol for TwoBitDirectory {
                 // MREQUEST was in flight (section 3.2.5), or carries a
                 // stale version: deny; it will come back with a write
                 // miss.
-                _ => DirStep::done().with_send(mgranted(k, a, false)),
+                (GlobalState::Present1 | GlobalState::PresentStar, false)
+                | (GlobalState::Absent | GlobalState::PresentM, _) => {
+                    DirStep::done().with_send(mgranted(k, a, false))
+                }
             },
             OpenKind::WriteThrough(_) | OpenKind::DirectRead => {
                 panic!("two-bit directory serves only write-back caches (got {kind:?})")
@@ -252,6 +259,10 @@ impl DirectoryProtocol for TwoBitDirectory {
         None // the economy of the scheme: identities are not kept
     }
 
+    fn transition_table(&self) -> Option<&'static TransitionTable> {
+        Some(table())
+    }
+
     fn check_consistency(
         &self,
         a: BlockAddr,
@@ -269,6 +280,139 @@ impl DirectoryProtocol for TwoBitDirectory {
             ))
         }
     }
+}
+
+/// The two-bit scheme's transition relation as a declarative table —
+/// the module-docs table (sections 3.2.1–3.2.5) in analyzable form.
+/// Every non-initiator command is a [`Delivery::Broadcast`]: the
+/// directory keeps no identities, which is the scheme's economy and the
+/// property the broadcast-necessity lint checks.
+pub(crate) fn table() -> &'static TransitionTable {
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ActionKind as A;
+        use EventKind as E;
+        use GlobalState as G;
+        let broadcast = Delivery::Broadcast;
+        TransitionTable {
+            scheme: "two-bit",
+            tracks_state: true,
+            events: vec![
+                EventSpec::new(E::ReadMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::WriteMiss, StateSet::ALL, &[]),
+                EventSpec::new(E::Modify, StateSet::ALL, &[Cond::Fresh]),
+                EventSpec::new(
+                    E::Supply,
+                    StateSet::only(G::PresentM),
+                    &[Cond::WaitWrite, Cond::Retains],
+                ),
+                EventSpec::new(E::EjectClean, StateSet::ALL, &[]),
+                EventSpec::new(E::EjectDirty, StateSet::only(G::PresentM), &[]),
+            ],
+            rules: vec![
+                crate::rule!("read-miss-absent", E::ReadMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::only(G::Present1)),
+                crate::rule!("read-miss-shared", E::ReadMiss, StateSet::SHARED)
+                    .action(A::Grant { exclusive: false })
+                    .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "read-miss-modified",
+                    E::ReadMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall {
+                    delivery: broadcast,
+                })
+                .awaits(),
+                crate::rule!("write-miss-absent", E::WriteMiss, StateSet::only(G::Absent))
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
+                    .action(A::Invalidate {
+                        delivery: broadcast,
+                    })
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "write-miss-modified",
+                    E::WriteMiss,
+                    StateSet::only(G::PresentM)
+                )
+                .action(A::Recall {
+                    delivery: broadcast,
+                })
+                .awaits(),
+                crate::rule!(
+                    "modify-fresh-present1",
+                    E::Modify,
+                    StateSet::only(G::Present1)
+                )
+                .requires(Cond::Fresh, true)
+                .action(A::ModifyGrant { granted: true })
+                .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-fresh-shared",
+                    E::Modify,
+                    StateSet::only(G::PresentStar)
+                )
+                .requires(Cond::Fresh, true)
+                .action(A::Invalidate {
+                    delivery: broadcast,
+                })
+                .action(A::ModifyGrant { granted: true })
+                .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "modify-stale-state",
+                    E::Modify,
+                    StateSet::of(&[G::Absent, G::PresentM])
+                )
+                .action(A::ModifyGrant { granted: false }),
+                crate::rule!("modify-stale-copy", E::Modify, StateSet::SHARED)
+                    .requires(Cond::Fresh, false)
+                    .action(A::ModifyGrant { granted: false }),
+                crate::rule!("supply-write", E::Supply, StateSet::only(G::PresentM))
+                    .requires(Cond::WaitWrite, true)
+                    .action(A::WriteMemory)
+                    .action(A::Grant { exclusive: true })
+                    .to(StateSet::only(G::PresentM)),
+                crate::rule!(
+                    "supply-read-retained",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, true)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::PresentStar)),
+                crate::rule!(
+                    "supply-read-departed",
+                    E::Supply,
+                    StateSet::only(G::PresentM)
+                )
+                .requires(Cond::WaitWrite, false)
+                .requires(Cond::Retains, false)
+                .action(A::WriteMemory)
+                .action(A::Grant { exclusive: false })
+                .to(StateSet::only(G::Present1)),
+                crate::rule!(
+                    "eject-clean-present1",
+                    E::EjectClean,
+                    StateSet::only(G::Present1)
+                )
+                .to(StateSet::only(G::Absent)),
+                crate::rule!(
+                    "eject-clean-ignored",
+                    E::EjectClean,
+                    StateSet::of(&[G::Absent, G::PresentStar, G::PresentM])
+                ),
+                crate::rule!("eject-dirty", E::EjectDirty, StateSet::only(G::PresentM))
+                    .action(A::WriteMemory)
+                    .to(StateSet::only(G::Absent)),
+            ],
+        }
+    })
 }
 
 #[cfg(test)]

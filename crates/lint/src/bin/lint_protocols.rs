@@ -1,0 +1,130 @@
+//! Lints every shipped protocol's transition table and (optionally)
+//! differentially cross-checks the tables against the model checker's
+//! explored state graphs. Exits nonzero on any finding.
+//!
+//! ```text
+//! lint_protocols [--json PATH] [--cross-check] [--budget N] [--jobs N]
+//!                [--demo-drop-invalidate]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use twobit_core::transitions::ActionKind;
+use twobit_core::DirectoryProtocol;
+use twobit_lint::{cross_check, lint_table, render_human, render_json, Finding};
+
+struct Options {
+    json: Option<String>,
+    cross_check: bool,
+    budget: u64,
+    jobs: usize,
+    demo_drop_invalidate: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: None,
+        cross_check: false,
+        budget: 150_000,
+        jobs: 2,
+        demo_drop_invalidate: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                opts.json = Some(args.next().ok_or("--json requires a path")?);
+            }
+            "--cross-check" => opts.cross_check = true,
+            "--budget" => {
+                let v = args.next().ok_or("--budget requires a number")?;
+                opts.budget = v.parse().map_err(|_| format!("bad --budget value '{v}'"))?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a number")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+            }
+            "--demo-drop-invalidate" => opts.demo_drop_invalidate = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lint_protocols [--json PATH] [--cross-check] [--budget N] \
+                     [--jobs N] [--demo-drop-invalidate]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Seeds the classic directory bug — dropping the invalidation from the
+/// write-hit-on-Present* upgrade — into a copy of the two-bit table and
+/// lints it, demonstrating what the analyses catch.
+fn demo_drop_invalidate() -> Vec<Finding> {
+    let mut table = twobit_core::TwoBitDirectory::new()
+        .transition_table()
+        .expect("two-bit ships a table")
+        .clone();
+    let rule = table
+        .rule_mut("modify-fresh-shared")
+        .expect("two-bit declares the shared-upgrade rule");
+    rule.actions
+        .retain(|a| !matches!(a, ActionKind::Invalidate { .. }));
+    println!("seeded bug: removed the invalidate from rule 'modify-fresh-shared'");
+    println!("(a write hit on a Present* block now upgrades without BROADINV)\n");
+    lint_table(&table)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = Vec::new();
+    if opts.demo_drop_invalidate {
+        findings.extend(demo_drop_invalidate());
+    } else {
+        for table in twobit_core::shipped_tables() {
+            let before = findings.len();
+            findings.extend(lint_table(table));
+            let n = findings.len() - before;
+            println!(
+                "lint {:<14} {} rule(s), {} finding(s)",
+                table.scheme,
+                table.rules.len(),
+                n
+            );
+        }
+        if opts.cross_check {
+            println!(
+                "cross-check: replaying model-checker edges against the tables \
+                 (budget {}, jobs {})",
+                opts.budget, opts.jobs
+            );
+            findings.extend(cross_check(opts.budget, opts.jobs));
+        }
+    }
+
+    print!("{}", render_human(&findings));
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, render_json(&findings)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
