@@ -73,6 +73,66 @@ fn tracer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn metrics_overhead(c: &mut Criterion) {
+    // The metrics registry's cost, measured across gauge sampling
+    // cadences: the default (64-cycle) cadence should sit on top of
+    // `engine/timed`, and even every-cycle sampling should stay cheap —
+    // the registry is counters plus a fixed histogram bucketing.
+    let mut group = c.benchmark_group("engine/metrics");
+    group.throughput(Throughput::Elements(REFS * 4));
+    for (name, cadence) in [("cadence_64_default", 64u64), ("cadence_1_every_cycle", 1)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+                let workload =
+                    SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+                let mut system = System::build(config).expect("system");
+                system.set_metrics_cadence(cadence);
+                black_box(system.run(workload, REFS).expect("run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn span_overhead(c: &mut Criterion) {
+    // The disabled-span-API claim, measured two ways.
+    //
+    // `run_profiling_{off,on}`: a full run with profiling off must match
+    // `engine/timed` — without the `perf-spans` feature both arms are
+    // identical no-ops (the Profiler is a ZST); with it, the `on` arm
+    // shows what attribution costs.
+    let mut group = c.benchmark_group("engine/spans");
+    group.throughput(Throughput::Elements(REFS * 4));
+    for (name, profile) in [("run_profiling_off", false), ("run_profiling_on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SystemConfig::with_defaults(4).with_protocol(ProtocolKind::TwoBit);
+                let workload =
+                    SharingModel::new(SharingParams::moderate(), 4, 11).expect("workload");
+                let mut system = System::build(config).expect("system");
+                system.set_profiling(profile);
+                black_box(system.run(workload, REFS).expect("run"))
+            });
+        });
+    }
+    // `begin_end_disabled`: the raw API on a runtime-disabled profiler —
+    // the per-call price every hot path pays when built with
+    // `perf-spans` but run without `--profile`.
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("begin_end_disabled", |b| {
+        b.iter(|| {
+            let mut perf = twobit_obs::Profiler::disabled();
+            for _ in 0..1_000_000u32 {
+                perf.begin("bench.noop");
+                perf.end("bench.noop");
+            }
+            black_box(perf.report())
+        });
+    });
+    group.finish();
+}
+
 fn workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/workload");
     group.throughput(Throughput::Elements(100_000));
@@ -96,6 +156,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = functional_executor, timed_engine, tracer_overhead, workload_generation
+    targets = functional_executor, timed_engine, tracer_overhead, metrics_overhead,
+        span_overhead, workload_generation
 }
 criterion_main!(benches);

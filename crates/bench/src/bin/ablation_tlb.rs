@@ -8,12 +8,14 @@
 //! ratio in the translation buffer is sufficiently high."
 
 use twobit_analytic::enhancements;
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_bench::sweep;
 use twobit_bench::{extra_commands_per_reference, run_protocol};
 use twobit_types::{fmt3, ProtocolKind, Table};
 use twobit_workload::SharingParams;
 
 fn main() {
+    let obs = ObsArgs::from_env();
     let n = 8;
     let refs_per_cpu = 25_000;
     let params = SharingParams::moderate().with_w(0.3);
@@ -76,6 +78,39 @@ fn main() {
     }
 
     print!("{table}");
+
+    if obs.metrics {
+        println!();
+        println!("Observability (latency percentiles in cycles; peakQ = controller queue):");
+        print!("{}", obs_cli::metrics_block("two-bit (no tlb)", two_bit));
+        for (entries, report) in capacities.iter().zip(&runs) {
+            print!(
+                "{}",
+                obs_cli::metrics_block(&format!("tlb={entries}"), report)
+            );
+        }
+        print!("{}", obs_cli::metrics_block("full-map", full_map));
+    }
+
+    if let Some(path) = &obs.trace_out {
+        let tracer = obs_cli::jsonl_file_tracer(path).expect("create trace file");
+        twobit_bench::run_protocol_traced(
+            ProtocolKind::TwoBitTlb { entries: 16 },
+            params,
+            4,
+            seed,
+            200,
+            tracer,
+        )
+        .expect("traced run");
+        println!();
+        println!(
+            "JSONL trace of a representative run (two-bit+tlb(16), n=4, 200 refs/cpu) \
+             written to {}",
+            path.display()
+        );
+    }
+
     println!();
     println!(
         "\"paper model\" is base_extra x (1 - hit_ratio): the section 4.4 claim that the \

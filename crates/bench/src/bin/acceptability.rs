@@ -1,11 +1,16 @@
 //! The section 4.3 acceptability analysis: the largest system size at
 //! which the two-bit scheme's overhead stays below one command per cache
 //! per reference.
+//!
+//! `--metrics`/`--trace-out` observe a representative simulated run
+//! alongside the analytic thresholds.
 
 use twobit_analytic::acceptability;
 use twobit_analytic::enhancements;
+use twobit_bench::obs_cli::{self, ObsArgs};
 
 fn main() {
+    let obs = ObsArgs::from_env();
     print!("{}", acceptability::render());
     println!();
     println!(
@@ -17,4 +22,5 @@ fn main() {
         "With the paper's ~50% idle caches, an overhead of 1.0 commands/ref surfaces as only \
          {visible:.2} visible stalls/ref — the basis of the < 1.0 threshold."
     );
+    obs_cli::representative_obs(&obs, "");
 }

@@ -1,10 +1,15 @@
 //! Directory-Cost: the storage argument behind the paper's title,
 //! tabulated — full map vs two bits across system and block sizes, plus
 //! the translation buffer's fixed cost.
+//!
+//! `--metrics`/`--trace-out` observe a representative simulated run
+//! alongside the (purely analytic) storage table.
 
 use twobit_analytic::storage;
+use twobit_bench::obs_cli::{self, ObsArgs};
 
 fn main() {
+    let obs = ObsArgs::from_env();
     print!("{}", storage::render());
     println!();
     println!(
@@ -24,4 +29,5 @@ fn main() {
         "Expandability is the same asymmetry: the full map's width is fixed at controller \
          design time; the two-bit map and the buffer are both independent of n."
     );
+    obs_cli::representative_obs(&obs, "");
 }

@@ -8,13 +8,19 @@
 //! ```sh
 //! cargo run --release -p twobit-bench --bin figure_overhead_curves > curves.tsv
 //! ```
+//!
+//! `--metrics` appends the simulated runs' observability summaries as
+//! `#`-prefixed comment lines (so the TSV stays parseable);
+//! `--trace-out <path>` writes a representative run's JSONL trace.
 
 use twobit_analytic::{MarkovModel, SharingCase};
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_bench::{extra_commands_per_reference, run_protocol};
 use twobit_types::ProtocolKind;
 use twobit_workload::SharingParams;
 
 fn main() {
+    let obs = ObsArgs::from_env();
     let with_sim = std::env::args().any(|a| a == "--sim");
     let ns: Vec<usize> = vec![2, 4, 8, 12, 16, 24, 32, 48, 64];
     let w = 0.2;
@@ -43,6 +49,7 @@ fn main() {
     }
 
     // Path 3 (optional, slow): simulated extra commands per reference.
+    let mut observed = Vec::new();
     if with_sim {
         let sim_ns = [2usize, 4, 8, 16];
         for (label, params) in [
@@ -57,7 +64,45 @@ fn main() {
                     .expect("full-map run");
                 let v = extra_commands_per_reference(&two_bit, &full_map);
                 println!("simulated\t{label}\t{n}\t{v:.6}");
+                if obs.metrics && n == *sim_ns.last().unwrap() {
+                    observed.push((format!("{label} n={n}"), two_bit));
+                }
             }
         }
+    }
+
+    // Observability rides along as TSV comments so the data stays
+    // machine-readable.
+    if obs.metrics && !observed.is_empty() {
+        print!(
+            "{}",
+            obs_cli::prefix_lines(
+                "\nObservability of the simulated series (two-bit, largest n):\n",
+                "# "
+            )
+        );
+        for (label, report) in &observed {
+            print!(
+                "{}",
+                obs_cli::prefix_lines(&obs_cli::metrics_block(label, report), "# ")
+            );
+        }
+    } else {
+        obs_cli::representative_obs(
+            &ObsArgs {
+                trace_out: None,
+                ..obs.clone()
+            },
+            "# ",
+        );
+    }
+    if obs.trace_out.is_some() {
+        obs_cli::representative_obs(
+            &ObsArgs {
+                metrics: false,
+                ..obs.clone()
+            },
+            "# ",
+        );
     }
 }

@@ -1,0 +1,108 @@
+//! Perf-Compare: the CI perf-regression gate. Diffs two
+//! `BENCH_*.json` documents produced by `bench_throughput` and exits
+//! nonzero when the candidate regresses past the thresholds.
+//!
+//! ```text
+//! perf_compare BASELINE.json CANDIDATE.json
+//!              [--warn-only] [--verbose]
+//!              [--refs-frac F] [--events-frac F]
+//!              [--latency-frac F] [--alloc-frac F]
+//! ```
+//!
+//! Wall-clock throughput thresholds default to ±25% (CI hosts are
+//! noisy); simulated latency percentiles and event counts are
+//! deterministic for a fixed config and default to zero tolerance.
+//! `--warn-only` prints regressions but exits 0 — for gating a fresh
+//! baseline in before enforcement.
+
+use std::process::ExitCode;
+
+use twobit_bench::compare::{compare, Thresholds};
+use twobit_bench::throughput::BenchDoc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_compare BASELINE.json CANDIDATE.json [--warn-only] \
+         [--verbose] [--refs-frac F] [--events-frac F] [--latency-frac F] \
+         [--alloc-frac F]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchDoc {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchDoc::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let mut thr = Thresholds::default();
+    let mut warn_only = false;
+    let mut verbose = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut frac = |flag: &str| -> f64 {
+            let raw = args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            });
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} wants a fraction, got {raw:?}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--verbose" => verbose = true,
+            "--refs-frac" => thr.refs_per_sec_drop = frac("--refs-frac"),
+            "--events-frac" => thr.events_per_sec_drop = frac("--events-frac"),
+            "--latency-frac" => thr.latency_rise = frac("--latency-frac"),
+            "--alloc-frac" => thr.peak_alloc_rise = frac("--alloc-frac"),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let base = load(base_path);
+    let new = load(new_path);
+    if base.config.refs_per_cpu != new.config.refs_per_cpu
+        || base.config.caches != new.config.caches
+        || base.config.seed != new.config.seed
+    {
+        eprintln!(
+            "warning: config skew (baseline refs={} caches={} seed={}, \
+             candidate refs={} caches={} seed={}) — deterministic-count \
+             checks will flag it",
+            base.config.refs_per_cpu,
+            base.config.caches,
+            base.config.seed,
+            new.config.refs_per_cpu,
+            new.config.caches,
+            new.config.seed,
+        );
+    }
+
+    let cmp = compare(&base, &new, &thr);
+    print!("{}", cmp.render(verbose));
+    if cmp.has_regressions() {
+        if warn_only {
+            println!("regressions found, but --warn-only: exiting 0");
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,12 +1,17 @@
 //! Regenerates Table 3-1: the control commands and data transfers at each
 //! locus of control, as this implementation realizes them.
+//!
+//! `--metrics`/`--trace-out` observe a representative simulated run of
+//! the commands the table catalogues (the table itself is static).
 
+use twobit_bench::obs_cli::{self, ObsArgs};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, MemoryToCache, ProcessorCmd, Table, Version,
     WordAddr, WritebackKind,
 };
 
 fn main() {
+    let obs = ObsArgs::from_env();
     let k = CacheId::new(0);
     let i = CacheId::new(1);
     let a = BlockAddr::new(0xa);
@@ -121,4 +126,5 @@ fn main() {
     println!(
         "MREQUEST carries the requester's copy version to detect stale requests (see DESIGN.md)."
     );
+    obs_cli::representative_obs(&obs, "");
 }

@@ -1,13 +1,19 @@
 //! Regenerates Table 4-2: the overhead `(n-1)·T_R` from the reconstructed
 //! Dubois–Briggs model, side by side with the paper's printed values.
+//!
+//! `--metrics`/`--trace-out` observe a representative simulated run
+//! alongside the analytic grid.
 
 use twobit_analytic::dubois_briggs;
+use twobit_bench::obs_cli::{self, ObsArgs};
 
 fn main() {
+    let obs = ObsArgs::from_env();
     print!("{}", dubois_briggs::render());
     println!();
     println!(
         "Cells are model (paper). The model is a reconstruction of reference [3]'s structure \
          (see DESIGN.md): absolute values differ, the orderings and saturation with n match."
     );
+    obs_cli::representative_obs(&obs, "");
 }

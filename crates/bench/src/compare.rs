@@ -1,0 +1,378 @@
+//! Diffing two `BENCH_*.json` documents with per-metric thresholds — the
+//! CI perf-regression gate behind the `perf_compare` binary.
+//!
+//! Wall-clock throughput (refs/sec, events/sec) is noisy across hosts,
+//! so its thresholds default generous; the simulated-latency percentiles
+//! and the event/reference counts are deterministic for a fixed config,
+//! so any drift there is flagged at zero tolerance — it means the
+//! *simulation itself* changed, which a perf PR should never do
+//! silently.
+
+use crate::throughput::{BenchCase, BenchDoc};
+
+/// Per-metric allowed fractional change before a comparison counts as a
+/// regression.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Allowed fractional *drop* in refs/sec (0.25 = tolerate −25%).
+    pub refs_per_sec_drop: f64,
+    /// Allowed fractional drop in events/sec.
+    pub events_per_sec_drop: f64,
+    /// Allowed fractional *rise* in simulated latency p50/p99.
+    pub latency_rise: f64,
+    /// Allowed fractional rise in peak allocated bytes.
+    pub peak_alloc_rise: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            refs_per_sec_drop: 0.25,
+            events_per_sec_drop: 0.25,
+            latency_rise: 0.0,
+            peak_alloc_rise: 0.10,
+        }
+    }
+}
+
+/// One metric comparison on one case.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The case label (`<scheme>/<workload>`).
+    pub label: String,
+    /// The metric compared (e.g. `refs_per_sec`, `p99[read-miss]`).
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed fractional change (positive = increased).
+    pub change: f64,
+    /// Whether this exceeds the metric's threshold in the bad direction.
+    pub regressed: bool,
+}
+
+impl Finding {
+    fn compare(
+        label: &str,
+        metric: impl Into<String>,
+        base: f64,
+        new: f64,
+        allowed: f64,
+        higher_is_better: bool,
+    ) -> Self {
+        let change = if base == 0.0 {
+            if new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (new - base) / base
+        };
+        let regressed = if higher_is_better {
+            change < -allowed
+        } else {
+            change > allowed
+        };
+        Finding {
+            label: label.to_string(),
+            metric: metric.into(),
+            base,
+            new,
+            change,
+            regressed,
+        }
+    }
+}
+
+/// A full comparison: every metric on every common case, plus structural
+/// problems (cases present in the baseline but missing from the
+/// candidate, which always count as regressions).
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// All metric comparisons, in baseline case order.
+    pub findings: Vec<Finding>,
+    /// Labels in the baseline with no candidate counterpart.
+    pub missing_cases: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether anything regressed.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.missing_cases.is_empty() || self.findings.iter().any(|f| f.regressed)
+    }
+
+    /// The regressed findings only.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.regressed).collect()
+    }
+
+    /// Renders the comparison. `verbose` includes unregressed metrics;
+    /// otherwise only regressions (and a pass line) appear.
+    #[must_use]
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for label in &self.missing_cases {
+            out.push_str(&format!(
+                "REGRESSION {label}: case missing from candidate\n"
+            ));
+        }
+        for f in &self.findings {
+            if !f.regressed && !verbose {
+                continue;
+            }
+            let tag = if f.regressed { "REGRESSION" } else { "ok" };
+            out.push_str(&format!(
+                "{tag:<10} {:<26} {:<18} {:>14.1} -> {:>14.1}  ({:+.1}%)\n",
+                f.label,
+                f.metric,
+                f.base,
+                f.new,
+                f.change * 100.0,
+            ));
+        }
+        if !self.has_regressions() {
+            out.push_str(&format!(
+                "no regressions across {} comparisons\n",
+                self.findings.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `new` against the `base`line under `thr`.
+///
+/// Cases are joined by label; candidate-only cases are ignored (adding a
+/// scheme is not a regression), baseline-only cases are fatal. Alloc
+/// peaks are compared only when both documents carry them.
+#[must_use]
+pub fn compare(base: &BenchDoc, new: &BenchDoc, thr: &Thresholds) -> Comparison {
+    let mut out = Comparison::default();
+    for base_case in &base.cases {
+        let Some(new_case) = new.case(&base_case.label) else {
+            out.missing_cases.push(base_case.label.clone());
+            continue;
+        };
+        compare_case(base_case, new_case, thr, &mut out.findings);
+    }
+    out
+}
+
+fn compare_case(base: &BenchCase, new: &BenchCase, thr: &Thresholds, out: &mut Vec<Finding>) {
+    let label = &base.label;
+    out.push(Finding::compare(
+        label,
+        "refs_per_sec",
+        base.refs_per_sec(),
+        new.refs_per_sec(),
+        thr.refs_per_sec_drop,
+        true,
+    ));
+    out.push(Finding::compare(
+        label,
+        "events_per_sec",
+        base.events_per_sec(),
+        new.events_per_sec(),
+        thr.events_per_sec_drop,
+        true,
+    ));
+    // Deterministic simulated quantities: count drift means the two runs
+    // simulated different work (config skew or behavior change) — flag at
+    // zero tolerance regardless of the latency threshold.
+    out.push(Finding::compare(
+        label,
+        "events",
+        base.events as f64,
+        new.events as f64,
+        0.0,
+        false,
+    ));
+    if let f @ Finding {
+        regressed: true, ..
+    } = Finding::compare(
+        label,
+        "events(drop)",
+        base.events as f64,
+        new.events as f64,
+        0.0,
+        true,
+    ) {
+        // A drop is as suspicious as a rise; report it once under the
+        // same metric name rather than twice.
+        if let Some(last) = out.last_mut() {
+            if !last.regressed {
+                *last = Finding {
+                    metric: "events".to_string(),
+                    ..f
+                };
+            }
+        }
+    }
+    for (class, _count, p50, p99) in &base.latency {
+        let Some((_, _, new_p50, new_p99)) = new.latency.iter().find(|(c, ..)| c == class) else {
+            out.push(Finding {
+                label: label.clone(),
+                metric: format!("latency[{class}]"),
+                base: *p50 as f64,
+                new: f64::NAN,
+                change: f64::INFINITY,
+                regressed: true,
+            });
+            continue;
+        };
+        out.push(Finding::compare(
+            label,
+            format!("p50[{class}]"),
+            *p50 as f64,
+            *new_p50 as f64,
+            thr.latency_rise,
+            false,
+        ));
+        out.push(Finding::compare(
+            label,
+            format!("p99[{class}]"),
+            *p99 as f64,
+            *new_p99 as f64,
+            thr.latency_rise,
+            false,
+        ));
+    }
+    if let (Some(base_peak), Some(new_peak)) = (base.peak_alloc_bytes, new.peak_alloc_bytes) {
+        out.push(Finding::compare(
+            label,
+            "peak_alloc_bytes",
+            base_peak as f64,
+            new_peak as f64,
+            thr.peak_alloc_rise,
+            false,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::{BenchCase, BenchConfig, BenchDoc};
+
+    fn case(label: &str, wall_ns: u64) -> BenchCase {
+        BenchCase {
+            label: label.to_string(),
+            protocol: label.split('/').next().unwrap().to_string(),
+            workload: "w".to_string(),
+            wall_ns,
+            refs: 10_000,
+            events: 50_000,
+            cycles: 99_000,
+            tag_probes: 123_456,
+            latency: vec![("read-miss".to_string(), 400, 32, 96)],
+            spans: Vec::new(),
+            peak_alloc_bytes: Some(1_000_000),
+        }
+    }
+
+    fn doc(cases: Vec<BenchCase>) -> BenchDoc {
+        BenchDoc {
+            config: BenchConfig::default(),
+            cases,
+        }
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        let cmp = compare(&base, &base.clone(), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render(true));
+        assert!(cmp.render(false).contains("no regressions"));
+    }
+
+    #[test]
+    fn synthetic_20_percent_throughput_regression_is_detected() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        // Same simulated work, 25% more wall time → refs/sec drops 20%.
+        let slow = doc(vec![case("two-bit/low", 1_250_000)]);
+        let thr = Thresholds {
+            refs_per_sec_drop: 0.10,
+            events_per_sec_drop: 0.10,
+            ..Thresholds::default()
+        };
+        let cmp = compare(&base, &slow, &thr);
+        assert!(cmp.has_regressions());
+        let metrics: Vec<&str> = cmp
+            .regressions()
+            .iter()
+            .map(|f| f.metric.as_str())
+            .collect();
+        assert!(metrics.contains(&"refs_per_sec"), "{metrics:?}");
+        assert!(metrics.contains(&"events_per_sec"), "{metrics:?}");
+        assert!(cmp.render(false).contains("REGRESSION"));
+
+        // The same 20% drop passes under the default 25% tolerance.
+        let cmp = compare(&base, &slow, &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render(true));
+    }
+
+    #[test]
+    fn latency_rise_is_zero_tolerance_by_default() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        let mut worse = base.clone();
+        worse.cases[0].latency[0].3 = 128; // p99: 96 → 128
+        let cmp = compare(&base, &worse, &Thresholds::default());
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1, "{}", cmp.render(true));
+        assert_eq!(regs[0].metric, "p99[read-miss]");
+    }
+
+    #[test]
+    fn event_count_drift_is_flagged_both_directions() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        for events in [49_000, 51_000] {
+            let mut drifted = base.clone();
+            drifted.cases[0].events = events;
+            // Keep rates inside tolerance so only the count check fires.
+            drifted.cases[0].wall_ns = 1_000_000 * events / 50_000;
+            let cmp = compare(&base, &drifted, &Thresholds::default());
+            assert!(
+                cmp.regressions().iter().any(|f| f.metric == "events"),
+                "events {events}: {}",
+                cmp.render(true)
+            );
+        }
+    }
+
+    #[test]
+    fn missing_case_is_fatal_extra_case_is_not() {
+        let base = doc(vec![
+            case("two-bit/low", 1_000_000),
+            case("full-map/low", 1_000_000),
+        ]);
+        let new = doc(vec![
+            case("two-bit/low", 1_000_000),
+            case("static-sw/low", 1_000_000),
+        ]);
+        let cmp = compare(&base, &new, &Thresholds::default());
+        assert_eq!(cmp.missing_cases, vec!["full-map/low".to_string()]);
+        assert!(cmp.has_regressions());
+        assert!(cmp.render(false).contains("case missing"));
+    }
+
+    #[test]
+    fn alloc_peak_compared_only_when_both_present() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        let mut new = base.clone();
+        new.cases[0].peak_alloc_bytes = None;
+        let cmp = compare(&base, &new, &Thresholds::default());
+        assert!(!cmp.findings.iter().any(|f| f.metric == "peak_alloc_bytes"));
+
+        let mut bloated = base.clone();
+        bloated.cases[0].peak_alloc_bytes = Some(1_200_000);
+        let cmp = compare(&base, &bloated, &Thresholds::default());
+        assert!(cmp
+            .regressions()
+            .iter()
+            .any(|f| f.metric == "peak_alloc_bytes"));
+    }
+}

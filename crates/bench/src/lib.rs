@@ -22,11 +22,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod obs_cli;
+pub mod perfjson;
 pub mod sweep;
+pub mod throughput;
 
+pub use compare::{compare, Comparison, Thresholds};
 pub use experiments::{
     extra_commands_per_reference, predicted_overhead, run_protocol, run_protocol_traced,
 };
 pub use obs_cli::ObsArgs;
+pub use throughput::{run_suite, AllocHooks, BenchConfig, BenchDoc};

@@ -14,7 +14,6 @@
 //! binary's own parsing (`--full` etc.).
 
 use std::fs::File;
-use std::io::BufWriter;
 use std::path::PathBuf;
 
 use twobit_obs::{JsonlTracer, Tracer, TxnClass};
@@ -90,15 +89,86 @@ impl ObsArgs {
     }
 }
 
-/// A boxed [`JsonlTracer`] writing to a freshly created file.
+/// A boxed [`JsonlTracer`] writing to a freshly created file. The tracer
+/// buffers internally, so the file handle is passed in directly.
 ///
 /// # Errors
 ///
 /// Returns the I/O error if the file cannot be created.
 pub fn jsonl_file_tracer(path: &std::path::Path) -> std::io::Result<Box<dyn Tracer>> {
-    Ok(Box::new(JsonlTracer::new(BufWriter::new(File::create(
-        path,
-    )?))))
+    Ok(Box::new(JsonlTracer::new(File::create(path)?)))
+}
+
+/// Honors `--metrics`/`--trace-out` in binaries whose own output is
+/// purely analytic (closed-form tables with no simulation to observe):
+/// runs one small representative simulation — two-bit directory,
+/// moderate sharing, n=4 — and prints its observability summary and/or
+/// writes its JSONL trace, so the flags ground the analytic numbers
+/// against a live run instead of being silently ignored.
+///
+/// Every printed line is prefixed with `prefix` (pass `"# "` from
+/// binaries that emit machine-readable TSV, `""` elsewhere).
+///
+/// # Panics
+///
+/// Panics if the representative simulation fails or the trace file
+/// cannot be created — both indicate an environment or simulator bug.
+pub fn representative_obs(obs: &ObsArgs, prefix: &str) {
+    use twobit_types::ProtocolKind;
+    use twobit_workload::SharingParams;
+
+    if obs.metrics {
+        let report = crate::run_protocol(
+            ProtocolKind::TwoBit,
+            SharingParams::moderate(),
+            4,
+            0x0b5,
+            2_000,
+        )
+        .expect("representative run");
+        let block = format!(
+            "\nObservability of a representative run (two-bit, moderate sharing, n=4, \
+             2000 refs/cpu):\n{}",
+            metrics_block("two-bit/moderate", &report)
+        );
+        print!("{}", prefix_lines(&block, prefix));
+    }
+    if let Some(path) = &obs.trace_out {
+        let tracer = jsonl_file_tracer(path).expect("create trace file");
+        crate::run_protocol_traced(
+            ProtocolKind::TwoBit,
+            SharingParams::moderate(),
+            4,
+            0x0b5,
+            200,
+            tracer,
+        )
+        .expect("traced run");
+        let note = format!(
+            "\nJSONL trace of a representative run (two-bit, moderate sharing, n=4, 200 \
+             refs/cpu) written to {}\n",
+            path.display()
+        );
+        print!("{}", prefix_lines(&note, prefix));
+    }
+}
+
+/// Prefixes every non-empty line of `text` with `prefix` (used to keep
+/// observability output inside TSV comment lines).
+#[must_use]
+pub fn prefix_lines(text: &str, prefix: &str) -> String {
+    if prefix.is_empty() {
+        return text.to_string();
+    }
+    text.lines()
+        .map(|line| {
+            if line.is_empty() {
+                String::from("\n")
+            } else {
+                format!("{prefix}{line}\n")
+            }
+        })
+        .collect()
 }
 
 /// Renders one run's observability summary as an indented text block
@@ -155,11 +225,18 @@ mod tests {
     }
 
     #[test]
+    fn prefix_lines_marks_every_nonempty_line() {
+        assert_eq!(prefix_lines("a\n\nb\n", "# "), "# a\n\n# b\n");
+        assert_eq!(prefix_lines("a\nb\n", ""), "a\nb\n");
+    }
+
+    #[test]
     fn metrics_block_empty_without_obs() {
         let r = Report {
             protocol: ProtocolKind::TwoBit,
             stats: SystemStats::new(2, 1),
             cycles: 0,
+            events: 0,
             obs: None,
         };
         assert_eq!(metrics_block("x", &r), "");

@@ -25,6 +25,10 @@ pub struct Cache<S> {
     org: CacheOrg,
     sets: Vec<CacheSet<S>>,
     clock: u64,
+    /// Tag-store probes (set searches), including read-only ones — hence
+    /// the `Cell`. One probe per operation that scans a set for a tag;
+    /// the perf layer reports this as the cache-side hot-path op count.
+    probes: std::cell::Cell<u64>,
 }
 
 impl<S: LineMeta> Cache<S> {
@@ -38,6 +42,7 @@ impl<S: LineMeta> Cache<S> {
             org,
             sets,
             clock: 0,
+            probes: std::cell::Cell::new(0),
         }
     }
 
@@ -47,7 +52,15 @@ impl<S: LineMeta> Cache<S> {
         self.org
     }
 
+    /// Tag-store probes performed so far (every set search counts, reads
+    /// included).
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+
     fn set_of(&self, a: BlockAddr) -> usize {
+        self.probes.set(self.probes.get() + 1);
         self.org.set_of(a.number()) as usize
     }
 
@@ -176,6 +189,19 @@ mod tests {
 
     fn cache(sets: u32, assoc: u32) -> Cache<LineState> {
         Cache::new(CacheOrg::new(sets, assoc, 4).unwrap())
+    }
+
+    #[test]
+    fn probes_count_every_set_search() {
+        let mut c = cache(4, 2);
+        assert_eq!(c.probes(), 0);
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        let _ = c.contains(blk(1));
+        let _ = c.state_of(blk(2));
+        c.touch(blk(1));
+        assert_eq!(c.probes(), 4, "insert + contains + state_of + touch");
+        let snapshot = c.clone();
+        assert_eq!(snapshot.probes(), 4, "clone carries the count");
     }
 
     #[test]

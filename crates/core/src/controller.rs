@@ -28,7 +28,7 @@
 use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
 use std::collections::{HashMap, HashSet, VecDeque};
-use twobit_obs::{ActorId, SimEvent, Tracer};
+use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats, Counter,
     Fingerprinter, MemoryToCache, ModuleId, ProtocolError, Version, WritebackKind,
@@ -234,6 +234,25 @@ impl Controller {
     /// current state (e.g. unsolicited block data) — these indicate
     /// protocol bugs or injected faults, never normal operation.
     pub fn submit(&mut self, cmd: CacheToMemory) -> Result<Vec<CtrlEmit>, ProtocolError> {
+        self.submit_perf(cmd, &mut Profiler::disabled())
+    }
+
+    /// Like [`submit`](Controller::submit), but records span timings into
+    /// `perf` for hot-path attribution: `ctrl.queue.enqueue` (conflict
+    /// deferral), `ctrl.queue.drain` (the scan-and-reopen loop, its
+    /// self-time being the queue scan itself), and `ctrl.protocol.open`
+    /// (one per command handed to the directory FSM). The simulator
+    /// passes its own profiler here so these spans nest under the event
+    /// class being dispatched.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`submit`](Controller::submit).
+    pub fn submit_perf(
+        &mut self,
+        cmd: CacheToMemory,
+        perf: &mut Profiler,
+    ) -> Result<Vec<CtrlEmit>, ProtocolError> {
         match cmd {
             CacheToMemory::Request { .. }
             | CacheToMemory::MRequest { .. }
@@ -241,18 +260,18 @@ impl Controller {
             | CacheToMemory::DirectRead { .. } => {
                 let a = cmd.block();
                 if self.can_start(a) {
-                    let mut emits = self.process_open(cmd);
-                    emits.extend(self.drain_queue());
+                    let mut emits = self.process_open(cmd, perf);
+                    emits.extend(self.drain_queue(perf));
                     Ok(emits)
                 } else {
-                    self.enqueue(cmd);
+                    self.enqueue(cmd, perf);
                     Ok(Vec::new())
                 }
             }
             CacheToMemory::Eject { k, olda, wb } => {
                 self.stats.ejects.inc();
                 match wb {
-                    WritebackKind::Clean => Ok(self.handle_clean_eject(k, olda)),
+                    WritebackKind::Clean => Ok(self.handle_clean_eject(k, olda, perf)),
                     WritebackKind::Dirty => {
                         self.eject_announced.insert((k, olda));
                         if !self.awaiting.contains_key(&olda) {
@@ -262,7 +281,7 @@ impl Controller {
                     }
                 }
             }
-            CacheToMemory::PutData { from, a, version } => self.handle_put(from, a, version),
+            CacheToMemory::PutData { from, a, version } => self.handle_put(from, a, version, perf),
         }
     }
 
@@ -282,14 +301,31 @@ impl Controller {
         now: u64,
         tracer: &mut dyn Tracer,
     ) -> Result<Vec<CtrlEmit>, ProtocolError> {
+        self.submit_observed(cmd, now, tracer, &mut Profiler::disabled())
+    }
+
+    /// [`submit_traced`](Controller::submit_traced) plus the span timings
+    /// of [`submit_perf`](Controller::submit_perf) — the full-observability
+    /// entry point used by the discrete-event simulator.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`submit`](Controller::submit).
+    pub fn submit_observed(
+        &mut self,
+        cmd: CacheToMemory,
+        now: u64,
+        tracer: &mut dyn Tracer,
+        perf: &mut Profiler,
+    ) -> Result<Vec<CtrlEmit>, ProtocolError> {
         if !tracer.enabled() {
-            return self.submit(cmd);
+            return self.submit_perf(cmd, perf);
         }
         let a = cmd.block();
         let class = cmd.class();
         let text = cmd.to_string();
         let before = self.protocol.global_state(a);
-        let result = self.submit(cmd);
+        let result = self.submit_perf(cmd, perf);
         let after = self.protocol.global_state(a);
         let mut ev = SimEvent::new(now, ActorId::Module(self.module), a, text).class(class);
         if before != after {
@@ -310,14 +346,17 @@ impl Controller {
         }
     }
 
-    fn enqueue(&mut self, cmd: CacheToMemory) {
+    fn enqueue(&mut self, cmd: CacheToMemory, perf: &mut Profiler) {
+        perf.begin("ctrl.queue.enqueue");
         self.stats.conflicts_queued.inc();
         self.queue.push_back(cmd);
         let peak = self.stats.queue_peak.get().max(self.queue.len() as u64);
         self.stats.queue_peak = Counter::from(peak);
+        perf.end("ctrl.queue.enqueue");
     }
 
-    fn process_open(&mut self, cmd: CacheToMemory) -> Vec<CtrlEmit> {
+    fn process_open(&mut self, cmd: CacheToMemory, perf: &mut Profiler) -> Vec<CtrlEmit> {
+        perf.begin("ctrl.protocol.open");
         let (k, a, kind) = match cmd {
             CacheToMemory::Request { k, a, rw } => {
                 self.stats.requests.inc();
@@ -350,10 +389,17 @@ impl Controller {
             };
             self.awaiting.insert(a, rw);
         }
-        self.apply_step(a, step)
+        let emits = self.apply_step(a, step);
+        perf.end("ctrl.protocol.open");
+        emits
     }
 
-    fn handle_clean_eject(&mut self, k: CacheId, olda: BlockAddr) -> Vec<CtrlEmit> {
+    fn handle_clean_eject(
+        &mut self,
+        k: CacheId,
+        olda: BlockAddr,
+        perf: &mut Profiler,
+    ) -> Vec<CtrlEmit> {
         if self.awaiting.contains_key(&olda)
             && self
                 .protocol
@@ -365,7 +411,7 @@ impl Controller {
             let step = self.protocol.supply(olda, k, version, false, &self.memory);
             self.awaiting.remove(&olda);
             let mut emits = self.apply_step(olda, step);
-            emits.extend(self.drain_queue());
+            emits.extend(self.drain_queue(perf));
             emits
         } else {
             self.protocol.eject_clean(k, olda);
@@ -378,6 +424,7 @@ impl Controller {
         from: CacheId,
         a: BlockAddr,
         version: Version,
+        perf: &mut Profiler,
     ) -> Result<Vec<CtrlEmit>, ProtocolError> {
         if self.eject_announced.remove(&(from, a)) {
             // The write-back half of a dirty eject.
@@ -394,7 +441,7 @@ impl Controller {
             };
             self.eject_locked.remove(&a);
             let mut emits = self.apply_step(a, step);
-            emits.extend(self.drain_queue());
+            emits.extend(self.drain_queue(perf));
             return Ok(emits);
         }
         match self.awaiting.remove(&a) {
@@ -406,7 +453,7 @@ impl Controller {
                     .protocol
                     .supply(a, from, version, retains, &self.memory);
                 let mut emits = self.apply_step(a, step);
-                emits.extend(self.drain_queue());
+                emits.extend(self.drain_queue(perf));
                 Ok(emits)
             }
             None => Err(ProtocolError::UnexpectedCommand {
@@ -460,7 +507,8 @@ impl Controller {
         });
     }
 
-    fn drain_queue(&mut self) -> Vec<CtrlEmit> {
+    fn drain_queue(&mut self, perf: &mut Profiler) -> Vec<CtrlEmit> {
+        perf.begin("ctrl.queue.drain");
         let mut emits = Vec::new();
         loop {
             let idx = match self.concurrency {
@@ -481,8 +529,9 @@ impl Controller {
             };
             let Some(idx) = idx else { break };
             let cmd = self.queue.remove(idx).expect("index just found");
-            emits.extend(self.process_open(cmd));
+            emits.extend(self.process_open(cmd, perf));
         }
+        perf.end("ctrl.queue.drain");
         emits
     }
 }

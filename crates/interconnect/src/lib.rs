@@ -25,7 +25,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use twobit_obs::{ActorId, SimEvent, Tracer};
+use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{BlockAddr, CacheId, ModuleId, NetworkStats};
 
 /// A network endpoint: a cache or a memory-module controller.
@@ -110,6 +110,28 @@ pub trait Network {
             }
             tracer.record(SimEvent::new(now, ActorId::Network, block, text));
         }
+        arrival
+    }
+
+    /// [`schedule_traced`](Network::schedule_traced) wrapped in a
+    /// `net.schedule` span, so the per-delivery reservation work (port
+    /// contention lookup, statistics) shows up as its own line in the
+    /// simulator's self-time attribution instead of being folded into
+    /// whichever handler sent the message.
+    #[allow(clippy::too_many_arguments)] // schedule_traced's list + the profiler
+    fn schedule_profiled(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: MessageSize,
+        now: u64,
+        block: BlockAddr,
+        tracer: &mut dyn Tracer,
+        perf: &mut Profiler,
+    ) -> u64 {
+        perf.begin("net.schedule");
+        let arrival = self.schedule_traced(src, dst, size, now, block, tracer);
+        perf.end("net.schedule");
         arrival
     }
 }

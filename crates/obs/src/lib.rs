@@ -16,6 +16,10 @@
 //!   of the traced events, the tool for *seeing* the section 3.2.5 races
 //!   (stale `MREQUEST` crossing a `BROADINV`, replacement crossing a
 //!   recall) instead of inferring them from aggregate counters.
+//! * **Span timers** ([`Profiler`], [`PerfReport`]) — hierarchical
+//!   wall-clock attribution over the simulator's hot paths (event
+//!   dispatch, controller steps, queue ops, network scheduling),
+//!   compiled to no-ops unless the `perf-spans` feature is enabled.
 //!
 //! The crate depends only on `twobit-types`; every other crate in the
 //! workspace can layer it in without cycles.
@@ -25,6 +29,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod perf;
 pub mod timeline;
 pub mod tracer;
 
@@ -32,5 +37,6 @@ pub use event::{ActorId, SimEvent, StateChange};
 pub use metrics::{
     Gauge, Histogram, LatencySummary, Metrics, MetricsSummary, SearchStats, TxnClass,
 };
+pub use perf::{PerfReport, Profiler, SpanStat};
 pub use timeline::render_block_timeline;
 pub use tracer::{JsonlTracer, NullTracer, RingTracer, Tracer};

@@ -1,7 +1,12 @@
 //! Trace sinks: null (free), ring (post-mortem), JSONL (streaming).
 
 use crate::event::SimEvent;
-use std::io::Write;
+use std::io::{BufWriter, Write};
+
+/// Buffer size for [`JsonlTracer`] output. Big enough that a traced
+/// simulation pays one syscall per tens of thousands of events, not one
+/// per event.
+const JSONL_BUF_BYTES: usize = 64 * 1024;
 
 /// A sink for [`SimEvent`]s.
 ///
@@ -143,16 +148,25 @@ impl Tracer for RingTracer {
 }
 
 /// Streams events as JSON Lines to a writer.
+///
+/// Writes are buffered internally (and flushed on drop), so the per-event
+/// cost is a memory copy — the syscall happens once per 64 KiB, not once
+/// per event. Callers that need the bytes before drop use
+/// [`Tracer::flush`] or [`JsonlTracer::into_inner`].
 #[derive(Debug)]
 pub struct JsonlTracer<W: Write + std::fmt::Debug> {
-    w: W,
+    /// `None` only transiently inside `into_inner`.
+    w: Option<BufWriter<W>>,
     lines: u64,
 }
 
 impl<W: Write + std::fmt::Debug> JsonlTracer<W> {
     /// A tracer writing to `w`.
     pub fn new(w: W) -> Self {
-        JsonlTracer { w, lines: 0 }
+        JsonlTracer {
+            w: Some(BufWriter::with_capacity(JSONL_BUF_BYTES, w)),
+            lines: 0,
+        }
     }
 
     /// Lines written so far.
@@ -163,8 +177,9 @@ impl<W: Write + std::fmt::Debug> JsonlTracer<W> {
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.w.flush();
-        self.w
+        let mut buf = self.w.take().expect("writer present until consumed");
+        let _ = buf.flush();
+        buf.into_parts().0
     }
 }
 
@@ -172,13 +187,24 @@ impl<W: Write + std::fmt::Debug> Tracer for JsonlTracer<W> {
     fn record(&mut self, ev: SimEvent) {
         // Trace I/O errors must not abort a simulation; a short trace is
         // better than a crashed run, so errors are swallowed here.
-        if writeln!(self.w, "{}", ev.to_jsonl()).is_ok() {
+        let Some(w) = self.w.as_mut() else { return };
+        if writeln!(w, "{}", ev.to_jsonl()).is_ok() {
             self.lines += 1;
         }
     }
 
     fn flush(&mut self) {
-        let _ = self.w.flush();
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl<W: Write + std::fmt::Debug> Drop for JsonlTracer<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -240,6 +266,49 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn ring_rejects_zero_capacity() {
         let _ = RingTracer::new(0);
+    }
+
+    /// A writer with externally observable bytes, for asserting when the
+    /// buffered tracer actually reaches the sink.
+    #[derive(Debug, Clone, Default)]
+    struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_buffers_writes_until_flush() {
+        let sink = SharedSink::default();
+        let mut t = JsonlTracer::new(sink.clone());
+        t.record(ev(1));
+        assert_eq!(t.lines_written(), 1);
+        assert!(
+            sink.0.borrow().is_empty(),
+            "one small event must sit in the buffer, not hit the sink"
+        );
+        t.flush();
+        assert!(!sink.0.borrow().is_empty(), "flush drains the buffer");
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        let sink = SharedSink::default();
+        {
+            let mut t = JsonlTracer::new(sink.clone());
+            t.record(ev(7));
+            assert!(sink.0.borrow().is_empty(), "still buffered");
+        }
+        let text = String::from_utf8(sink.0.borrow().clone()).unwrap();
+        let parsed = SimEvent::from_jsonl(text.trim()).expect("valid line");
+        assert_eq!(parsed, ev(7), "drop flushed the complete event");
     }
 
     #[test]

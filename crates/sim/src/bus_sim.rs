@@ -69,8 +69,12 @@ impl BusSim {
         mut workload: W,
         refs_per_cpu: u64,
     ) -> Result<Report, ProtocolError> {
+        // One "event" per reference: the bus adapter is transaction-atomic,
+        // so a reference is its unit of simulation work.
+        let mut events: u64 = 0;
         for _ in 0..refs_per_cpu {
             for k in CacheId::all(self.config.caches) {
+                events += 1;
                 let op = workload.next_ref(k);
                 let before = self.system.bus_cycles();
                 let completion = self.system.do_ref(k, op)?;
@@ -117,6 +121,7 @@ impl BusSim {
             protocol: self.config.protocol,
             stats,
             cycles,
+            events,
             obs: Some(self.metrics.summary()),
         })
     }

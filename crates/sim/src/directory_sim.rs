@@ -6,10 +6,10 @@ use twobit_core::{
     invariants, AgentPolicy, CacheAgent, Controller, CtrlEmit, SendCost, DEFAULT_STATIC_SHARED_FROM,
 };
 use twobit_interconnect::{Crossbar, MessageSize, Network, NodeId};
-use twobit_obs::{ActorId, Metrics, NullTracer, SimEvent, Tracer, TxnClass};
+use twobit_obs::{ActorId, Metrics, NullTracer, PerfReport, Profiler, SimEvent, Tracer, TxnClass};
 use twobit_types::{
-    AccessKind, CacheId, CacheToMemory, ConfigError, ModuleId, ProtocolError, ProtocolKind,
-    SystemConfig, SystemStats, TxnId, Version,
+    AccessKind, CacheId, CacheToMemory, ConfigError, Counter, ModuleId, ProtocolError,
+    ProtocolKind, SystemConfig, SystemStats, TxnId, Version,
 };
 use twobit_workload::Workload;
 
@@ -48,6 +48,8 @@ pub struct DirectorySim {
     metrics: Metrics,
     pending: Vec<Option<PendingTxn>>,
     txn_counter: u64,
+    profiler: Profiler,
+    events: u64,
 }
 
 /// Builds the agent policy for a directory protocol (mirrors the
@@ -134,6 +136,8 @@ impl DirectorySim {
             metrics: Metrics::new(config.caches, DEFAULT_METRICS_CADENCE),
             pending: vec![None; config.caches],
             txn_counter: 0,
+            profiler: Profiler::disabled(),
+            events: 0,
         })
     }
 
@@ -162,6 +166,29 @@ impl DirectorySim {
     /// meaningful before [`run`](DirectorySim::run).
     pub fn set_metrics_cadence(&mut self, cadence: u64) {
         self.metrics = Metrics::new(self.config.caches, cadence);
+    }
+
+    /// Turns hot-path span timing on or off. Spans cost nothing unless
+    /// the `perf-spans` cargo feature is enabled *and* this is set.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler.set_enabled(on);
+    }
+
+    /// The accumulated span report: event-class handlers
+    /// (`event.issue` / `event.deliver_cache` / `event.deliver_module`),
+    /// the event-queue pop (`engine.pop`), network scheduling
+    /// (`net.dispatch` / `net.schedule`), and the controller's per-block
+    /// queue ops (`ctrl.*`) — one unified hierarchy, so self-times sum to
+    /// the instrumented wall time.
+    #[must_use]
+    pub fn perf_report(&self) -> PerfReport {
+        self.profiler.report()
+    }
+
+    /// Simulation events processed so far (one per event-queue pop).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Transactions currently open (started, unretired).
@@ -211,6 +238,7 @@ impl DirectorySim {
     }
 
     fn dispatch_to_memory(&mut self, from: CacheId, sends: Vec<CacheToMemory>, base: u64) {
+        self.profiler.begin("net.dispatch");
         for cmd in sends {
             let module = self.config.address_map.module_of(cmd.block());
             let size = match cmd {
@@ -218,13 +246,14 @@ impl DirectorySim {
                 _ => MessageSize::Command,
             };
             self.network.note_injection(size);
-            let arrival = self.network.schedule_traced(
+            let arrival = self.network.schedule_profiled(
                 NodeId::Cache(from),
                 NodeId::Module(module),
                 size,
                 base,
                 cmd.block(),
                 self.tracer.as_mut(),
+                &mut self.profiler,
             );
             // The replacement "transaction" (EJECT, optionally followed by
             // the write-back put) never stalls the processor, so its
@@ -236,9 +265,11 @@ impl DirectorySim {
             self.queue
                 .push(arrival, Event::DeliverToModule { module, cmd });
         }
+        self.profiler.end("net.dispatch");
     }
 
     fn dispatch_emits(&mut self, module: ModuleId, emits: Vec<CtrlEmit>, base: u64) {
+        self.profiler.begin("net.dispatch");
         for emit in emits {
             match emit {
                 CtrlEmit::Unicast { to, cmd, cost } => {
@@ -249,13 +280,14 @@ impl DirectorySim {
                     };
                     self.network.note_injection(size);
                     let inject = base + self.config.latency.controller + extra;
-                    let arrival = self.network.schedule_traced(
+                    let arrival = self.network.schedule_profiled(
                         NodeId::Module(module),
                         NodeId::Cache(to),
                         size,
                         inject,
                         cmd.block(),
                         self.tracer.as_mut(),
+                        &mut self.profiler,
                     );
                     self.queue.push(
                         arrival,
@@ -287,13 +319,14 @@ impl DirectorySim {
                         if cache == exclude {
                             continue;
                         }
-                        let arrival = self.network.schedule_traced(
+                        let arrival = self.network.schedule_profiled(
                             NodeId::Module(module),
                             NodeId::Cache(cache),
                             size,
                             inject,
                             cmd.block(),
                             self.tracer.as_mut(),
+                            &mut self.profiler,
                         );
                         self.queue
                             .push(arrival, Event::DeliverToCache { cache, msg: cmd });
@@ -301,6 +334,7 @@ impl DirectorySim {
                 }
             }
         }
+        self.profiler.end("net.dispatch");
     }
 
     fn schedule_next_issue(&mut self, cpu: CacheId, base: u64) {
@@ -335,9 +369,14 @@ impl DirectorySim {
                 .saturating_add(1_000_000),
         );
 
-        while let Some((time, event)) = self.queue.pop() {
+        loop {
+            self.profiler.begin("engine.pop");
+            let popped = self.queue.pop();
+            self.profiler.end("engine.pop");
+            let Some((time, event)) = popped else { break };
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
+            self.events += 1;
             if self.now > budget {
                 return Err(ProtocolError::UnexpectedCommand {
                     state: format!("cycle {}", self.now),
@@ -349,12 +388,15 @@ impl DirectorySim {
                     if self.refs_done[cpu.index()] >= self.refs_target {
                         continue;
                     }
+                    self.profiler.begin("event.issue");
                     let op = workload.next_ref(cpu);
                     let version = match op.kind {
                         AccessKind::Write => self.fresh_version(),
                         AccessKind::Read => Version::initial(),
                     };
+                    self.profiler.begin("agent.start");
                     let outcome = self.agents[cpu.index()].start(op, version);
+                    self.profiler.end("agent.start");
                     let base = self.now;
                     let txn = if outcome.completed.is_some() {
                         None
@@ -383,8 +425,10 @@ impl DirectorySim {
                     }
                     // Otherwise the cpu is stalled; the retiring grant
                     // reschedules it.
+                    self.profiler.end("event.issue");
                 }
                 Event::DeliverToCache { cache, msg } => {
+                    self.profiler.begin("event.deliver_cache");
                     let useless_before = self.agents[cache.index()].stats().useless_commands.get();
                     let local_before = if self.tracer.enabled() {
                         Some(
@@ -396,7 +440,9 @@ impl DirectorySim {
                     } else {
                         None
                     };
+                    self.profiler.begin("agent.on_network");
                     let out = self.agents[cache.index()].on_network(msg)?;
+                    self.profiler.end("agent.on_network");
                     let base = self.now
                         + if out.counted {
                             self.config.latency.snoop_service
@@ -451,12 +497,15 @@ impl DirectorySim {
                         self.refs_done[cache.index()] += 1;
                         self.schedule_next_issue(cache, base);
                     }
+                    self.profiler.end("event.deliver_cache");
                 }
                 Event::DeliverToModule { module, cmd } => {
-                    let emits = self.controllers[module.index()].submit_traced(
+                    self.profiler.begin("event.deliver_module");
+                    let emits = self.controllers[module.index()].submit_observed(
                         cmd,
                         self.now,
                         self.tracer.as_mut(),
+                        &mut self.profiler,
                     )?;
                     self.metrics.queue_depth.observe(
                         self.now,
@@ -464,6 +513,7 @@ impl DirectorySim {
                     );
                     let base = self.now;
                     self.dispatch_emits(module, emits, base);
+                    self.profiler.end("event.deliver_module");
                 }
             }
         }
@@ -501,6 +551,7 @@ impl DirectorySim {
             protocol: self.config.protocol,
             stats: self.collect_stats(),
             cycles: self.now,
+            events: self.events,
             obs: Some(self.metrics.summary()),
         })
     }
@@ -509,6 +560,7 @@ impl DirectorySim {
         let mut stats = SystemStats::new(self.agents.len(), self.controllers.len());
         for (slot, agent) in stats.caches.iter_mut().zip(&self.agents) {
             *slot = *agent.stats();
+            slot.tag_probes = Counter::from(agent.cache().probes());
         }
         for (slot, controller) in stats.controllers.iter_mut().zip(&self.controllers) {
             *slot = controller.stats();

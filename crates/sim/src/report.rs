@@ -13,6 +13,10 @@ pub struct Report {
     pub stats: SystemStats,
     /// Simulated cycles elapsed.
     pub cycles: u64,
+    /// Simulation events processed: event-queue pops for the
+    /// discrete-event simulator, bus steps for the bus simulator. The
+    /// denominator of the throughput benchmark's events/sec figure.
+    pub events: u64,
     /// Observability summary: latency percentiles per transaction class,
     /// queue-depth/outstanding gauges, and the useless-command rate.
     /// `None` only for hand-built reports; both simulators populate it.
@@ -145,6 +149,7 @@ mod tests {
             protocol: ProtocolKind::TwoBit,
             stats,
             cycles: 1000,
+            events: 0,
             obs: None,
         }
     }
@@ -163,6 +168,7 @@ mod tests {
             protocol: ProtocolKind::FullMap,
             stats: SystemStats::new(2, 1),
             cycles: 0,
+            events: 0,
             obs: None,
         };
         assert_eq!(r.commands_per_reference(), 0.0);

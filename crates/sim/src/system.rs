@@ -3,7 +3,7 @@
 use crate::bus_sim::BusSim;
 use crate::directory_sim::DirectorySim;
 use crate::report::Report;
-use twobit_obs::Tracer;
+use twobit_obs::{PerfReport, Tracer};
 use twobit_types::{ConfigError, ProtocolError, SystemConfig};
 use twobit_workload::Workload;
 
@@ -80,6 +80,26 @@ impl System {
     pub fn set_metrics_cadence(&mut self, cadence: u64) {
         if let Inner::Directory(sim) = &mut self.inner {
             sim.set_metrics_cadence(cadence);
+        }
+    }
+
+    /// Turns hot-path span profiling on or off (directory backend only;
+    /// the bus adapter has no event loop to attribute). No effect unless
+    /// the `perf-spans` cargo feature is enabled.
+    pub fn set_profiling(&mut self, on: bool) {
+        if let Inner::Directory(sim) = &mut self.inner {
+            sim.set_profiling(on);
+        }
+    }
+
+    /// The accumulated span report ("top handlers by self-time"). Empty
+    /// for the bus backend, when profiling was never enabled, or when the
+    /// `perf-spans` feature is off.
+    #[must_use]
+    pub fn perf_report(&self) -> PerfReport {
+        match &self.inner {
+            Inner::Directory(sim) => sim.perf_report(),
+            Inner::Bus(_) => PerfReport::new(),
         }
     }
 }

@@ -172,6 +172,10 @@ pub struct CacheStats {
     /// Invalidation commands absorbed by the BIAS memory without a
     /// directory search (section 2.3's filter).
     pub bias_filtered: Counter,
+    /// Tag-store probes (set searches) the cache performed, reads
+    /// included — the raw hot-path op count behind every hit, miss, and
+    /// snooped command. Filled from the tag store at report time.
+    pub tag_probes: Counter,
 }
 
 impl CacheStats {
@@ -233,6 +237,7 @@ impl CacheStats {
         self.blocks_supplied += other.blocks_supplied;
         self.invalidated_lines += other.invalidated_lines;
         self.bias_filtered += other.bias_filtered;
+        self.tag_probes += other.tag_probes;
     }
 }
 
