@@ -1,0 +1,128 @@
+//! Micro-bench of the crossbar dispatch path: the retired
+//! `HashMap<NodeId, u64>` port bookkeeping (reimplemented here as the
+//! reference) against the shipped flat-`Vec` indexing, on the same
+//! broadcast-heavy schedule stream the simulator produces on the
+//! high-contention sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+use twobit_interconnect::{Crossbar, MessageSize, Network, NodeId};
+use twobit_types::{CacheId, ModuleId, NetworkStats};
+
+const CACHES: usize = 64;
+const ROUNDS: u64 = 2_000;
+/// One round ≈ one contended transaction: a request, a broadcast fanout
+/// to every other cache, and a grant — the schedule mix of the two-bit
+/// scheme's write-miss-on-shared case.
+const SCHEDULES_PER_ROUND: u64 = 1 + (CACHES as u64 - 1) + 1;
+
+/// The pre-PR port bookkeeping, kept verbatim as the baseline arm.
+struct HashMapPorts {
+    command_latency: u64,
+    data_latency: u64,
+    port_occupancy: u64,
+    port_free: HashMap<NodeId, u64>,
+    stats: NetworkStats,
+}
+
+impl HashMapPorts {
+    fn new(command_latency: u64, data_latency: u64, port_occupancy: u64) -> Self {
+        HashMapPorts {
+            command_latency,
+            data_latency,
+            port_occupancy,
+            port_free: HashMap::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    fn schedule(&mut self, dst: NodeId, size: MessageSize, now: u64) -> u64 {
+        let wire = match size {
+            MessageSize::Command => self.command_latency,
+            MessageSize::Data => self.data_latency,
+        };
+        let earliest = now + wire;
+        let free = self.port_free.entry(dst).or_insert(0);
+        let arrival = earliest.max(*free);
+        self.stats.queueing_cycles.add(arrival - earliest);
+        *free = arrival + self.port_occupancy;
+        self.stats.deliveries.inc();
+        arrival
+    }
+}
+
+fn dispatch_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interconnect/ports");
+    group.throughput(Throughput::Elements(ROUNDS * SCHEDULES_PER_ROUND));
+
+    group.bench_function("hashmap_reference", |b| {
+        b.iter(|| {
+            let mut net = HashMapPorts::new(2, 4, 1);
+            let mut acc = 0u64;
+            for round in 0..ROUNDS {
+                let now = round * 3;
+                let src = CacheId::new((round % CACHES as u64) as usize);
+                let module = NodeId::Module(ModuleId::new(src.index()));
+                acc = acc.wrapping_add(net.schedule(module, MessageSize::Command, now));
+                for k in 0..CACHES {
+                    if k == src.index() {
+                        continue;
+                    }
+                    acc = acc.wrapping_add(net.schedule(
+                        NodeId::Cache(CacheId::new(k)),
+                        MessageSize::Command,
+                        now + 1,
+                    ));
+                }
+                acc =
+                    acc.wrapping_add(net.schedule(NodeId::Cache(src), MessageSize::Data, now + 1));
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("vec_ports", |b| {
+        b.iter(|| {
+            let mut net = Crossbar::new(2, 4, 1);
+            let mut acc = 0u64;
+            for round in 0..ROUNDS {
+                let now = round * 3;
+                let src = CacheId::new((round % CACHES as u64) as usize);
+                let from = NodeId::Cache(src);
+                let module = NodeId::Module(ModuleId::new(src.index()));
+                acc = acc.wrapping_add(net.schedule(from, module, MessageSize::Command, now));
+                for k in 0..CACHES {
+                    if k == src.index() {
+                        continue;
+                    }
+                    acc = acc.wrapping_add(net.schedule(
+                        module,
+                        NodeId::Cache(CacheId::new(k)),
+                        MessageSize::Command,
+                        now + 1,
+                    ));
+                }
+                acc = acc.wrapping_add(net.schedule(
+                    module,
+                    NodeId::Cache(src),
+                    MessageSize::Data,
+                    now + 1,
+                ));
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = dispatch_path
+}
+criterion_main!(benches);

@@ -10,12 +10,16 @@
 //!
 //! - `--label` names the output `BENCH_<label>.json` (default `local`);
 //!   `--out` overrides the path entirely.
+//! - `--jobs N` runs each case on the sharded engine with up to `N`
+//!   worker threads; results are identical for any `N` (the engine is
+//!   deterministic), only wall-clock figures change. Cases always run
+//!   one at a time so each case's wall clock is unpolluted.
 //! - `--profile` records the "top handlers by self-time" span table per
 //!   case (needs the `perf-spans` cargo feature to be more than a no-op).
 //! - `--quick` shrinks the sweep for CI smoke runs (500 refs/cpu).
 //! - Built with the `counting-alloc` feature, each case also reports
-//!   `peak_alloc_bytes` from a byte-counting global allocator; this
-//!   forces `--jobs 1` since the watermark is process-wide.
+//!   `peak_alloc_bytes` from a byte-counting global allocator (exact
+//!   per case, since cases are sequential).
 
 use std::process::ExitCode;
 
@@ -149,15 +153,8 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
-    let mut args = parse_args();
+    let args = parse_args();
     let alloc = alloc_hooks();
-    if alloc.is_some() && args.cfg.jobs != 1 {
-        eprintln!(
-            "counting-alloc build: forcing --jobs 1 (peak tracking is \
-             process-wide; parallel cases would blur each other)"
-        );
-        args.cfg.jobs = 1;
-    }
     if args.cfg.profile && !cfg!(feature = "perf-spans") {
         eprintln!(
             "note: --profile requested but built without the perf-spans \

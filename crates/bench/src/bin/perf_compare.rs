@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! perf_compare BASELINE.json CANDIDATE.json
-//!              [--warn-only] [--verbose]
+//!              [--warn-only] [--verbose] [--deterministic-only]
 //!              [--refs-frac F] [--events-frac F]
 //!              [--latency-frac F] [--alloc-frac F]
 //! ```
 //!
 //! Wall-clock throughput thresholds default to ±25% (CI hosts are
-//! noisy); simulated latency percentiles and event counts are
+//! noisy); simulated latency percentiles and event/cycle counts are
 //! deterministic for a fixed config and default to zero tolerance.
-//! `--warn-only` prints regressions but exits 0 — for gating a fresh
-//! baseline in before enforcement.
+//! `--deterministic-only` compares *only* the deterministic quantities —
+//! the blocking CI mode, immune to host noise: any failure means the
+//! candidate simulates different work than the baseline. `--warn-only`
+//! prints regressions but exits 0 — for gating a fresh baseline in
+//! before enforcement, or for advisory wall-clock checks.
 
 use std::process::ExitCode;
 
@@ -23,8 +26,8 @@ use twobit_bench::throughput::BenchDoc;
 fn usage() -> ! {
     eprintln!(
         "usage: perf_compare BASELINE.json CANDIDATE.json [--warn-only] \
-         [--verbose] [--refs-frac F] [--events-frac F] [--latency-frac F] \
-         [--alloc-frac F]"
+         [--verbose] [--deterministic-only] [--refs-frac F] \
+         [--events-frac F] [--latency-frac F] [--alloc-frac F]"
     );
     std::process::exit(2);
 }
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--warn-only" => warn_only = true,
             "--verbose" => verbose = true,
+            "--deterministic-only" => thr.deterministic_only = true,
             "--refs-frac" => thr.refs_per_sec_drop = frac("--refs-frac"),
             "--events-frac" => thr.events_per_sec_drop = frac("--events-frac"),
             "--latency-frac" => thr.latency_rise = frac("--latency-frac"),

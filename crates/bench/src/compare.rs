@@ -22,6 +22,12 @@ pub struct Thresholds {
     pub latency_rise: f64,
     /// Allowed fractional rise in peak allocated bytes.
     pub peak_alloc_rise: f64,
+    /// Compare only the deterministic simulated quantities (event and
+    /// cycle counts, tag probes, latency percentiles), skipping every
+    /// wall-clock- and allocator-derived metric. This is the blocking CI
+    /// mode: it never false-positives on a noisy host, and any failure
+    /// means the candidate *simulates different work* than the baseline.
+    pub deterministic_only: bool,
 }
 
 impl Default for Thresholds {
@@ -31,6 +37,7 @@ impl Default for Thresholds {
             events_per_sec_drop: 0.25,
             latency_rise: 0.0,
             peak_alloc_rise: 0.10,
+            deterministic_only: false,
         }
     }
 }
@@ -162,56 +169,54 @@ pub fn compare(base: &BenchDoc, new: &BenchDoc, thr: &Thresholds) -> Comparison 
     out
 }
 
+/// A zero-tolerance, both-directions comparison for quantities that are
+/// deterministic in the simulated work: any drift at all is a regression.
+fn exact(label: &str, metric: &str, base: u64, new: u64) -> Finding {
+    let change = if base == 0 {
+        if new == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new as f64 - base as f64) / base as f64
+    };
+    Finding {
+        label: label.to_string(),
+        metric: metric.to_string(),
+        base: base as f64,
+        new: new as f64,
+        change,
+        regressed: base != new,
+    }
+}
+
 fn compare_case(base: &BenchCase, new: &BenchCase, thr: &Thresholds, out: &mut Vec<Finding>) {
     let label = &base.label;
-    out.push(Finding::compare(
-        label,
-        "refs_per_sec",
-        base.refs_per_sec(),
-        new.refs_per_sec(),
-        thr.refs_per_sec_drop,
-        true,
-    ));
-    out.push(Finding::compare(
-        label,
-        "events_per_sec",
-        base.events_per_sec(),
-        new.events_per_sec(),
-        thr.events_per_sec_drop,
-        true,
-    ));
-    // Deterministic simulated quantities: count drift means the two runs
-    // simulated different work (config skew or behavior change) — flag at
-    // zero tolerance regardless of the latency threshold.
-    out.push(Finding::compare(
-        label,
-        "events",
-        base.events as f64,
-        new.events as f64,
-        0.0,
-        false,
-    ));
-    if let f @ Finding {
-        regressed: true, ..
-    } = Finding::compare(
-        label,
-        "events(drop)",
-        base.events as f64,
-        new.events as f64,
-        0.0,
-        true,
-    ) {
-        // A drop is as suspicious as a rise; report it once under the
-        // same metric name rather than twice.
-        if let Some(last) = out.last_mut() {
-            if !last.regressed {
-                *last = Finding {
-                    metric: "events".to_string(),
-                    ..f
-                };
-            }
-        }
+    if !thr.deterministic_only {
+        out.push(Finding::compare(
+            label,
+            "refs_per_sec",
+            base.refs_per_sec(),
+            new.refs_per_sec(),
+            thr.refs_per_sec_drop,
+            true,
+        ));
+        out.push(Finding::compare(
+            label,
+            "events_per_sec",
+            base.events_per_sec(),
+            new.events_per_sec(),
+            thr.events_per_sec_drop,
+            true,
+        ));
     }
+    // Deterministic simulated quantities: any drift means the two runs
+    // simulated different work (config skew or behavior change) — flag it
+    // in either direction regardless of the latency threshold.
+    out.push(exact(label, "events", base.events, new.events));
+    out.push(exact(label, "cycles", base.cycles, new.cycles));
+    out.push(exact(label, "tag_probes", base.tag_probes, new.tag_probes));
     for (class, _count, p50, p99) in &base.latency {
         let Some((_, _, new_p50, new_p99)) = new.latency.iter().find(|(c, ..)| c == class) else {
             out.push(Finding {
@@ -240,6 +245,9 @@ fn compare_case(base: &BenchCase, new: &BenchCase, thr: &Thresholds, out: &mut V
             thr.latency_rise,
             false,
         ));
+    }
+    if thr.deterministic_only {
+        return;
     }
     if let (Some(base_peak), Some(new_peak)) = (base.peak_alloc_bytes, new.peak_alloc_bytes) {
         out.push(Finding::compare(
@@ -341,6 +349,31 @@ mod tests {
                 cmp.render(true)
             );
         }
+    }
+
+    #[test]
+    fn deterministic_only_ignores_wall_clock_but_flags_sim_drift() {
+        let base = doc(vec![case("two-bit/low", 1_000_000)]);
+        let thr = Thresholds {
+            deterministic_only: true,
+            ..Thresholds::default()
+        };
+        // 10× slower wall clock: irrelevant in deterministic-only mode.
+        let mut slow = base.clone();
+        slow.cases[0].wall_ns = 10_000_000;
+        slow.cases[0].peak_alloc_bytes = Some(9_000_000);
+        let cmp = compare(&base, &slow, &thr);
+        assert!(!cmp.has_regressions(), "{}", cmp.render(true));
+        assert!(!cmp
+            .findings
+            .iter()
+            .any(|f| f.metric.ends_with("_per_sec") || f.metric == "peak_alloc_bytes"));
+
+        // One cycle of simulated drift: fatal.
+        let mut drifted = base.clone();
+        drifted.cases[0].cycles += 1;
+        let cmp = compare(&base, &drifted, &thr);
+        assert!(cmp.regressions().iter().any(|f| f.metric == "cycles"));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub struct BenchConfig {
     /// Workload seed (fixed: the suite is deterministic in simulated
     /// work; only wall-clock figures vary between runs).
     pub seed: u64,
-    /// Worker threads running cases in parallel.
+    /// Worker threads for the sharded simulation engine
+    /// ([`System::run_jobs`]). Cases themselves always run one at a
+    /// time so each case's wall clock measures only its own run.
     pub jobs: usize,
     /// Whether span profiling was requested (only effective when built
     /// with the `perf-spans` feature).
@@ -87,9 +89,9 @@ impl Default for BenchConfig {
 }
 
 /// Hooks into a counting global allocator, passed by the binary when
-/// built with the `counting-alloc` feature. Only meaningful with
-/// `jobs == 1`: the peak is process-wide, so parallel cases would blur
-/// each other's numbers.
+/// built with the `counting-alloc` feature. The peak is process-wide,
+/// which is exact because cases run sequentially (engine worker threads
+/// within a case are part of that case's footprint).
 #[derive(Debug, Clone, Copy)]
 pub struct AllocHooks {
     /// Resets the peak-tracking watermark to the current usage.
@@ -177,7 +179,9 @@ pub fn run_suite(cfg: &BenchConfig, alloc: Option<AllocHooks>) -> BenchDoc {
                 .map(move |(name, params)| (scheme, name.clone(), *params))
         })
         .collect();
-    let cases = crate::sweep::run(grid, cfg.jobs, |(scheme, workload_name, params)| {
+    // One case at a time: `jobs` parallelizes *inside* the engine, so
+    // per-case wall clock is never polluted by sibling cases.
+    let cases = crate::sweep::run(grid, 1, |(scheme, workload_name, params)| {
         run_case(cfg, *scheme, workload_name, *params, alloc)
     });
     BenchDoc {
@@ -204,7 +208,7 @@ fn run_case(
     }
     let start = Instant::now();
     let report = system
-        .run(workload, cfg.refs_per_cpu)
+        .run_jobs(workload, cfg.refs_per_cpu, cfg.jobs)
         .unwrap_or_else(|e| panic!("run {}/{workload_name}: {e}", scheme.name()));
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let peak_alloc_bytes = alloc.map(|hooks| (hooks.peak_bytes)());

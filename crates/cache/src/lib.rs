@@ -43,10 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod line;
 mod meta;
-mod set;
 mod store;
 
+pub use line::{CanonicalLine, EvictedLine, Line};
 pub use meta::LineMeta;
-pub use set::{CacheSet, CanonicalLine, EvictedLine, Line};
 pub use store::{Cache, CanonicalSet};

@@ -1,0 +1,60 @@
+//! Cache-line value types: the stored line, its canonical (rank-reduced)
+//! snapshot, and the eviction record.
+
+use twobit_types::{BlockAddr, Version};
+
+/// One cache line: a tag plus protocol metadata and the version standing
+/// in for its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line<S> {
+    /// The cached block.
+    pub addr: BlockAddr,
+    /// Protocol state.
+    pub state: S,
+    /// Data stand-in (see `twobit_types::Version`).
+    pub version: Version,
+    /// Replacement bookkeeping: last-touch stamp (LRU).
+    pub(crate) last_use: u64,
+    /// Replacement bookkeeping: insertion stamp (FIFO).
+    pub(crate) inserted: u64,
+}
+
+/// A replacement-order snapshot of one occupied way, with the absolute
+/// use-clock stamps reduced to per-set **ranks**.
+///
+/// Victim selection depends only on the relative order of `(stamp, way)`
+/// pairs within a set — never on absolute stamp values, and new stamps
+/// always exceed existing ones — so two sets whose canonical snapshots
+/// are equal behave identically under any future operation sequence.
+/// This is what lets the model checker fingerprint logically identical
+/// cache states reached along different interleavings to the same value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalLine<S> {
+    /// The way this line occupies.
+    pub way: u32,
+    /// The cached block.
+    pub addr: BlockAddr,
+    /// Protocol state (invalid-state lines still occupy their way and are
+    /// included: they block the free-way fast path and participate in
+    /// victim selection).
+    pub state: S,
+    /// Data stand-in.
+    pub version: Version,
+    /// Rank of this line's `(last_use, way)` among the set's occupied
+    /// ways (0 = least recently used, the LRU victim).
+    pub lru_rank: u32,
+    /// Rank of this line's `(inserted, way)` among the set's occupied
+    /// ways (0 = first inserted, the FIFO victim).
+    pub fifo_rank: u32,
+}
+
+/// A line pushed out of a set by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine<S> {
+    /// The replaced block (the paper's `olda`).
+    pub addr: BlockAddr,
+    /// Its state at eviction (dirty states require write-back).
+    pub state: S,
+    /// Its data version.
+    pub version: Version,
+}

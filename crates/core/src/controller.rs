@@ -25,9 +25,10 @@
 //! arriving write-back as the query's answer
 //! ([`DirectoryProtocol::eject_satisfies_wait`]).
 
+use crate::blockmap::{BlockMap, BlockSet};
 use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats, Counter,
@@ -71,12 +72,14 @@ pub struct Controller {
     /// Blocks whose transaction awaits a data supply, with the miss kind
     /// (read/write) — needed to tell whether a query responder retains a
     /// clean copy.
-    awaiting: HashMap<BlockAddr, AccessKind>,
-    /// Dirty ejects announced but whose data has not arrived yet.
-    eject_announced: HashSet<(CacheId, BlockAddr)>,
+    awaiting: BlockMap<AccessKind>,
+    /// Dirty ejects announced but whose data has not arrived yet. At most
+    /// one in flight per (cache, block), and rarely more than a handful
+    /// total, so a linear-scanned `Vec` beats any hashed set here.
+    eject_announced: Vec<(CacheId, BlockAddr)>,
     /// Blocks locked by an announced eject (no transaction may start
     /// until the write-back lands).
-    eject_locked: HashSet<BlockAddr>,
+    eject_locked: BlockSet,
     queue: VecDeque<CacheToMemory>,
     stats: ControllerStats,
 }
@@ -119,9 +122,9 @@ impl Controller {
             memory: MemoryImage::new(),
             n_caches,
             concurrency,
-            awaiting: HashMap::new(),
-            eject_announced: HashSet::new(),
-            eject_locked: HashSet::new(),
+            awaiting: BlockMap::new(),
+            eject_announced: Vec::new(),
+            eject_locked: BlockSet::new(),
             queue: VecDeque::new(),
             stats: ControllerStats::default(),
         }
@@ -174,27 +177,16 @@ impl Controller {
     pub fn fingerprint(&self, fp: &mut Fingerprinter) {
         fp.write_usize(self.module.index());
         self.protocol.fingerprint(fp);
-        let mut blocks: Vec<(u64, u64)> = self
-            .memory
-            .written_blocks()
-            .map(|(a, v)| (a.number(), v.raw()))
-            .collect();
-        blocks.sort_unstable();
-        fp.write_usize(blocks.len());
-        for (a, v) in blocks {
-            fp.write_u64(a);
-            fp.write_u64(v);
+        fp.write_usize(self.memory.len());
+        for (a, v) in self.memory.written_blocks() {
+            fp.write_u64(a.number());
+            fp.write_u64(v.raw());
         }
-        let mut awaiting: Vec<(u64, bool)> = self
-            .awaiting
-            .iter()
-            .map(|(a, rw)| (a.number(), rw.is_write()))
-            .collect();
-        awaiting.sort_unstable();
-        fp.write_usize(awaiting.len());
-        for (a, w) in awaiting {
-            fp.write_u64(a);
-            fp.write_bool(w);
+        // `BlockMap`/`BlockSet` iterate in ascending block order already.
+        fp.write_usize(self.awaiting.len());
+        for (a, rw) in self.awaiting.iter() {
+            fp.write_u64(a.number());
+            fp.write_bool(rw.is_write());
         }
         let mut announced: Vec<(usize, u64)> = self
             .eject_announced
@@ -207,11 +199,9 @@ impl Controller {
             fp.write_usize(k);
             fp.write_u64(a);
         }
-        let mut locked: Vec<u64> = self.eject_locked.iter().map(|a| a.number()).collect();
-        locked.sort_unstable();
-        fp.write_usize(locked.len());
-        for a in locked {
-            fp.write_u64(a);
+        fp.write_usize(self.eject_locked.len());
+        for a in self.eject_locked.iter() {
+            fp.write_u64(a.number());
         }
         fp.write_usize(self.queue.len());
         for cmd in &self.queue {
@@ -273,8 +263,10 @@ impl Controller {
                 match wb {
                     WritebackKind::Clean => Ok(self.handle_clean_eject(k, olda, perf)),
                     WritebackKind::Dirty => {
-                        self.eject_announced.insert((k, olda));
-                        if !self.awaiting.contains_key(&olda) {
+                        if !self.eject_announced.contains(&(k, olda)) {
+                            self.eject_announced.push((k, olda));
+                        }
+                        if !self.awaiting.contains_key(olda) {
                             self.eject_locked.insert(olda);
                         }
                         Ok(Vec::new())
@@ -341,7 +333,7 @@ impl Controller {
                 self.awaiting.is_empty() && self.eject_locked.is_empty() && self.queue.is_empty()
             }
             ControllerConcurrency::PerBlock => {
-                !self.awaiting.contains_key(&a) && !self.eject_locked.contains(&a)
+                !self.awaiting.contains_key(a) && !self.eject_locked.contains(a)
             }
         }
     }
@@ -400,7 +392,7 @@ impl Controller {
         olda: BlockAddr,
         perf: &mut Profiler,
     ) -> Vec<CtrlEmit> {
-        if self.awaiting.contains_key(&olda)
+        if self.awaiting.contains_key(olda)
             && self
                 .protocol
                 .eject_satisfies_wait(olda, k, WritebackKind::Clean)
@@ -409,7 +401,7 @@ impl Controller {
             // data; resolve the wait with it.
             let version = self.memory.read(olda);
             let step = self.protocol.supply(olda, k, version, false, &self.memory);
-            self.awaiting.remove(&olda);
+            self.awaiting.remove(olda);
             let mut emits = self.apply_step(olda, step);
             emits.extend(self.drain_queue(perf));
             emits
@@ -426,25 +418,26 @@ impl Controller {
         version: Version,
         perf: &mut Profiler,
     ) -> Result<Vec<CtrlEmit>, ProtocolError> {
-        if self.eject_announced.remove(&(from, a)) {
+        if let Some(i) = self.eject_announced.iter().position(|&e| e == (from, a)) {
             // The write-back half of a dirty eject.
-            let step = if self.awaiting.contains_key(&a)
+            self.eject_announced.swap_remove(i);
+            let step = if self.awaiting.contains_key(a)
                 && self
                     .protocol
                     .eject_satisfies_wait(a, from, WritebackKind::Dirty)
             {
                 // …which doubles as the answer to an in-flight query.
-                self.awaiting.remove(&a);
+                self.awaiting.remove(a);
                 self.protocol.supply(a, from, version, false, &self.memory)
             } else {
                 self.protocol.eject_dirty(from, a, version)
             };
-            self.eject_locked.remove(&a);
+            self.eject_locked.remove(a);
             let mut emits = self.apply_step(a, step);
             emits.extend(self.drain_queue(perf));
             return Ok(emits);
         }
-        match self.awaiting.remove(&a) {
+        match self.awaiting.remove(a) {
             Some(rw) => {
                 // A query/purge response. On a read the responder kept a
                 // clean copy; on a write it invalidated itself.
@@ -524,7 +517,7 @@ impl Controller {
                 }
                 ControllerConcurrency::PerBlock => self.queue.iter().position(|c| {
                     let a = c.block();
-                    !self.awaiting.contains_key(&a) && !self.eject_locked.contains(&a)
+                    !self.awaiting.contains_key(a) && !self.eject_locked.contains(a)
                 }),
             };
             let Some(idx) = idx else { break };

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod agent;
+mod blockmap;
 mod classical;
 mod controller;
 mod directory;
@@ -67,6 +68,7 @@ pub mod transitions;
 mod two_bit;
 
 pub use agent::{AgentPolicy, CacheAgent, Completion, NetOutcome, StartOutcome};
+pub use blockmap::{BlockMap, BlockSet};
 pub use classical::{ClassicalDirectory, NullDirectory};
 pub use controller::{Controller, CtrlEmit};
 pub use directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};

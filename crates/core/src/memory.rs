@@ -1,16 +1,18 @@
 //! A memory module's storage, in the data-as-version model.
 
+use crate::blockmap::BlockMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use twobit_types::{BlockAddr, Version};
 
 /// The block storage of one memory module (`M_j` in Figure 3-1).
 ///
 /// Blocks never written still hold their initial image
-/// ([`Version::initial`]); only written blocks occupy space.
+/// ([`Version::initial`]); only written blocks occupy space. Storage is a
+/// [`BlockMap`], so the `read` on every memory-sourced grant is a paged
+/// array probe rather than a hash lookup.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemoryImage {
-    blocks: HashMap<BlockAddr, Version>,
+    blocks: BlockMap<Version>,
 }
 
 impl MemoryImage {
@@ -23,10 +25,7 @@ impl MemoryImage {
     /// The current content (version) of block `a`.
     #[must_use]
     pub fn read(&self, a: BlockAddr) -> Version {
-        self.blocks
-            .get(&a)
-            .copied()
-            .unwrap_or_else(Version::initial)
+        self.blocks.get(a).copied().unwrap_or_else(Version::initial)
     }
 
     /// Overwrites block `a` (a write-back or write-through landing).
@@ -34,9 +33,10 @@ impl MemoryImage {
         self.blocks.insert(a, version);
     }
 
-    /// Iterates over blocks that have ever been written.
+    /// Iterates over blocks that have ever been written, in ascending
+    /// block order.
     pub fn written_blocks(&self) -> impl Iterator<Item = (BlockAddr, Version)> + '_ {
-        self.blocks.iter().map(|(&a, &v)| (a, v))
+        self.blocks.iter().map(|(a, &v)| (a, v))
     }
 
     /// Number of blocks ever written.
@@ -78,11 +78,10 @@ mod tests {
         let mut m = MemoryImage::new();
         m.write(BlockAddr::new(1), Version::new(2));
         m.write(BlockAddr::new(3), Version::new(4));
-        let mut got: Vec<_> = m
+        let got: Vec<_> = m
             .written_blocks()
             .map(|(a, v)| (a.number(), v.raw()))
             .collect();
-        got.sort_unstable();
-        assert_eq!(got, vec![(1, 2), (3, 4)]);
+        assert_eq!(got, vec![(1, 2), (3, 4)], "ascending block order");
     }
 }

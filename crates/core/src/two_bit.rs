@@ -29,6 +29,7 @@
 //! arrives via a racing write-back (the owner ejected the block), only the
 //! requester holds a copy and the state becomes `Present1`.
 
+use crate::blockmap::BlockMap;
 use crate::directory::{
     grant_forwarded, grant_from_memory, mgranted, DirSend, DirStep, DirectoryProtocol, OpenKind,
     SendCost,
@@ -38,7 +39,6 @@ use crate::owner_set::OwnerSet;
 use crate::transitions::{
     ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
 };
-use std::collections::HashMap;
 use std::sync::OnceLock;
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
@@ -57,8 +57,8 @@ pub(crate) struct Waiting {
 /// The two-bit global directory of one memory module.
 #[derive(Debug, Default, Clone)]
 pub struct TwoBitDirectory {
-    states: HashMap<BlockAddr, GlobalState>,
-    waiting: HashMap<BlockAddr, Waiting>,
+    states: BlockMap<GlobalState>,
+    waiting: BlockMap<Waiting>,
 }
 
 impl TwoBitDirectory {
@@ -69,12 +69,12 @@ impl TwoBitDirectory {
     }
 
     fn state(&self, a: BlockAddr) -> GlobalState {
-        self.states.get(&a).copied().unwrap_or_default()
+        self.states.get(a).copied().unwrap_or_default()
     }
 
     fn set_state(&mut self, a: BlockAddr, s: GlobalState) {
         if s == GlobalState::Absent {
-            self.states.remove(&a);
+            self.states.remove(a);
         } else {
             self.states.insert(a, s);
         }
@@ -105,29 +105,18 @@ impl DirectoryProtocol for TwoBitDirectory {
     fn fingerprint(&self, fp: &mut Fingerprinter) {
         fp.write_tag(1); // scheme discriminant (see DirectoryProtocol impls)
                          // `set_state` removes Absent entries, so the map is already
-                         // canonical; only the iteration order needs fixing.
-        let mut states: Vec<(u64, u64)> = self
-            .states
-            .iter()
-            .map(|(a, s)| (a.number(), u64::from(s.bits())))
-            .collect();
-        states.sort_unstable();
-        fp.write_usize(states.len());
-        for (a, s) in states {
-            fp.write_u64(a);
-            fp.write_u64(s);
+                         // canonical, and `BlockMap::iter` yields ascending block
+                         // order — the encoding is path-independent as is.
+        fp.write_usize(self.states.len());
+        for (a, s) in self.states.iter() {
+            fp.write_u64(a.number());
+            fp.write_u64(u64::from(s.bits()));
         }
-        let mut waiting: Vec<(u64, usize, bool)> = self
-            .waiting
-            .iter()
-            .map(|(a, w)| (a.number(), w.k.index(), w.write))
-            .collect();
-        waiting.sort_unstable();
-        fp.write_usize(waiting.len());
-        for (a, k, write) in waiting {
-            fp.write_u64(a);
-            fp.write_usize(k);
-            fp.write_bool(write);
+        fp.write_usize(self.waiting.len());
+        for (a, w) in self.waiting.iter() {
+            fp.write_u64(a.number());
+            fp.write_usize(w.k.index());
+            fp.write_bool(w.write);
         }
     }
 
@@ -136,7 +125,7 @@ impl DirectoryProtocol for TwoBitDirectory {
     }
 
     fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
-        debug_assert!(!self.waiting.contains_key(&a), "open on a waiting block");
+        debug_assert!(!self.waiting.contains_key(a), "open on a waiting block");
         match kind {
             OpenKind::ReadMiss => match self.state(a) {
                 GlobalState::Absent => {
@@ -208,7 +197,7 @@ impl DirectoryProtocol for TwoBitDirectory {
     ) -> DirStep {
         let waiting = self
             .waiting
-            .remove(&a)
+            .remove(a)
             .expect("supply without a waiting transaction");
         let next = if waiting.write {
             GlobalState::PresentM
@@ -230,7 +219,7 @@ impl DirectoryProtocol for TwoBitDirectory {
         // owner, which is exactly the cache whose data the wait needs. A
         // clean eject can never carry the modified data a two-bit wait is
         // for.
-        self.waiting.contains_key(&a) && wb == WritebackKind::Dirty
+        self.waiting.contains_key(a) && wb == WritebackKind::Dirty
     }
 
     fn eject_clean(&mut self, _k: CacheId, a: BlockAddr) {
@@ -248,7 +237,7 @@ impl DirectoryProtocol for TwoBitDirectory {
     }
 
     fn awaiting(&self, a: BlockAddr) -> bool {
-        self.waiting.contains_key(&a)
+        self.waiting.contains_key(a)
     }
 
     fn global_state(&self, a: BlockAddr) -> GlobalState {

@@ -24,7 +24,6 @@
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{BlockAddr, CacheId, ModuleId, NetworkStats};
 
@@ -137,13 +136,21 @@ pub trait Network {
 }
 
 /// Point-to-point network with per-destination input-port contention.
+///
+/// Port bookkeeping is two flat vectors indexed by the dense cache /
+/// module indices (node ids are small and contiguous), grown on demand —
+/// the dispatch path does no hashing. The sharded engine gives each
+/// shard its own `Crossbar` tracking only the ports of the destinations
+/// that shard owns; [`merge_stats_from`](Crossbar::merge_stats_from)
+/// folds the per-shard traffic counters back together.
 #[derive(Debug, Clone)]
 pub struct Crossbar {
     command_latency: u64,
     data_latency: u64,
     /// Cycles a destination port is busy accepting one message.
     port_occupancy: u64,
-    port_free: HashMap<NodeId, u64>,
+    cache_ports: Vec<u64>,
+    module_ports: Vec<u64>,
     stats: NetworkStats,
 }
 
@@ -156,7 +163,8 @@ impl Crossbar {
             command_latency,
             data_latency,
             port_occupancy,
-            port_free: HashMap::new(),
+            cache_ports: Vec::new(),
+            module_ports: Vec::new(),
             stats: NetworkStats::default(),
         }
     }
@@ -167,6 +175,24 @@ impl Crossbar {
     pub fn zero_latency() -> Self {
         Crossbar::new(0, 0, 0)
     }
+
+    /// Folds another crossbar's traffic statistics into this one's (used
+    /// to aggregate per-shard networks after a sharded run).
+    pub fn merge_stats_from(&mut self, other: &Crossbar) {
+        self.stats.merge(&other.stats);
+    }
+
+    #[inline]
+    fn port_free(&mut self, dst: NodeId) -> &mut u64 {
+        let (ports, index) = match dst {
+            NodeId::Cache(c) => (&mut self.cache_ports, c.index()),
+            NodeId::Module(m) => (&mut self.module_ports, m.index()),
+        };
+        if index >= ports.len() {
+            ports.resize(index + 1, 0);
+        }
+        &mut ports[index]
+    }
 }
 
 impl Network for Crossbar {
@@ -176,10 +202,11 @@ impl Network for Crossbar {
             MessageSize::Data => self.data_latency,
         };
         let earliest = now + wire;
-        let free = self.port_free.entry(dst).or_insert(0);
+        let occupancy = self.port_occupancy;
+        let free = self.port_free(dst);
         let arrival = earliest.max(*free);
+        *free = arrival + occupancy;
         self.stats.queueing_cycles.add(arrival - earliest);
-        *free = arrival + self.port_occupancy;
         self.stats.deliveries.inc();
         arrival
     }

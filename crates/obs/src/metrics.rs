@@ -263,6 +263,25 @@ impl Gauge {
             self.sum as f64 / self.samples as f64
         }
     }
+
+    /// Folds another gauge's series into this one (used to aggregate the
+    /// per-shard registries after a sharded run).
+    ///
+    /// Peaks take the max (each shard's peak is exact for the subset of
+    /// actors it watched); sample counts and sums add, so the merged mean
+    /// is the sample-weighted mean of the shards; `current` takes the max
+    /// as the best available "a shard ended here" representative, and the
+    /// sampling clock resumes from the latest accepted sample.
+    pub fn merge(&mut self, other: &Gauge) {
+        self.peak = self.peak.max(other.peak);
+        self.sum += other.sum;
+        self.samples += other.samples;
+        self.current = self.current.max(other.current);
+        self.last_sample = match (self.last_sample, other.last_sample) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
 }
 
 /// Percentile summary of one latency class, for reports.
@@ -470,6 +489,37 @@ impl Metrics {
         Ok(())
     }
 
+    /// Folds another registry into this one: latency histograms merge
+    /// (multiset union), gauges merge (see [`Gauge::merge`]), per-cache
+    /// command counters add. Search statistics are whole-run scalars, not
+    /// per-shard series, so this registry's are kept.
+    ///
+    /// Shards index per-cache counters by *global* cache id and each
+    /// cache is owned by exactly one shard, so the element-wise sum
+    /// reconstructs exactly the counters a single-threaded run records.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (mine, theirs) in self.latency.iter_mut().zip(&other.latency) {
+            mine.merge(theirs);
+        }
+        self.queue_depth.merge(&other.queue_depth);
+        self.outstanding.merge(&other.outstanding);
+        self.frontier.merge(&other.frontier);
+        for (mine, theirs) in self
+            .useless_per_cache
+            .iter_mut()
+            .zip(&other.useless_per_cache)
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .commands_per_cache
+            .iter_mut()
+            .zip(&other.commands_per_cache)
+        {
+            *mine += theirs;
+        }
+    }
+
     /// Summarizes the registry for a report.
     #[must_use]
     pub fn summary(&self) -> MetricsSummary {
@@ -626,6 +676,55 @@ mod tests {
             g.observe(t, t);
         }
         assert_eq!(g.samples(), 10);
+    }
+
+    #[test]
+    fn gauge_merge_combines_series() {
+        let mut a = Gauge::new(10);
+        a.observe(0, 5);
+        a.observe(100, 1);
+        let mut b = Gauge::new(10);
+        b.observe(50, 9);
+        a.merge(&b);
+        assert_eq!(a.peak(), 9);
+        assert_eq!(a.samples(), 3);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        let mut empty = Gauge::new(10);
+        empty.merge(&a);
+        assert_eq!(empty.peak(), 9);
+        assert_eq!(empty.samples(), 3);
+    }
+
+    #[test]
+    fn metrics_merge_equals_single_registry() {
+        // Two shards each watching one cache must merge to what one
+        // registry watching both records.
+        let mut whole = Metrics::new(2, 0);
+        let mut shard0 = Metrics::new(2, 0);
+        let mut shard1 = Metrics::new(2, 0);
+        for (m, useless) in [(&mut whole, true), (&mut shard0, true)] {
+            m.record_command(CacheId::new(0), useless);
+            m.record_latency(TxnClass::ReadMiss, 8);
+        }
+        for m in [&mut whole, &mut shard1] {
+            m.record_command(CacheId::new(1), false);
+            m.record_latency(TxnClass::WriteMiss, 40);
+            m.queue_depth.observe(7, 3);
+        }
+        shard0.merge(&shard1);
+        assert_eq!(shard0.commands_total(), whole.commands_total());
+        assert_eq!(shard0.useless_total(), whole.useless_total());
+        assert_eq!(shard0.useless_for(CacheId::new(0)), 1);
+        assert_eq!(
+            shard0.latency(TxnClass::ReadMiss),
+            whole.latency(TxnClass::ReadMiss)
+        );
+        assert_eq!(
+            shard0.latency(TxnClass::WriteMiss),
+            whole.latency(TxnClass::WriteMiss)
+        );
+        assert_eq!(shard0.queue_depth.peak(), whole.queue_depth.peak());
+        assert_eq!(shard0.summary(), whole.summary());
     }
 
     #[test]

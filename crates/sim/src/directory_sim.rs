@@ -19,10 +19,10 @@ const DEFAULT_METRICS_CADENCE: u64 = 64;
 /// An open (started, not yet retired) cache transaction, for latency
 /// accounting and trace correlation.
 #[derive(Debug, Clone, Copy)]
-struct PendingTxn {
-    class: TxnClass,
-    start: u64,
-    id: TxnId,
+pub(crate) struct PendingTxn {
+    pub(crate) class: TxnClass,
+    pub(crate) start: u64,
+    pub(crate) id: TxnId,
 }
 
 /// A timed directory-protocol simulation.
@@ -35,21 +35,25 @@ struct PendingTxn {
 /// invalidation races, and broadcast traffic all play out in time.
 #[derive(Debug)]
 pub struct DirectorySim {
-    config: SystemConfig,
-    agents: Vec<CacheAgent>,
-    controllers: Vec<Controller>,
-    network: Crossbar,
+    pub(crate) config: SystemConfig,
+    pub(crate) agents: Vec<CacheAgent>,
+    pub(crate) controllers: Vec<Controller>,
+    pub(crate) network: Crossbar,
     queue: EventQueue,
-    now: u64,
-    version_counter: u64,
-    refs_done: Vec<u64>,
-    refs_target: u64,
-    tracer: Box<dyn Tracer>,
-    metrics: Metrics,
-    pending: Vec<Option<PendingTxn>>,
-    txn_counter: u64,
-    profiler: Profiler,
-    events: u64,
+    pub(crate) now: u64,
+    pub(crate) version_counters: Vec<u64>,
+    pub(crate) refs_done: Vec<u64>,
+    pub(crate) refs_target: u64,
+    pub(crate) tracer: Box<dyn Tracer>,
+    pub(crate) metrics: Metrics,
+    pub(crate) metrics_cadence: u64,
+    pub(crate) pending: Vec<Option<PendingTxn>>,
+    pub(crate) txn_counters: Vec<u64>,
+    pub(crate) profiler: Profiler,
+    /// Span report merged in from sharded workers (empty for the
+    /// single-threaded path, whose spans land in `profiler` directly).
+    pub(crate) extra_perf: PerfReport,
+    pub(crate) events: u64,
 }
 
 /// Builds the agent policy for a directory protocol (mirrors the
@@ -129,14 +133,16 @@ impl DirectorySim {
             network,
             queue: EventQueue::new(),
             now: 0,
-            version_counter: 0,
+            version_counters: vec![0; config.caches],
             refs_done: vec![0; config.caches],
             refs_target: 0,
             tracer: Box::new(NullTracer),
             metrics: Metrics::new(config.caches, DEFAULT_METRICS_CADENCE),
+            metrics_cadence: DEFAULT_METRICS_CADENCE,
             pending: vec![None; config.caches],
-            txn_counter: 0,
+            txn_counters: vec![0; config.caches],
             profiler: Profiler::disabled(),
+            extra_perf: PerfReport::default(),
             events: 0,
         })
     }
@@ -165,6 +171,7 @@ impl DirectorySim {
     /// Resets the registry with a new gauge sampling cadence. Only
     /// meaningful before [`run`](DirectorySim::run).
     pub fn set_metrics_cadence(&mut self, cadence: u64) {
+        self.metrics_cadence = cadence;
         self.metrics = Metrics::new(self.config.caches, cadence);
     }
 
@@ -182,7 +189,9 @@ impl DirectorySim {
     /// the instrumented wall time.
     #[must_use]
     pub fn perf_report(&self) -> PerfReport {
-        self.profiler.report()
+        let mut report = self.profiler.report();
+        report.merge(&self.extra_perf);
+        report
     }
 
     /// Simulation events processed so far (one per event-queue pop).
@@ -196,10 +205,15 @@ impl DirectorySim {
         self.pending.iter().filter(|p| p.is_some()).count() as u64
     }
 
-    /// Opens a latency-tracked transaction for `cpu`.
+    /// Opens a latency-tracked transaction for `cpu`. Ids are derived
+    /// from a per-cpu counter (interleaved by cpu index) so the value a
+    /// transaction gets is independent of the global event interleaving —
+    /// the sharded engine then assigns identical ids for any job count.
     fn open_txn(&mut self, cpu: CacheId, class: TxnClass, start: u64) -> TxnId {
-        self.txn_counter += 1;
-        let id = TxnId::new(self.txn_counter);
+        let n = self.txn_counters.len() as u64;
+        let count = &mut self.txn_counters[cpu.index()];
+        *count += 1;
+        let id = TxnId::new((*count - 1) * n + cpu.index() as u64 + 1);
         self.pending[cpu.index()] = Some(PendingTxn { class, start, id });
         id
     }
@@ -209,7 +223,7 @@ impl DirectorySim {
     /// modify into a write miss on the wire, but the transaction keeps
     /// its original class: latency is attributed to what the processor
     /// *asked for*.
-    fn classify_open(sends: &[CacheToMemory], kind: AccessKind) -> TxnClass {
+    pub(crate) fn classify_open(sends: &[CacheToMemory], kind: AccessKind) -> TxnClass {
         sends
             .iter()
             .find_map(|cmd| match cmd {
@@ -232,9 +246,15 @@ impl DirectorySim {
             })
     }
 
-    fn fresh_version(&mut self) -> Version {
-        self.version_counter += 1;
-        Version::new(self.version_counter)
+    /// A globally unique version token for a store by `cpu`. Like
+    /// transaction ids, versions interleave a per-cpu counter with the
+    /// cpu index so the token depends only on the cpu's own reference
+    /// stream, never on cross-cpu event ordering.
+    fn fresh_version(&mut self, cpu: CacheId) -> Version {
+        let n = self.version_counters.len() as u64;
+        let count = &mut self.version_counters[cpu.index()];
+        *count += 1;
+        Version::new((*count - 1) * n + cpu.index() as u64 + 1)
     }
 
     fn dispatch_to_memory(&mut self, from: CacheId, sends: Vec<CacheToMemory>, base: u64) {
@@ -391,7 +411,7 @@ impl DirectorySim {
                     self.profiler.begin("event.issue");
                     let op = workload.next_ref(cpu);
                     let version = match op.kind {
-                        AccessKind::Write => self.fresh_version(),
+                        AccessKind::Write => self.fresh_version(cpu),
                         AccessKind::Read => Version::initial(),
                     };
                     self.profiler.begin("agent.start");
@@ -518,6 +538,13 @@ impl DirectorySim {
             }
         }
 
+        self.finish()
+    }
+
+    /// Quiescence checks, invariants, trace flush, and the final report —
+    /// shared by the single-threaded loop above and the sharded engine
+    /// ([`DirectorySim::run_jobs`]) after it merges worker state back.
+    pub(crate) fn finish(&mut self) -> Result<Report, ProtocolError> {
         // Quiescence checks: everyone retired, nothing stuck.
         for (i, agent) in self.agents.iter().enumerate() {
             if agent.is_stalled() {

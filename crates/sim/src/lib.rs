@@ -40,9 +40,11 @@
 #![warn(missing_docs)]
 
 mod bus_sim;
+mod calendar;
 mod directory_sim;
 mod engine;
 mod report;
+mod sharded;
 mod system;
 
 pub use bus_sim::BusSim;

@@ -56,6 +56,33 @@ impl System {
         }
     }
 
+    /// Runs on the sharded parallel engine with up to `jobs` OS threads
+    /// (clamped to the machine's available parallelism). The report is
+    /// identical to [`System::run`]'s for any `jobs` — see
+    /// [`DirectorySim::run_jobs`] — so callers can scale workers freely
+    /// without perturbing results. The bus backend has no sharded engine
+    /// (a single bus serializes everything); it ignores `jobs` and runs
+    /// the legacy loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on coherence violations, liveness
+    /// failures, or invariant breaks, exactly as [`System::run`].
+    pub fn run_jobs<W: Workload + Clone + Send>(
+        &mut self,
+        workload: W,
+        refs_per_cpu: u64,
+        jobs: usize,
+    ) -> Result<Report, ProtocolError> {
+        match &mut self.inner {
+            Inner::Directory(sim) => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                sim.run_jobs(workload, refs_per_cpu, jobs.clamp(1, hw))
+            }
+            Inner::Bus(sim) => sim.run(workload, refs_per_cpu),
+        }
+    }
+
     /// Installs a trace sink on the underlying simulator (default
     /// `NullTracer`, which costs nothing).
     pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {

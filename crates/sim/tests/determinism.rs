@@ -1,0 +1,252 @@
+//! Integration tests for the sharded engine's determinism contract:
+//! for any worker count, [`DirectorySim::run_jobs`] must be
+//! event-for-event identical to the legacy single-threaded
+//! [`DirectorySim::run`] — same cycle count, same event count, same
+//! per-cache statistics, same latency histograms, and (when a tracer is
+//! installed) the same JSONL trace byte-for-byte, in the same order.
+//!
+//! These tests call `DirectorySim::run_jobs` directly with explicit
+//! worker counts (the `System` facade clamps to the machine's available
+//! parallelism, which on a small CI box would silently reduce every case
+//! to one worker), so real threads, mailboxes, and barriers are
+//! exercised even on a single-core host.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use twobit_obs::{JsonlTracer, SimEvent, TxnClass};
+use twobit_sim::{DirectorySim, Report, System};
+use twobit_types::{AddressMap, ProtocolKind, SystemConfig};
+use twobit_workload::{SharingModel, SharingParams, Workload};
+
+/// Every directory scheme in the paper's spectrum.
+const SCHEMES: [ProtocolKind; 6] = [
+    ProtocolKind::TwoBit,
+    ProtocolKind::TwoBitTlb { entries: 8 },
+    ProtocolKind::FullMap,
+    ProtocolKind::FullMapLocal,
+    ProtocolKind::ClassicalWriteThrough,
+    ProtocolKind::StaticSoftware,
+];
+
+fn config(n: usize, protocol: ProtocolKind) -> SystemConfig {
+    SystemConfig::with_defaults(n).with_protocol(protocol)
+}
+
+fn workload(n: usize, seed: u64) -> SharingModel {
+    SharingModel::new(SharingParams::high(), n, seed).unwrap()
+}
+
+/// The full fingerprint of a run, gauges included. Comparable between
+/// runs of the *same* engine (the shard decomposition is fixed by the
+/// configuration, so even sampled gauges are jobs-invariant).
+fn fingerprint(report: &Report) -> String {
+    format!(
+        "cycles={} events={} stats={:?} obs={:?}",
+        report.cycles, report.events, report.stats, report.obs
+    )
+}
+
+/// The cross-engine fingerprint: everything except the sampled gauge
+/// summaries (`peak_queue_depth`, `peak_outstanding`, `mean_outstanding`),
+/// which the sharded engine computes per shard — each shard samples only
+/// the actors it owns — so their values are per-shard views rather than
+/// global ones whenever the configuration has more than one module. All
+/// counters, cycle/event totals, per-cache statistics, and latency
+/// summaries are exact.
+fn cross_engine_fingerprint(report: &Report) -> String {
+    let obs = report.obs.as_ref().expect("directory runs carry metrics");
+    format!(
+        "cycles={} events={} stats={:?} latency={:?} delivered={} useless={}",
+        report.cycles,
+        report.events,
+        report.stats,
+        obs.latency,
+        obs.commands_delivered,
+        obs.useless_commands
+    )
+}
+
+fn run_legacy(protocol: ProtocolKind, seed: u64, refs: u64) -> (Report, Vec<String>) {
+    let mut sim = DirectorySim::build(config(8, protocol)).unwrap();
+    let report = sim.run(workload(8, seed), refs).unwrap();
+    let latencies = TxnClass::ALL
+        .iter()
+        .map(|&c| format!("{:?}", sim.metrics().latency(c)))
+        .collect();
+    (report, latencies)
+}
+
+fn run_sharded(protocol: ProtocolKind, seed: u64, refs: u64, jobs: usize) -> (Report, Vec<String>) {
+    let mut sim = DirectorySim::build(config(8, protocol)).unwrap();
+    let report = sim.run_jobs(workload(8, seed), refs, jobs).unwrap();
+    let latencies = TxnClass::ALL
+        .iter()
+        .map(|&c| format!("{:?}", sim.metrics().latency(c)))
+        .collect();
+    (report, latencies)
+}
+
+#[test]
+fn sharded_reconciles_exactly_with_legacy_for_all_schemes() {
+    for protocol in SCHEMES {
+        let (legacy_report, legacy_lat) = run_legacy(protocol, 11, 200);
+        let (sharded_report, sharded_lat) = run_sharded(protocol, 11, 200, 1);
+        assert_eq!(
+            cross_engine_fingerprint(&sharded_report),
+            cross_engine_fingerprint(&legacy_report),
+            "{protocol}: sharded jobs=1 must reconcile with the legacy engine"
+        );
+        assert_eq!(sharded_lat, legacy_lat, "{protocol}: latency histograms");
+    }
+}
+
+#[test]
+fn worker_count_is_invisible_in_results() {
+    for protocol in [ProtocolKind::TwoBit, ProtocolKind::FullMap] {
+        let baseline = run_sharded(protocol, 42, 250, 1);
+        for jobs in [2, 8] {
+            let run = run_sharded(protocol, 42, 250, jobs);
+            assert_eq!(
+                fingerprint(&run.0),
+                fingerprint(&baseline.0),
+                "{protocol}: jobs={jobs} diverged from jobs=1"
+            );
+            assert_eq!(run.1, baseline.1, "{protocol}: jobs={jobs} latencies");
+        }
+    }
+}
+
+#[test]
+fn reruns_are_bit_stable() {
+    // Thread scheduling varies between reruns; results must not.
+    let first = run_sharded(ProtocolKind::TwoBit, 7, 300, 8);
+    for _ in 0..3 {
+        let again = run_sharded(ProtocolKind::TwoBit, 7, 300, 8);
+        assert_eq!(fingerprint(&again.0), fingerprint(&first.0));
+        assert_eq!(again.1, first.1);
+    }
+}
+
+/// A `Write` sink whose bytes stay reachable after the tracer is boxed
+/// behind `dyn Tracer`.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn traced_bytes(jobs: Option<usize>) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let mut sim = DirectorySim::build(config(8, ProtocolKind::TwoBit)).unwrap();
+    sim.set_tracer(Box::new(JsonlTracer::new(buf.clone())));
+    match jobs {
+        Some(jobs) => sim.run_jobs(workload(8, 3), 80, jobs).unwrap(),
+        None => sim.run(workload(8, 3), 80).unwrap(),
+    };
+    drop(sim.take_tracer());
+    let bytes = buf.0.borrow().clone();
+    bytes
+}
+
+#[test]
+fn multi_worker_jsonl_trace_is_valid_and_in_legacy_order() {
+    let legacy = traced_bytes(None);
+    assert!(!legacy.is_empty(), "traced run must produce events");
+    for jobs in [1, 2, 8] {
+        let sharded = traced_bytes(Some(jobs));
+        assert_eq!(
+            sharded, legacy,
+            "jobs={jobs}: trace must be byte-identical to the legacy engine's"
+        );
+    }
+    // The byte-equal stream is also valid JSONL, line by line.
+    let text = String::from_utf8(legacy).unwrap();
+    let mut times = Vec::new();
+    for line in text.lines() {
+        let ev =
+            SimEvent::from_jsonl(line).unwrap_or_else(|| panic!("unparseable trace line: {line}"));
+        times.push(ev.t);
+    }
+    assert!(times.len() > 100, "substantial trace expected");
+}
+
+#[test]
+fn facade_run_jobs_covers_both_backends() {
+    // Directory backend: sharded result equals the plain run.
+    let mut a = System::build(config(4, ProtocolKind::TwoBit)).unwrap();
+    let ra = a.run(workload(4, 5), 100).unwrap();
+    let mut b = System::build(config(4, ProtocolKind::TwoBit)).unwrap();
+    let rb = b.run_jobs(workload(4, 5), 100, 8).unwrap();
+    assert_eq!(cross_engine_fingerprint(&ra), cross_engine_fingerprint(&rb));
+
+    // Bus backend ignores `jobs` and still completes.
+    let mut cfg = config(4, ProtocolKind::Illinois);
+    cfg.address_map = AddressMap::interleaved(1);
+    let mut bus = System::build(cfg).unwrap();
+    let report = bus.run_jobs(workload(4, 5), 100, 8).unwrap();
+    assert_eq!(report.stats.total_references(), 400);
+}
+
+#[test]
+fn single_module_map_collapses_to_one_shard_and_still_matches() {
+    // One memory module means one shard: the serial fast path. It must
+    // still match the legacy engine exactly, gauges included.
+    let mut cfg = config(4, ProtocolKind::TwoBit);
+    cfg.address_map = AddressMap::interleaved(1);
+    let mut legacy = DirectorySim::build(cfg).unwrap();
+    let legacy_report = legacy.run(workload(4, 9), 150).unwrap();
+    let mut sharded = DirectorySim::build(cfg).unwrap();
+    let sharded_report = sharded.run_jobs(workload(4, 9), 150, 8).unwrap();
+    assert_eq!(fingerprint(&sharded_report), fingerprint(&legacy_report));
+}
+
+/// A workload wrapper that panics if a cpu outside the expected shard
+/// residency is ever queried — guards the "each shard queries only its
+/// own cpus" property that per-cpu rng stream independence relies on.
+#[derive(Debug, Clone)]
+struct OwnCpusOnly {
+    inner: SharingModel,
+    n_shards: usize,
+    // Shard identity is discovered from the clone's first query.
+    first_mod: Option<usize>,
+}
+
+impl Workload for OwnCpusOnly {
+    fn next_ref(&mut self, k: twobit_types::CacheId) -> twobit_types::MemRef {
+        let m = k.index() % self.n_shards;
+        match self.first_mod {
+            None => self.first_mod = Some(m),
+            Some(f) => assert_eq!(m, f, "shard clone queried a foreign cpu {k:?}"),
+        }
+        self.inner.next_ref(k)
+    }
+
+    fn name(&self) -> &'static str {
+        "own-cpus-only"
+    }
+}
+
+#[test]
+fn each_shard_queries_only_its_own_cpus() {
+    let cfg = config(8, ProtocolKind::TwoBit);
+    let n_shards = cfg.address_map.modules();
+    assert!(n_shards > 1, "default map must shard");
+    let wrapped = OwnCpusOnly {
+        inner: workload(8, 21),
+        n_shards,
+        first_mod: None,
+    };
+    let mut sim = DirectorySim::build(cfg).unwrap();
+    let report = sim.run_jobs(wrapped, 100, 4).unwrap();
+    assert_eq!(report.stats.total_references(), 800);
+}

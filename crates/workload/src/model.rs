@@ -52,7 +52,7 @@ impl<W: Workload + ?Sized> Workload for &mut W {
 /// shared pool (uniform or Zipf) and write it with probability `w`;
 /// otherwise pick from the CPU's private pool (uniform) and write it with
 /// probability `private_write_prob`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SharingModel {
     params: SharingParams,
     zipf: Option<Zipf>,
