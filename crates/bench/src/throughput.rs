@@ -4,7 +4,7 @@
 //! the results as a `BENCH_*.json` document (schema in EXPERIMENTS.md).
 //!
 //! The suite exists so the engine's performance is *tracked*: a
-//! checked-in baseline document plus [`crate::compare`] give CI a
+//! checked-in baseline document plus [`mod@crate::compare`] give CI a
 //! regression gate, and the `perf-spans` feature adds a "top handlers by
 //! self-time" attribution table per case.
 

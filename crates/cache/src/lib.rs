@@ -49,4 +49,4 @@ mod store;
 
 pub use line::{CanonicalLine, EvictedLine, Line};
 pub use meta::LineMeta;
-pub use store::{Cache, CanonicalSet};
+pub use store::{Cache, CacheSnapshot, CanonicalSet, SlotSnapshot};

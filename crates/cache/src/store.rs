@@ -38,6 +38,47 @@ pub struct CanonicalSet<S> {
     pub lines: Vec<CanonicalLine<S>>,
 }
 
+/// One occupied way in a [`CacheSnapshot`]: the flat slot index plus the
+/// full [`Line`] record, including the absolute replacement stamps.
+///
+/// Unlike [`CanonicalLine`] (which rank-reduces stamps for state-space
+/// fingerprinting), a snapshot preserves stamps exactly so a restored
+/// cache is *bit-identical* to the saved one — checkpoint/restore must
+/// not perturb future victim selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSnapshot<S> {
+    /// Flat slot index (`set * assoc + way`).
+    pub slot: u64,
+    /// The line's block address.
+    pub addr: BlockAddr,
+    /// The protocol state (possibly an invalid-state husk).
+    pub state: S,
+    /// The data stand-in version.
+    pub version: Version,
+    /// Absolute last-use stamp.
+    pub last_use: u64,
+    /// Absolute insertion stamp.
+    pub inserted: u64,
+}
+
+/// A complete, restorable image of a [`Cache`]'s mutable state.
+///
+/// The organization is *not* part of the snapshot — the restorer supplies
+/// it (it comes from configuration, which both sides of a
+/// checkpoint/restore already agree on) and [`Cache::restore`] validates
+/// the snapshot against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot<S> {
+    /// The use-clock at snapshot time.
+    pub clock: u64,
+    /// Tag-store probes performed so far.
+    pub probes: u64,
+    /// Per-set replacement rng states, in set order.
+    pub rngs: Vec<u64>,
+    /// Occupied ways, in flat slot order.
+    pub lines: Vec<SlotSnapshot<S>>,
+}
+
 /// A set-associative cache tag store with per-line protocol metadata `S`.
 ///
 /// All mutating operations advance an internal use-clock so LRU ordering
@@ -327,6 +368,81 @@ impl<S: LineMeta> Cache<S> {
                 fifo_rank: fifo[&w],
             })
             .collect()
+    }
+
+    /// Captures the cache's complete mutable state (see
+    /// [`CacheSnapshot`]). `restore` with the same organization rebuilds
+    /// a behaviorally identical cache.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot<S> {
+        CacheSnapshot {
+            clock: self.clock,
+            probes: self.probes.get(),
+            rngs: self.rngs.clone(),
+            lines: self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.as_ref().map(|l| SlotSnapshot {
+                        slot: i as u64,
+                        addr: l.addr,
+                        state: l.state,
+                        version: l.version,
+                        last_use: l.last_use,
+                        inserted: l.inserted,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a cache from a [`snapshot`](Cache::snapshot) taken under
+    /// the same organization.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose shape disagrees with `org` (rng count,
+    /// slot indices out of range, duplicate slots, or a line whose
+    /// address does not map to its slot's set).
+    pub fn restore(org: CacheOrg, snap: &CacheSnapshot<S>) -> Result<Self, String> {
+        let mut cache = Cache::new(org);
+        if snap.rngs.len() != cache.rngs.len() {
+            return Err(format!(
+                "snapshot has {} set rngs, organization has {} sets",
+                snap.rngs.len(),
+                cache.rngs.len()
+            ));
+        }
+        cache.rngs.copy_from_slice(&snap.rngs);
+        cache.clock = snap.clock;
+        cache.probes.set(snap.probes);
+        for line in &snap.lines {
+            let i = usize::try_from(line.slot).map_err(|_| "slot index overflow".to_string())?;
+            if i >= cache.slots.len() {
+                return Err(format!("slot {i} out of range"));
+            }
+            if cache.slots[i].is_some() {
+                return Err(format!("duplicate slot {i}"));
+            }
+            let set = i / cache.assoc;
+            if cache.org.set_of(line.addr.number()) as usize != set {
+                return Err(format!("block {} does not map to set {set}", line.addr));
+            }
+            cache.tags[i] = if line.state.is_valid() {
+                line.addr.number()
+            } else {
+                TAG_EMPTY
+            };
+            cache.slots[i] = Some(Line {
+                addr: line.addr,
+                state: line.state,
+                version: line.version,
+                last_use: line.last_use,
+                inserted: line.inserted,
+            });
+        }
+        Ok(cache)
     }
 
     /// The victim way of a full `set`, without mutating. For Random this
@@ -710,6 +826,46 @@ mod tests {
         assert_eq!((b4.lru_rank, b4.fifo_rank), (0, 1));
         let b2 = set0.lines.iter().find(|l| l.addr == blk(2)).unwrap();
         assert_eq!((b2.lru_rank, b2.fifo_rank), (1, 0));
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact() {
+        let mut c = cache_with(4, 2, ReplacementPolicy::Random);
+        for n in 0..7u64 {
+            c.insert(blk(n), LineState::Clean, Version::new(n));
+        }
+        c.touch(blk(2));
+        c.set_state(blk(3), LineState::Invalid); // leave a husk
+        c.insert(blk(11), LineState::Dirty, Version::new(40)); // force an eviction
+        let snap = c.snapshot();
+        let r = Cache::restore(c.org(), &snap).unwrap();
+        assert_eq!(r.probes(), c.probes());
+        assert_eq!(r.canonical_sets(), c.canonical_sets());
+        assert_eq!(r.snapshot(), snap, "second snapshot identical");
+        // Future behavior agrees: same victim choice on both.
+        assert_eq!(
+            r.peek_victim(blk(19)).map(|l| l.addr),
+            c.peek_victim(blk(19)).map(|l| l.addr)
+        );
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let mut c = cache(2, 2);
+        c.insert(blk(1), LineState::Clean, Version::initial());
+        let good = c.snapshot();
+        let org = c.org();
+        let other = CacheOrg::new(4, 2, 4).unwrap();
+        assert!(Cache::restore(other, &good).is_err(), "rng count mismatch");
+        let mut dup = good.clone();
+        dup.lines.push(dup.lines[0].clone());
+        assert!(Cache::restore(org, &dup).is_err(), "duplicate slot");
+        let mut oob = good.clone();
+        oob.lines[0].slot = 99;
+        assert!(Cache::restore(org, &oob).is_err(), "slot out of range");
+        let mut wrong_set = good;
+        wrong_set.lines[0].addr = blk(2); // even block in an odd set's slot
+        assert!(Cache::restore(org, &wrong_set).is_err(), "set mismatch");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::local::LocalState;
 use std::fmt;
 use twobit_cache::Cache;
 use twobit_cache::LineMeta as _;
+use twobit_obs::json::{num_u64, obj, Json};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheOrg, CacheStats, CacheToMemory, Fingerprinter, MemRef,
     MemoryToCache, ProtocolError, Version, WritebackKind,
@@ -297,6 +298,129 @@ impl CacheAgent {
                 }
             }
         }
+    }
+
+    /// Serializes this agent's complete state (tag store with exact
+    /// replacement stamps, BIAS filter, outstanding reference, and —
+    /// unlike [`CacheAgent::fingerprint`] — the statistics counters) as a
+    /// checkpoint document for [`CacheAgent::restore_state`].
+    ///
+    /// Construction-time configuration (`policy`, cache organization,
+    /// duplicate-directory flag) is *not* serialized: a restoring node
+    /// rebuilds the agent from its own system config and the document
+    /// only carries what evolved since. The id is included as a guard
+    /// against restoring the wrong node's checkpoint.
+    #[must_use]
+    pub fn save_state(&self) -> Json {
+        let pending = match &self.pending {
+            None => Json::Null,
+            Some(p) => obj([
+                ("a", crate::snapshot::block_json(p.a)),
+                (
+                    "kind",
+                    Json::Str(
+                        match p.kind {
+                            PendingKind::ReadMiss => "read_miss",
+                            PendingKind::WriteMiss => "write_miss",
+                            PendingKind::Modify => "modify",
+                            PendingKind::DirectRead => "direct_read",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("op", crate::snapshot::mem_ref_json(p.op)),
+                (
+                    "sv",
+                    match p.store_version {
+                        None => Json::Null,
+                        Some(v) => crate::snapshot::version_json(v),
+                    },
+                ),
+            ]),
+        };
+        obj([
+            ("id", crate::snapshot::cache_id_json(self.id)),
+            (
+                "cache",
+                crate::snapshot::cache_snapshot_json(&self.cache.snapshot()),
+            ),
+            ("pending", pending),
+            (
+                "bias",
+                obj([
+                    ("capacity", num_u64(self.bias.capacity as u64)),
+                    ("cursor", num_u64(self.bias.cursor as u64)),
+                    (
+                        "entries",
+                        Json::Arr(
+                            self.bias
+                                .entries
+                                .iter()
+                                .map(|&a| crate::snapshot::block_json(a))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("stats", crate::snapshot::cache_stats_json(&self.stats)),
+        ])
+    }
+
+    /// Restores the state captured by [`CacheAgent::save_state`] into
+    /// this agent, which must have been constructed with the same
+    /// configuration (id, cache organization, policy) as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the document is malformed, names a different
+    /// cache id, or its tag-store snapshot does not fit this agent's
+    /// cache organization. On error `self` is left unchanged.
+    pub fn restore_state(&mut self, j: &Json) -> Result<(), String> {
+        let id = crate::snapshot::cache_id_from(crate::snapshot::req(j, "id")?)?;
+        if id != self.id {
+            return Err(format!(
+                "checkpoint is for cache {id}, this agent is {}",
+                self.id
+            ));
+        }
+        let snap = crate::snapshot::cache_snapshot_from(crate::snapshot::req(j, "cache")?)?;
+        let cache = Cache::restore(self.cache.org(), &snap)?;
+        let pending = match crate::snapshot::req(j, "pending")? {
+            Json::Null => None,
+            p => Some(Pending {
+                a: crate::snapshot::block_from(crate::snapshot::req(p, "a")?)?,
+                kind: match crate::snapshot::req(p, "kind")?.as_str() {
+                    Some("read_miss") => PendingKind::ReadMiss,
+                    Some("write_miss") => PendingKind::WriteMiss,
+                    Some("modify") => PendingKind::Modify,
+                    Some("direct_read") => PendingKind::DirectRead,
+                    other => return Err(format!("bad pending kind {other:?}")),
+                },
+                op: crate::snapshot::mem_ref_from(crate::snapshot::req(p, "op")?)?,
+                store_version: match crate::snapshot::req(p, "sv")? {
+                    Json::Null => None,
+                    v => Some(crate::snapshot::version_from(v)?),
+                },
+            }),
+        };
+        let b = crate::snapshot::req(j, "bias")?;
+        let mut bias = BiasFilter::new(b.req_u64("capacity")? as usize);
+        for e in crate::snapshot::req_array(b, "entries")? {
+            bias.entries.push(crate::snapshot::block_from(e)?);
+        }
+        if bias.entries.len() > bias.capacity {
+            return Err("BIAS checkpoint exceeds its own capacity".into());
+        }
+        bias.cursor = b.req_u64("cursor")? as usize;
+        if bias.capacity > 0 && bias.cursor >= bias.capacity {
+            return Err("BIAS cursor out of range".into());
+        }
+        let stats = crate::snapshot::cache_stats_from(crate::snapshot::req(j, "stats")?)?;
+        self.cache = cache;
+        self.pending = pending;
+        self.bias = bias;
+        self.stats = stats;
+        Ok(())
     }
 
     /// Presents a processor reference. For stores, `store_version` is the

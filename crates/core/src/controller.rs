@@ -29,6 +29,7 @@ use crate::blockmap::{BlockMap, BlockSet};
 use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
 use std::collections::VecDeque;
+use twobit_obs::json::{num_u64, obj, Json};
 use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, CacheToMemory, ControllerConcurrency, ControllerStats, Counter,
@@ -207,6 +208,132 @@ impl Controller {
         for cmd in &self.queue {
             crate::fp::cache_to_memory(cmd, fp);
         }
+    }
+
+    /// Serializes the controller's complete state — the directory FSM
+    /// (via [`DirectoryProtocol::save_state`], tagged with the scheme
+    /// name), the memory image, the section 3.2.5 transaction bookkeeping
+    /// (awaiting set, eject locks, conflict queue in service order), and
+    /// the statistics — as a checkpoint document for
+    /// [`Controller::restore_state`].
+    ///
+    /// The `eject_announced` list keeps its insertion order: unlike the
+    /// fingerprint (which sorts for path-independence), a checkpoint must
+    /// reproduce the *exact* state so a restored run replays identically.
+    #[must_use]
+    pub fn save_state(&self) -> Json {
+        obj([
+            ("module", num_u64(self.module.index() as u64)),
+            ("scheme", Json::Str(self.protocol.name().into())),
+            ("protocol", self.protocol.save_state()),
+            ("memory", crate::snapshot::memory_image_json(&self.memory)),
+            (
+                "awaiting",
+                Json::Arr(
+                    self.awaiting
+                        .iter()
+                        .map(|(a, rw)| {
+                            obj([
+                                ("a", crate::snapshot::block_json(a)),
+                                ("rw", crate::snapshot::access_kind_json(*rw)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "eject_announced",
+                Json::Arr(
+                    self.eject_announced
+                        .iter()
+                        .map(|&(k, a)| {
+                            obj([
+                                ("k", crate::snapshot::cache_id_json(k)),
+                                ("a", crate::snapshot::block_json(a)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "eject_locked",
+                Json::Arr(
+                    self.eject_locked
+                        .iter()
+                        .map(crate::snapshot::block_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "queue",
+                Json::Arr(
+                    self.queue
+                        .iter()
+                        .map(|&cmd| crate::snapshot::cache_to_memory_json(cmd))
+                        .collect(),
+                ),
+            ),
+            ("stats", crate::snapshot::controller_stats_json(&self.stats)),
+        ])
+    }
+
+    /// Restores the state captured by [`Controller::save_state`] into
+    /// this controller, which must have been constructed for the same
+    /// module, scheme, and cache count as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the document is malformed or names a
+    /// different module or scheme. On error `self` is left unchanged.
+    pub fn restore_state(&mut self, j: &Json) -> Result<(), String> {
+        let module = j.req_u64("module")? as usize;
+        if module != self.module.index() {
+            return Err(format!(
+                "checkpoint is for module {module}, this controller is {}",
+                self.module.index()
+            ));
+        }
+        let scheme = j.req_str("scheme")?;
+        if scheme != self.protocol.name() {
+            return Err(format!(
+                "checkpoint scheme `{scheme}` does not match running scheme `{}`",
+                self.protocol.name()
+            ));
+        }
+        let protocol =
+            crate::snapshot::restore_protocol(scheme, crate::snapshot::req(j, "protocol")?)?;
+        let memory = crate::snapshot::memory_image_from(crate::snapshot::req(j, "memory")?)?;
+        let mut awaiting = BlockMap::new();
+        for e in crate::snapshot::req_array(j, "awaiting")? {
+            awaiting.insert(
+                crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?,
+                crate::snapshot::access_kind_from(crate::snapshot::req(e, "rw")?)?,
+            );
+        }
+        let mut eject_announced = Vec::new();
+        for e in crate::snapshot::req_array(j, "eject_announced")? {
+            eject_announced.push((
+                crate::snapshot::cache_id_from(crate::snapshot::req(e, "k")?)?,
+                crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?,
+            ));
+        }
+        let mut eject_locked = BlockSet::new();
+        for e in crate::snapshot::req_array(j, "eject_locked")? {
+            eject_locked.insert(crate::snapshot::block_from(e)?);
+        }
+        let mut queue = VecDeque::new();
+        for e in crate::snapshot::req_array(j, "queue")? {
+            queue.push_back(crate::snapshot::cache_to_memory_from(e)?);
+        }
+        let stats = crate::snapshot::controller_stats_from(crate::snapshot::req(j, "stats")?)?;
+        self.protocol = protocol;
+        self.memory = memory;
+        self.awaiting = awaiting;
+        self.eject_announced = eject_announced;
+        self.eject_locked = eject_locked;
+        self.queue = queue;
+        self.stats = stats;
+        Ok(())
     }
 
     /// Number of queued (conflict-deferred) requests.

@@ -207,6 +207,21 @@ pub trait DirectoryProtocol: std::fmt::Debug + Send {
     /// message-delivery interleaving.
     fn clone_box(&self) -> Box<dyn DirectoryProtocol>;
 
+    /// Serializes the directory's complete state as a checkpoint
+    /// document, invertible by
+    /// [`restore_protocol`](crate::snapshot::restore_protocol) keyed on
+    /// [`DirectoryProtocol::name`]. Unlike
+    /// [`DirectoryProtocol::fingerprint`], counters (TLB hits/misses) are
+    /// *included* — a restored node must report the same statistics it
+    /// would have reported uninterrupted.
+    ///
+    /// The default returns [`Json::Null`](twobit_obs::json::Json::Null), fine for test doubles and for
+    /// stateless protocols whose restore constructor ignores the
+    /// document (the classical and static schemes).
+    fn save_state(&self) -> twobit_obs::json::Json {
+        twobit_obs::json::Json::Null
+    }
+
     /// Feeds the directory's complete decision-relevant state into `fp`
     /// in a canonical (path-independent) order, for the model checker's
     /// visited-set. Implementations must cover everything that can steer

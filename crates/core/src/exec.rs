@@ -88,7 +88,12 @@ impl Oracle {
 }
 
 /// Constructs the directory protocol instance for a module under `config`.
-pub(crate) fn build_protocol_for(config: &SystemConfig) -> Box<dyn DirectoryProtocol> {
+///
+/// # Panics
+///
+/// Panics if `config` names a bus protocol — those are built by
+/// `twobit-bus`, not the directory executor.
+pub fn build_protocol_for(config: &SystemConfig) -> Box<dyn DirectoryProtocol> {
     match config.protocol {
         ProtocolKind::TwoBit => Box::new(TwoBitDirectory::new()),
         ProtocolKind::TwoBitTlb { entries } => {
@@ -108,7 +113,11 @@ pub(crate) fn build_protocol_for(config: &SystemConfig) -> Box<dyn DirectoryProt
 ///
 /// `static_shared_from` is the public-block threshold used when the
 /// protocol is the static software scheme.
-pub(crate) fn build_policy_for(protocol: ProtocolKind, static_shared_from: u64) -> AgentPolicy {
+///
+/// # Panics
+///
+/// Panics if `protocol` is a bus protocol.
+pub fn build_policy_for(protocol: ProtocolKind, static_shared_from: u64) -> AgentPolicy {
     match protocol {
         ProtocolKind::TwoBit | ProtocolKind::TwoBitTlb { .. } | ProtocolKind::FullMap => {
             AgentPolicy::WriteBack {

@@ -23,6 +23,7 @@ use crate::transitions::{
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
 use std::sync::OnceLock;
+use twobit_obs::json::{num_u64, obj, Json};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
     WritebackKind,
@@ -76,6 +77,33 @@ impl FullMapLocalDirectory {
             cost: SendCost::Command,
         }
     }
+
+    /// Rebuilds a directory from a [`DirectoryProtocol::save_state`]
+    /// checkpoint document.
+    pub(crate) fn restore_json(j: &Json) -> Result<Self, String> {
+        let width = j.req_u64("width")? as usize;
+        if width == 0 {
+            return Err("zero presence-vector width in checkpoint".into());
+        }
+        let mut d = FullMapLocalDirectory::new(width);
+        for e in crate::snapshot::req_array(j, "entries")? {
+            let a = crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?;
+            let entry = if let Some(o) = e.get("o") {
+                let owners = crate::snapshot::owner_set_from(o)?;
+                if owners.capacity() != width {
+                    return Err("presence vector width mismatch".into());
+                }
+                Entry::Shared(owners)
+            } else {
+                Entry::ExclusiveOrModified(crate::snapshot::cache_id_from(crate::snapshot::req(
+                    e, "x",
+                )?)?)
+            };
+            d.entries.insert(a, entry);
+        }
+        d.waiting = crate::snapshot::waiting_map_from(crate::snapshot::req(j, "waiting")?)?;
+        Ok(d)
+    }
 }
 
 impl DirectoryProtocol for FullMapLocalDirectory {
@@ -124,6 +152,37 @@ impl DirectoryProtocol for FullMapLocalDirectory {
 
     fn name(&self) -> &'static str {
         "full-map+local"
+    }
+
+    fn save_state(&self) -> Json {
+        // A shared entry carries `"o"` (the owner set); an
+        // exclusive/modified entry carries `"x"` (the sole holder). The
+        // decoder keys on which field is present.
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(a, _)| a.number());
+        obj([
+            ("width", num_u64(self.width as u64)),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .into_iter()
+                        .map(|(a, e)| {
+                            let a = ("a", crate::snapshot::block_json(*a));
+                            match e {
+                                Entry::Shared(owners) => {
+                                    obj([a, ("o", crate::snapshot::owner_set_json(owners))])
+                                }
+                                Entry::ExclusiveOrModified(k) => {
+                                    obj([a, ("x", crate::snapshot::cache_id_json(*k))])
+                                }
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+            ("waiting", crate::snapshot::waiting_map_json(&self.waiting)),
+        ])
     }
 
     fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {

@@ -63,6 +63,7 @@ mod local;
 mod memory;
 pub mod model_check;
 mod owner_set;
+pub mod snapshot;
 mod tlb;
 pub mod transitions;
 mod two_bit;
@@ -72,7 +73,9 @@ pub use blockmap::{BlockMap, BlockSet};
 pub use classical::{ClassicalDirectory, NullDirectory};
 pub use controller::{Controller, CtrlEmit};
 pub use directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
-pub use exec::{FunctionalSystem, Oracle, DEFAULT_STATIC_SHARED_FROM};
+pub use exec::{
+    build_policy_for, build_protocol_for, FunctionalSystem, Oracle, DEFAULT_STATIC_SHARED_FROM,
+};
 pub use full_map::FullMapDirectory;
 pub use full_map_local::FullMapLocalDirectory;
 pub use local::LocalState;

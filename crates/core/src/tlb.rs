@@ -33,6 +33,7 @@ use crate::transitions::{
 use crate::two_bit::TwoBitDirectory;
 use std::collections::HashMap;
 use std::sync::OnceLock;
+use twobit_obs::json::{num_u64, obj, Json};
 use twobit_types::{
     BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
 };
@@ -170,6 +171,35 @@ impl TwoBitTlbDirectory {
         self.misses
     }
 
+    /// Rebuilds a directory+buffer from a
+    /// [`DirectoryProtocol::save_state`] checkpoint document.
+    pub(crate) fn restore_json(j: &Json) -> Result<Self, String> {
+        let capacity = j.req_u64("capacity")? as usize;
+        let width = j.req_u64("width")? as usize;
+        if capacity == 0 || width == 0 {
+            return Err("zero TLB capacity or width in checkpoint".into());
+        }
+        let mut d = TwoBitTlbDirectory::new(capacity, width);
+        d.inner = TwoBitDirectory::restore_json(crate::snapshot::req(j, "inner")?)?;
+        d.hits = j.req_u64("hits")?;
+        d.misses = j.req_u64("misses")?;
+        d.tlb.clock = j.req_u64("clock")?;
+        for e in crate::snapshot::req_array(j, "entries")? {
+            if d.tlb.entries.len() >= capacity {
+                return Err("TLB checkpoint exceeds its own capacity".into());
+            }
+            let owners = crate::snapshot::owner_set_from(crate::snapshot::req(e, "o")?)?;
+            if owners.capacity() != width {
+                return Err("TLB owner set width mismatch".into());
+            }
+            d.tlb.entries.insert(
+                crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?,
+                (owners, e.req_u64("stamp")?),
+            );
+        }
+        Ok(d)
+    }
+
     /// Rewrites each broadcast in `step` into targeted commands when the
     /// buffer knows the exact owners; counts hits/misses per broadcast.
     fn rewrite_broadcasts(&mut self, a: BlockAddr, step: DirStep) -> DirStep {
@@ -289,6 +319,36 @@ impl DirectoryProtocol for TwoBitTlbDirectory {
 
     fn name(&self) -> &'static str {
         "two-bit+tlb"
+    }
+
+    fn save_state(&self) -> Json {
+        // The `entries` HashMap has no stable order — sort by block
+        // number so a given state always writes one canonical document.
+        let mut entries: Vec<_> = self.tlb.entries.iter().collect();
+        entries.sort_by_key(|(a, _)| a.number());
+        obj([
+            ("capacity", num_u64(self.tlb.capacity as u64)),
+            ("width", num_u64(self.tlb.width as u64)),
+            ("clock", num_u64(self.tlb.clock)),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .into_iter()
+                        .map(|(a, (owners, stamp))| {
+                            obj([
+                                ("a", crate::snapshot::block_json(*a)),
+                                ("o", crate::snapshot::owner_set_json(owners)),
+                                ("stamp", num_u64(*stamp)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("inner", self.inner.save_state()),
+            ("hits", num_u64(self.hits)),
+            ("misses", num_u64(self.misses)),
+        ])
     }
 
     fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {

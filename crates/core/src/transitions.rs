@@ -687,6 +687,13 @@ impl DirectoryProtocol for Reconciled {
         self.inner.name()
     }
 
+    fn save_state(&self) -> twobit_obs::json::Json {
+        // The wrapper's own `waiting_write` cache is rederivable from the
+        // inner directory's waiting records, so delegating loses nothing
+        // a restore needs — `restore_protocol` rebuilds the bare scheme.
+        self.inner.save_state()
+    }
+
     fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {
         let before = self.inner.global_state(a);
         let step = self.inner.open(k, a, kind, mem);

@@ -40,6 +40,7 @@ use crate::transitions::{
     ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
 };
 use std::sync::OnceLock;
+use twobit_obs::json::{num_u64, obj, Json};
 use twobit_types::{
     AccessKind, BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version,
     WritebackKind,
@@ -95,6 +96,33 @@ impl TwoBitDirectory {
             cost: SendCost::Command,
         }
     }
+
+    /// Rebuilds a directory from a [`DirectoryProtocol::save_state`]
+    /// checkpoint document.
+    pub(crate) fn restore_json(j: &Json) -> Result<Self, String> {
+        let mut d = TwoBitDirectory::new();
+        for e in crate::snapshot::req_array(j, "states")? {
+            let bits = e.req_u64("s")?;
+            let s = GlobalState::from_bits(bits as u8)
+                .ok_or_else(|| format!("bad global-state bits {bits}"))?;
+            d.set_state(
+                crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?,
+                s,
+            );
+        }
+        for e in crate::snapshot::req_array(j, "waiting")? {
+            d.waiting.insert(
+                crate::snapshot::block_from(crate::snapshot::req(e, "a")?)?,
+                Waiting {
+                    k: crate::snapshot::cache_id_from(crate::snapshot::req(e, "k")?)?,
+                    write: crate::snapshot::req(e, "w")?
+                        .as_bool()
+                        .ok_or("`w` is not a bool")?,
+                },
+            );
+        }
+        Ok(d)
+    }
 }
 
 impl DirectoryProtocol for TwoBitDirectory {
@@ -122,6 +150,42 @@ impl DirectoryProtocol for TwoBitDirectory {
 
     fn name(&self) -> &'static str {
         "two-bit"
+    }
+
+    fn save_state(&self) -> Json {
+        // `BlockMap::iter` is ascending and Absent entries are removed by
+        // `set_state`, so the document is canonical like the fingerprint.
+        obj([
+            (
+                "states",
+                Json::Arr(
+                    self.states
+                        .iter()
+                        .map(|(a, s)| {
+                            obj([
+                                ("a", crate::snapshot::block_json(a)),
+                                ("s", num_u64(u64::from(s.bits()))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "waiting",
+                Json::Arr(
+                    self.waiting
+                        .iter()
+                        .map(|(a, w)| {
+                            obj([
+                                ("a", crate::snapshot::block_json(a)),
+                                ("k", crate::snapshot::cache_id_json(w.k)),
+                                ("w", Json::Bool(w.write)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     fn open(&mut self, k: CacheId, a: BlockAddr, kind: OpenKind, mem: &MemoryImage) -> DirStep {

@@ -1,0 +1,272 @@
+//! Checkpoint/restore round-trips across all six directory schemes.
+//!
+//! The distributed runner (`twobit-dist`) crash-restarts nodes from these
+//! documents, so the contract tested here is strict: for every scheme,
+//! serializing an agent or controller to its JSON checkpoint, parsing the
+//! *textual* form back (the document crosses a process boundary as text),
+//! and restoring into a freshly constructed instance must reproduce the
+//! exact state — same fingerprint, same statistics, and identical future
+//! behavior.
+
+use twobit_core::{build_policy_for, build_protocol_for, CacheAgent, Controller, FunctionalSystem};
+use twobit_obs::json::parse;
+use twobit_types::{
+    AccessKind, CacheId, CacheToMemory, Fingerprint, Fingerprinter, MemRef, ProtocolKind,
+    SystemConfig, Version, WordAddr,
+};
+
+const ALL_SCHEMES: [ProtocolKind; 6] = [
+    ProtocolKind::TwoBit,
+    ProtocolKind::TwoBitTlb { entries: 2 },
+    ProtocolKind::FullMap,
+    ProtocolKind::FullMapLocal,
+    ProtocolKind::ClassicalWriteThrough,
+    ProtocolKind::StaticSoftware,
+];
+
+/// First public block for the static software scheme's workload
+/// contract: blocks below are private (touched by one cache only),
+/// blocks at or above are public (never cached).
+const SHARED_FROM: u64 = 16;
+
+/// A small sharing-heavy workload: every cache touches a mix of common
+/// and private blocks, with enough writes to exercise every directory
+/// state and enough distinct blocks to force evictions. With
+/// `static_split` the mix honors the static scheme's contract instead:
+/// per-cache-disjoint private blocks plus public blocks at
+/// [`SHARED_FROM`] and up.
+fn drive(sys: &mut FunctionalSystem, refs: usize, static_split: bool) {
+    let caches = sys.config().caches;
+    let mut x = 0x1234_5678_9abc_def0_u64;
+    for i in 0..refs {
+        // splitmix64 — deterministic, no external RNG dependency.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let k = CacheId::new(i % caches);
+        let block = if static_split {
+            if z & 1 == 0 {
+                (k.index() as u64) * 4 + z % 4 // private to cache k
+            } else {
+                SHARED_FROM + z % 8 // public, uncached
+            }
+        } else {
+            z % 24
+        };
+        let op = if z & 0x100 != 0 {
+            MemRef::write(WordAddr::new(block, 0))
+        } else {
+            MemRef::read(WordAddr::new(block, 0))
+        };
+        sys.do_ref(k, op).unwrap();
+    }
+}
+
+fn fingerprint_agent(a: &CacheAgent) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    a.fingerprint(&mut fp);
+    fp.finish()
+}
+
+fn fingerprint_controller(c: &Controller) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    c.fingerprint(&mut fp);
+    fp.finish()
+}
+
+fn config_for(protocol: ProtocolKind) -> SystemConfig {
+    let mut cfg = SystemConfig::with_defaults(3).with_protocol(protocol);
+    cfg.bias_entries = 2; // exercise the BIAS filter in checkpoints
+    cfg
+}
+
+#[test]
+fn agents_and_controllers_roundtrip_across_all_schemes() {
+    for protocol in ALL_SCHEMES {
+        let cfg = config_for(protocol);
+        let is_static = protocol == ProtocolKind::StaticSoftware;
+        let mut sys = FunctionalSystem::with_static_threshold(cfg, SHARED_FROM).unwrap();
+        drive(&mut sys, 200, is_static);
+
+        for agent in sys.agents() {
+            let doc = parse(&agent.save_state().to_json()).unwrap();
+            let mut fresh = CacheAgent::new(
+                agent.id(),
+                cfg.cache,
+                build_policy_for(protocol, SHARED_FROM),
+                cfg.duplicate_directory,
+            );
+            fresh.set_bias_entries(cfg.bias_entries);
+            fresh.restore_state(&doc).unwrap();
+            assert_eq!(
+                fingerprint_agent(&fresh),
+                fingerprint_agent(agent),
+                "{protocol:?}: agent {} fingerprint diverged after restore",
+                agent.id()
+            );
+            assert_eq!(fresh.stats(), agent.stats(), "{protocol:?}: stats diverged");
+        }
+
+        for ctrl in sys.controllers() {
+            let doc = parse(&ctrl.save_state().to_json()).unwrap();
+            let mut fresh = Controller::new(
+                ctrl.module(),
+                build_protocol_for(&cfg),
+                cfg.caches,
+                cfg.concurrency,
+            );
+            fresh.restore_state(&doc).unwrap();
+            assert_eq!(
+                fingerprint_controller(&fresh),
+                fingerprint_controller(ctrl),
+                "{protocol:?}: controller {} fingerprint diverged after restore",
+                ctrl.module()
+            );
+            assert_eq!(fresh.stats(), ctrl.stats(), "{protocol:?}: stats diverged");
+        }
+    }
+}
+
+/// Mid-transaction state survives: stall an agent on a write miss, leave
+/// the controller awaiting the matching transaction, checkpoint both,
+/// restore, and complete the transaction on the restored pair.
+#[test]
+fn mid_transaction_checkpoint_resumes_correctly() {
+    let cfg = config_for(ProtocolKind::TwoBit);
+    let policy = build_policy_for(
+        ProtocolKind::TwoBit,
+        twobit_core::DEFAULT_STATIC_SHARED_FROM,
+    );
+
+    // Cache 0 holds block 5 dirty; cache 1 then write-misses on it. The
+    // controller must query cache 0 and is left awaiting the supply.
+    let mut a0 = CacheAgent::new(CacheId::new(0), cfg.cache, policy, false);
+    let mut a1 = CacheAgent::new(CacheId::new(1), cfg.cache, policy, false);
+    let mut ctrl = Controller::new(
+        twobit_types::ModuleId::new(0),
+        build_protocol_for(&cfg),
+        2,
+        cfg.concurrency,
+    );
+
+    let w0 = MemRef::write(WordAddr::new(5, 0));
+    let out = a0.start(w0, Version::new(1));
+    for cmd in out.sends {
+        for emit in ctrl.submit(cmd).unwrap() {
+            if let twobit_core::CtrlEmit::Unicast { to, cmd, .. } = emit {
+                assert_eq!(to, CacheId::new(0));
+                a0.on_network(cmd).unwrap();
+            }
+        }
+    }
+    assert!(!a0.is_stalled());
+
+    let w1 = MemRef::write(WordAddr::new(5, 0));
+    let out = a1.start(w1, Version::new(2));
+    let mut queries = Vec::new();
+    for cmd in out.sends {
+        for emit in ctrl.submit(cmd).unwrap() {
+            match emit {
+                twobit_core::CtrlEmit::Unicast { cmd, .. } => queries.push(cmd),
+                twobit_core::CtrlEmit::Broadcast { cmd, exclude, .. } => {
+                    assert_ne!(exclude, CacheId::new(0));
+                    queries.push(cmd);
+                }
+            }
+        }
+    }
+    assert!(a1.is_stalled(), "write miss should stall cache 1");
+    assert!(ctrl.busy(), "controller should be awaiting the supply");
+
+    // Checkpoint everything mid-transaction, through the textual form.
+    let ctrl_doc = parse(&ctrl.save_state().to_json()).unwrap();
+    let a0_doc = parse(&a0.save_state().to_json()).unwrap();
+    let a1_doc = parse(&a1.save_state().to_json()).unwrap();
+
+    let mut ctrl2 = Controller::new(
+        twobit_types::ModuleId::new(0),
+        build_protocol_for(&cfg),
+        2,
+        cfg.concurrency,
+    );
+    ctrl2.restore_state(&ctrl_doc).unwrap();
+    let mut a0r = CacheAgent::new(CacheId::new(0), cfg.cache, policy, false);
+    a0r.restore_state(&a0_doc).unwrap();
+    let mut a1r = CacheAgent::new(CacheId::new(1), cfg.cache, policy, false);
+    a1r.restore_state(&a1_doc).unwrap();
+    assert_eq!(
+        fingerprint_controller(&ctrl2),
+        fingerprint_controller(&ctrl)
+    );
+    assert_eq!(fingerprint_agent(&a0r), fingerprint_agent(&a0));
+    assert_eq!(fingerprint_agent(&a1r), fingerprint_agent(&a1));
+    assert!(a1r.is_stalled());
+
+    // Complete the transaction on the restored trio: deliver the held
+    // query to cache 0, route its supply to the controller, and deliver
+    // the resulting grant to cache 1.
+    let mut to_ctrl = Vec::new();
+    for cmd in queries {
+        let out = a0r.on_network(cmd).unwrap();
+        to_ctrl.extend(out.sends);
+    }
+    assert!(
+        to_ctrl
+            .iter()
+            .any(|c| matches!(c, CacheToMemory::PutData { .. })),
+        "dirty owner must supply the block"
+    );
+    let mut grants = Vec::new();
+    for cmd in to_ctrl {
+        for emit in ctrl2.submit(cmd).unwrap() {
+            if let twobit_core::CtrlEmit::Unicast { to, cmd, .. } = emit {
+                assert_eq!(to, CacheId::new(1));
+                grants.push(cmd);
+            }
+        }
+    }
+    let mut completion = None;
+    for cmd in grants {
+        let out = a1r.on_network(cmd).unwrap();
+        if let Some(c) = out.completed {
+            completion = Some(c);
+        }
+    }
+    let c = completion.expect("write must retire on the restored agent");
+    assert_eq!(c.observed, Version::new(2));
+    assert_eq!(c.op.kind, AccessKind::Write);
+    assert!(!ctrl2.busy());
+}
+
+/// Restore rejects checkpoints for the wrong identity or scheme instead
+/// of silently corrupting state.
+#[test]
+fn restore_rejects_mismatched_checkpoints() {
+    let cfg = config_for(ProtocolKind::TwoBit);
+    let policy = build_policy_for(
+        ProtocolKind::TwoBit,
+        twobit_core::DEFAULT_STATIC_SHARED_FROM,
+    );
+    let a0 = CacheAgent::new(CacheId::new(0), cfg.cache, policy, false);
+    let doc = parse(&a0.save_state().to_json()).unwrap();
+    let mut a1 = CacheAgent::new(CacheId::new(1), cfg.cache, policy, false);
+    assert!(a1.restore_state(&doc).is_err(), "wrong cache id must fail");
+
+    let ctrl = Controller::new(
+        twobit_types::ModuleId::new(0),
+        build_protocol_for(&cfg),
+        2,
+        cfg.concurrency,
+    );
+    let doc = parse(&ctrl.save_state().to_json()).unwrap();
+    let full_map_cfg = cfg.with_protocol(ProtocolKind::FullMap);
+    let mut other = Controller::new(
+        twobit_types::ModuleId::new(0),
+        build_protocol_for(&full_map_cfg),
+        2,
+        full_map_cfg.concurrency,
+    );
+    assert!(other.restore_state(&doc).is_err(), "wrong scheme must fail");
+}

@@ -1,0 +1,69 @@
+//! A single fleet node: one cache controller or one memory module.
+//!
+//! Spawned by the driver. Speaks the JSONL control protocol on
+//! stdin/stdout by default, or over TCP with `--tcp ADDR` (the node
+//! connects to the listening driver). The first frame must be `init`;
+//! after that the node answers one response per request until EOF or
+//! `shutdown`.
+
+use std::process::ExitCode;
+
+use twobit_dist::node::Node;
+use twobit_dist::wire::{request_from_line, response_line, Request, Response};
+use twobit_interconnect::transport::{stdio, tcp_connect, Transport};
+
+fn serve(io: &mut dyn Transport) -> Result<(), String> {
+    let mut node: Option<Node> = None;
+    while let Some(line) = io.recv().map_err(|e| format!("recv: {e}"))? {
+        let resp = match request_from_line(&line) {
+            Err(e) => Response::Error {
+                msg: format!("bad request: {e}"),
+            },
+            Ok(Request::Init(cfg)) => match (&node, Node::new(&cfg)) {
+                (Some(_), _) => Response::Error {
+                    msg: "already initialized".into(),
+                },
+                (None, Ok(n)) => {
+                    node = Some(n);
+                    Response::InitOk
+                }
+                (None, Err(e)) => Response::Error { msg: e },
+            },
+            Ok(req) => match &mut node {
+                None => Response::Error {
+                    msg: "first request must be init".into(),
+                },
+                Some(n) => n.handle(&req),
+            },
+        };
+        let done = matches!(resp, Response::ShutdownOk);
+        io.send(&response_line(&resp))
+            .map_err(|e| format!("send: {e}"))?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("--tcp") => match args.get(2) {
+            Some(addr) => match tcp_connect(addr.as_str()) {
+                Ok(mut io) => serve(&mut io),
+                Err(e) => Err(format!("connect {addr}: {e}")),
+            },
+            None => Err("--tcp needs an address".into()),
+        },
+        Some(other) => Err(format!("unknown argument `{other}` (only --tcp ADDR)")),
+        None => serve(&mut stdio()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dist_node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,891 @@
+//! The fleet driver: spawns the nodes, owns the network, injects the
+//! workload and the faults, and records the global history.
+//!
+//! # Determinism
+//!
+//! The driver is a star router running on *virtual time*. Every message
+//! is a calendar entry ordered by `(time, seq)`; the driver pops the
+//! earliest entry, performs exactly one blocking request/response
+//! exchange with the target node, and schedules whatever came back.
+//! Because a node never speaks unprompted and the driver never has two
+//! exchanges in flight, OS scheduling cannot influence the order of
+//! anything — the whole run, including every fault decision (drawn from
+//! a seeded [`Rng`]), is a pure function of `(RunConfig, seed)`. Running
+//! the same configuration twice yields byte-identical merged timelines,
+//! which is the property the `same_seed_same_timeline` test pins.
+//!
+//! # Fault model
+//!
+//! See [`crate::faults`]: inter-node links are reliable FIFO (drops are
+//! retransmission latency), partitions hold messages until heal, crashes
+//! discard node state back to the last checkpoint (the driver rebuilds
+//! the node and replays its logged deliveries), and only the client edge
+//! truly loses messages — recovered by idempotent retry.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use twobit_core::Oracle;
+use twobit_interconnect::transport::{tcp_accept, LineTransport, Transport};
+use twobit_obs::json::{num_u64, obj, Json};
+use twobit_types::{AccessKind, MemRef, TxnId, Version, WordAddr};
+
+use crate::faults::{FaultConfig, Rng};
+use crate::history::{check_history, LinearizationReport, OpRecord};
+use crate::node::Node;
+use crate::wire::{
+    envelope_json, request_line, response_from_line, Actor, Envelope, NodeConfig, Payload, Request,
+    Response,
+};
+
+/// How node processes are hosted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Nodes are in-process objects (fast; the default for tests).
+    InProc,
+    /// One child process per node, JSONL over stdin/stdout.
+    Process {
+        /// Path to the `dist_node` binary.
+        node_bin: PathBuf,
+    },
+    /// One child process per node, JSONL over TCP (the driver listens,
+    /// nodes connect).
+    Tcp {
+        /// Path to the `dist_node` binary.
+        node_bin: PathBuf,
+    },
+}
+
+/// Complete description of one distributed run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Scheme name (one of the six directory schemes).
+    pub scheme: String,
+    /// Cache-controller node count.
+    pub caches: usize,
+    /// Memory-module node count.
+    pub modules: usize,
+    /// References each client issues.
+    pub refs_per_client: usize,
+    /// Master seed (workload and fault streams derive from it).
+    pub seed: u64,
+    /// Store probability (‰) per reference.
+    pub write_permille: u64,
+    /// Shared address range `0..blocks` for the dynamic schemes.
+    pub blocks: u64,
+    /// First public block for `static-sw` (private blocks per client are
+    /// carved below it; see `gen_op`).
+    pub shared_from: u64,
+    /// Cache organization: sets / associativity / words per block.
+    pub sets: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Words per block.
+    pub block_words: u32,
+    /// BIAS filter capacity.
+    pub bias_entries: u32,
+    /// Translation-buffer capacity (`two-bit+tlb`).
+    pub tlb_entries: u32,
+    /// Node hosting.
+    pub mode: Mode,
+    /// The fault plan.
+    pub faults: FaultConfig,
+    /// Where to write per-node and merged JSONL timelines.
+    pub trace_dir: Option<PathBuf>,
+    /// Abort guard: maximum calendar events before declaring livelock.
+    pub max_events: u64,
+}
+
+impl RunConfig {
+    /// A small four-cache / two-module fleet, fault-free.
+    #[must_use]
+    pub fn quick(scheme: &str, seed: u64) -> Self {
+        RunConfig {
+            scheme: scheme.to_string(),
+            caches: 4,
+            modules: 2,
+            refs_per_client: 100,
+            seed,
+            write_permille: 300,
+            blocks: 12,
+            shared_from: 16,
+            sets: 8,
+            assoc: 2,
+            block_words: 4,
+            bias_entries: 0,
+            tlb_entries: 8,
+            mode: Mode::InProc,
+            faults: FaultConfig::none(),
+            trace_dir: None,
+            max_events: 5_000_000,
+        }
+    }
+}
+
+/// What a finished run reports.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scheme that ran.
+    pub scheme: String,
+    /// Seed it ran under.
+    pub seed: u64,
+    /// References completed (all clients).
+    pub total_refs: usize,
+    /// Client-edge retries (timeout resends).
+    pub retries: u64,
+    /// Inter-node retransmissions (drop-as-latency events).
+    pub retransmits: u64,
+    /// Client-edge messages actually lost.
+    pub client_drops: u64,
+    /// Envelopes delivered node-to-node or on the client edge.
+    pub deliveries: u64,
+    /// Node crash recoveries performed.
+    pub recoveries: u64,
+    /// Virtual time at quiescence.
+    pub virtual_end: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// References completed per client.
+    pub per_client_refs: Vec<usize>,
+    /// Per partition: virtual time from heal until every op invoked
+    /// before the heal had completed.
+    pub heal_lag: Vec<u64>,
+    /// Linearizability checker effort/result.
+    pub checker: LinearizationReport,
+    /// The merged timeline (one JSONL line per delivery or node event).
+    pub timeline: Vec<String>,
+    /// The raw history (for further analysis).
+    pub ops: Vec<OpRecord>,
+}
+
+impl RunReport {
+    /// Renders the benchmark-facing summary (no timeline, no raw ops).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let wall_s = (self.wall_ms as f64 / 1000.0).max(1e-9);
+        obj([
+            ("schema", Json::Str("twobit-bench/v1".into())),
+            ("kind", Json::Str("dist_soak".into())),
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("seed", num_u64(self.seed)),
+            ("total_refs", num_u64(self.total_refs as u64)),
+            ("retries", num_u64(self.retries)),
+            ("retransmits", num_u64(self.retransmits)),
+            ("client_drops", num_u64(self.client_drops)),
+            ("deliveries", num_u64(self.deliveries)),
+            ("recoveries", num_u64(self.recoveries)),
+            ("virtual_end", num_u64(self.virtual_end)),
+            ("wall_ms", num_u64(self.wall_ms)),
+            ("refs_per_sec", Json::Num(self.total_refs as f64 / wall_s)),
+            (
+                "per_client_refs",
+                Json::Arr(
+                    self.per_client_refs
+                        .iter()
+                        .map(|&n| num_u64(n as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "heal_lag",
+                Json::Arr(self.heal_lag.iter().map(|&t| num_u64(t)).collect()),
+            ),
+            (
+                "checker",
+                obj([
+                    ("ops", num_u64(self.checker.ops as u64)),
+                    ("blocks", num_u64(self.checker.blocks as u64)),
+                    ("states", num_u64(self.checker.states_visited as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node links
+// ---------------------------------------------------------------------------
+
+enum NodeLink {
+    InProc(Box<Node>),
+    Child {
+        child: Child,
+        io: Box<dyn Transport>,
+    },
+}
+
+impl NodeLink {
+    fn rpc(&mut self, who: Actor, req: &Request) -> Result<Response, String> {
+        match self {
+            NodeLink::InProc(n) => Ok(n.handle(req)),
+            NodeLink::Child { io, .. } => {
+                io.send(&request_line(req))
+                    .map_err(|e| format!("{who}: send failed: {e}"))?;
+                let line = io
+                    .recv()
+                    .map_err(|e| format!("{who}: recv failed: {e}"))?
+                    .ok_or_else(|| format!("{who}: node exited unexpectedly"))?;
+                response_from_line(&line).map_err(|e| format!("{who}: bad response: {e}"))
+            }
+        }
+    }
+
+    fn shutdown(&mut self, who: Actor) {
+        let _ = self.rpc(who, &Request::Shutdown);
+        if let NodeLink::Child { child, .. } = self {
+            let _ = child.wait();
+        }
+    }
+
+    fn kill(&mut self) {
+        if let NodeLink::Child { child, .. } = self {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_link(mode: &Mode, node_cfg: &NodeConfig) -> Result<NodeLink, String> {
+    let mut link = match mode {
+        Mode::InProc => return Ok(NodeLink::InProc(Box::new(Node::new(node_cfg)?))),
+        Mode::Process { node_bin } => {
+            let mut child = Command::new(node_bin)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("spawn {}: {e}", node_bin.display()))?;
+            let stdin = child.stdin.take().expect("piped stdin");
+            let stdout = child.stdout.take().expect("piped stdout");
+            NodeLink::Child {
+                child,
+                io: Box::new(LineTransport::new(BufReader::new(stdout), stdin)),
+            }
+        }
+        Mode::Tcp { node_bin } => {
+            let listener =
+                std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+            let addr = listener.local_addr().map_err(|e| format!("addr: {e}"))?;
+            let child = Command::new(node_bin)
+                .arg("--tcp")
+                .arg(addr.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::inherit())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("spawn {}: {e}", node_bin.display()))?;
+            let io = tcp_accept(&listener).map_err(|e| format!("accept: {e}"))?;
+            NodeLink::Child {
+                child,
+                io: Box::new(io),
+            }
+        }
+    };
+    match link.rpc(node_cfg.role, &Request::Init(Box::new(node_cfg.clone())))? {
+        Response::InitOk => Ok(link),
+        Response::Error { msg } => Err(format!("{}: init rejected: {msg}", node_cfg.role)),
+        other => Err(format!(
+            "{}: unexpected init reply: {other:?}",
+            node_cfg.role
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Envelope),
+    ClientIssue(usize),
+    ClientTimeout { client: usize, txn: u64 },
+    Restart(Actor),
+    CheckpointTick,
+}
+
+#[derive(Debug)]
+struct Event {
+    t: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.t, self.seq) == (other.t, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Outstanding {
+    txn: u64,
+    op: MemRef,
+    sv: Option<Version>,
+    invoked: u64,
+    retries: u64,
+    backoff: u64,
+}
+
+#[derive(Debug)]
+struct Client {
+    rng: Rng,
+    done: usize,
+    outstanding: Option<Outstanding>,
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Driver<'c> {
+    cfg: &'c RunConfig,
+    rng: Rng,
+    links: BTreeMap<Actor, NodeLink>,
+    calendar: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    link_clock: BTreeMap<(Actor, Actor), u64>,
+    clients: Vec<Client>,
+    oracle: Oracle,
+    next_txn: u64,
+    checkpoints: BTreeMap<Actor, Json>,
+    replay_log: BTreeMap<Actor, Vec<(u64, Envelope)>>,
+    ops: Vec<OpRecord>,
+    timeline: Vec<String>,
+    node_events: BTreeMap<Actor, Vec<String>>,
+    retries: u64,
+    retransmits: u64,
+    client_drops: u64,
+    deliveries: u64,
+    recoveries: u64,
+    now: u64,
+}
+
+/// Runs one complete distributed experiment.
+///
+/// # Errors
+///
+/// Fails on node spawn/protocol errors, on livelock (`max_events`
+/// exceeded), on an incomplete workload, and — the interesting case — on
+/// a non-linearizable history.
+pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
+    let wall_start = std::time::Instant::now();
+    let mut d = Driver::new(cfg)?;
+    let result = d.drive();
+    // Always try to shut the fleet down, even on error.
+    for (who, link) in &mut d.links {
+        link.shutdown(*who);
+    }
+    result?;
+
+    let checker = check_history(&d.ops)?;
+    let heal_lag = cfg
+        .faults
+        .partitions
+        .iter()
+        .map(|p| {
+            d.ops
+                .iter()
+                .filter(|o| o.invoked < p.heal)
+                .map(|o| o.completed)
+                .max()
+                .unwrap_or(0)
+                .saturating_sub(p.heal)
+        })
+        .collect();
+
+    if let Some(dir) = &cfg.trace_dir {
+        write_traces(dir, &d.timeline, &d.node_events)?;
+    }
+
+    Ok(RunReport {
+        scheme: cfg.scheme.clone(),
+        seed: cfg.seed,
+        total_refs: d.clients.iter().map(|c| c.done).sum(),
+        retries: d.retries,
+        retransmits: d.retransmits,
+        client_drops: d.client_drops,
+        deliveries: d.deliveries,
+        recoveries: d.recoveries,
+        virtual_end: d.now,
+        wall_ms: wall_start.elapsed().as_millis() as u64,
+        per_client_refs: d.clients.iter().map(|c| c.done).collect(),
+        heal_lag,
+        checker,
+        timeline: d.timeline,
+        ops: d.ops,
+    })
+}
+
+fn write_traces(
+    dir: &std::path::Path,
+    timeline: &[String],
+    node_events: &BTreeMap<Actor, Vec<String>>,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let write = |name: &str, lines: &[String]| -> Result<(), String> {
+        let mut body = lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(dir.join(name), body).map_err(|e| format!("write {name}: {e}"))
+    };
+    write("merged.jsonl", timeline)?;
+    for (who, lines) in node_events {
+        write(&format!("node-{who}.jsonl"), lines)?;
+    }
+    Ok(())
+}
+
+impl<'c> Driver<'c> {
+    fn new(cfg: &'c RunConfig) -> Result<Self, String> {
+        let mut links = BTreeMap::new();
+        let mut node_events = BTreeMap::new();
+        let roles = (0..cfg.caches)
+            .map(Actor::Cache)
+            .chain((0..cfg.modules).map(Actor::Module));
+        for role in roles {
+            let node_cfg = NodeConfig {
+                role,
+                scheme: cfg.scheme.clone(),
+                caches: cfg.caches,
+                modules: cfg.modules,
+                sets: cfg.sets,
+                assoc: cfg.assoc,
+                block_words: cfg.block_words,
+                shared_from: cfg.shared_from,
+                bias_entries: cfg.bias_entries,
+                tlb_entries: cfg.tlb_entries,
+            };
+            links.insert(role, spawn_link(&cfg.mode, &node_cfg)?);
+            node_events.insert(role, Vec::new());
+        }
+        let clients = (0..cfg.caches)
+            .map(|k| Client {
+                rng: Rng::new(cfg.seed ^ (0x5eed_c11e_u64.wrapping_add(k as u64 * 0x9e37))),
+                done: 0,
+                outstanding: None,
+            })
+            .collect();
+        Ok(Driver {
+            cfg,
+            rng: Rng::new(cfg.seed),
+            links,
+            calendar: BinaryHeap::new(),
+            next_seq: 0,
+            link_clock: BTreeMap::new(),
+            clients,
+            oracle: Oracle::new(),
+            next_txn: 1,
+            checkpoints: BTreeMap::new(),
+            replay_log: BTreeMap::new(),
+            ops: Vec::new(),
+            timeline: Vec::new(),
+            node_events: node_events.into_iter().collect(),
+            retries: 0,
+            retransmits: 0,
+            client_drops: 0,
+            deliveries: 0,
+            recoveries: 0,
+            now: 0,
+        })
+    }
+
+    fn push(&mut self, t: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.calendar.push(Reverse(Event { t, seq, kind }));
+    }
+
+    fn all_done(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|c| c.done >= self.cfg.refs_per_client)
+    }
+
+    fn drive(&mut self) -> Result<(), String> {
+        // Crash restarts and checkpoint ticks get the lowest sequence
+        // numbers so they sort before same-instant deliveries.
+        let crashes = self.cfg.faults.crashes.clone();
+        for c in &crashes {
+            self.push(c.at + c.down_for, EventKind::Restart(c.node));
+        }
+        if self.cfg.faults.checkpoint_every > 0 {
+            let t = self.cfg.faults.checkpoint_every;
+            self.push(t, EventKind::CheckpointTick);
+        }
+        for k in 0..self.cfg.caches {
+            self.push(0, EventKind::ClientIssue(k));
+        }
+
+        let mut processed: u64 = 0;
+        while let Some(Reverse(ev)) = self.calendar.pop() {
+            processed += 1;
+            if processed > self.cfg.max_events {
+                return Err(format!(
+                    "livelock: {} events without quiescence (done: {:?})",
+                    processed,
+                    self.clients.iter().map(|c| c.done).collect::<Vec<_>>()
+                ));
+            }
+            debug_assert!(ev.t >= self.now, "calendar went backwards");
+            self.now = ev.t;
+            match ev.kind {
+                EventKind::Deliver(env) => self.on_deliver(env)?,
+                EventKind::ClientIssue(k) => self.on_issue(k),
+                EventKind::ClientTimeout { client, txn } => self.on_timeout(client, txn),
+                EventKind::Restart(node) => self.on_restart(node)?,
+                EventKind::CheckpointTick => self.on_checkpoint_tick()?,
+            }
+        }
+        if self.all_done() {
+            Ok(())
+        } else {
+            Err(format!(
+                "calendar drained early (done: {:?})",
+                self.clients.iter().map(|c| c.done).collect::<Vec<_>>()
+            ))
+        }
+    }
+
+    // -- workload ----------------------------------------------------------
+
+    fn gen_op(&mut self, k: usize) -> MemRef {
+        let is_static = self.cfg.scheme == "static-sw";
+        let c = &mut self.clients[k];
+        let is_write = c.rng.chance(self.cfg.write_permille);
+        let block = if is_static {
+            // The static scheme's contract: blocks below `shared_from`
+            // are private (one writer), blocks at or above are public
+            // (never cached). Give each client a disjoint private strip.
+            if c.rng.chance(400) {
+                self.cfg.shared_from + c.rng.below(8)
+            } else {
+                (k as u64) * 4 + c.rng.below(4)
+            }
+        } else {
+            c.rng.below(self.cfg.blocks.max(1))
+        };
+        let addr = WordAddr::new(block, 0);
+        if is_write {
+            MemRef::write(addr)
+        } else {
+            MemRef::read(addr)
+        }
+    }
+
+    fn on_issue(&mut self, k: usize) {
+        if self.clients[k].done >= self.cfg.refs_per_client {
+            return;
+        }
+        debug_assert!(self.clients[k].outstanding.is_none());
+        let op = self.gen_op(k);
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let sv = match op.kind {
+            AccessKind::Write => Some(self.oracle.fresh_version()),
+            AccessKind::Read => None,
+        };
+        let backoff = self.cfg.faults.client_timeout;
+        self.clients[k].outstanding = Some(Outstanding {
+            txn,
+            op,
+            sv,
+            invoked: self.now,
+            retries: 0,
+            backoff,
+        });
+        self.send_client_req(k);
+        self.push(
+            self.now + backoff,
+            EventKind::ClientTimeout { client: k, txn },
+        );
+    }
+
+    fn send_client_req(&mut self, k: usize) {
+        let o = self.clients[k].outstanding.as_ref().expect("outstanding");
+        let env = Envelope {
+            src: Actor::Client(k),
+            dst: Actor::Cache(k),
+            payload: Payload::ClientReq {
+                txn: TxnId::new(o.txn),
+                op: o.op,
+                sv: o.sv,
+            },
+        };
+        if self.rng.chance(self.cfg.faults.client_drop_permille) {
+            self.client_drops += 1;
+            return;
+        }
+        let t = self.now + 1;
+        self.push(t, EventKind::Deliver(env));
+    }
+
+    fn on_timeout(&mut self, k: usize, txn: u64) {
+        let Some(o) = self.clients[k].outstanding.as_mut() else {
+            return; // already answered
+        };
+        if o.txn != txn {
+            return; // stale timer
+        }
+        o.retries += 1;
+        // Exponential backoff, capped so a long partition cannot push
+        // the next probe arbitrarily far past the heal.
+        o.backoff = (o.backoff * 2).min(self.cfg.faults.client_timeout * 8);
+        let backoff = o.backoff;
+        self.retries += 1;
+        self.send_client_req(k);
+        self.push(
+            self.now + backoff,
+            EventKind::ClientTimeout { client: k, txn },
+        );
+    }
+
+    fn on_client_resp(&mut self, k: usize, txn: TxnId, observed: Version, was_hit: bool) {
+        let Some(o) = self.clients[k].outstanding.as_ref() else {
+            return; // duplicate response after completion
+        };
+        if o.txn != txn.raw() {
+            return;
+        }
+        let o = self.clients[k].outstanding.take().expect("checked");
+        self.ops.push(OpRecord {
+            client: k,
+            txn: o.txn,
+            block: o.op.addr.block.number(),
+            kind: o.op.kind,
+            invoked: o.invoked,
+            completed: self.now,
+            version: observed.raw(),
+            was_hit,
+            retries: o.retries,
+        });
+        self.clients[k].done += 1;
+        if self.clients[k].done < self.cfg.refs_per_client {
+            self.push(self.now + 1, EventKind::ClientIssue(k));
+        }
+    }
+
+    // -- network -----------------------------------------------------------
+
+    /// When `node` is down at time `t`, the virtual instant it is back.
+    fn down_until(&self, node: Actor, t: u64) -> Option<u64> {
+        self.cfg
+            .faults
+            .crashes
+            .iter()
+            .filter(|c| c.node == node && t >= c.at && t < c.at + c.down_for)
+            .map(|c| c.at + c.down_for)
+            .max()
+    }
+
+    /// Computes the delivery time for an inter-node hop sent now.
+    fn hop_delay(&mut self, src: Actor, dst: Actor) -> u64 {
+        let f = &self.cfg.faults;
+        let mut t = self.now + f.link_delay + self.rng.below(f.jitter + 1);
+        let mut hops = 0;
+        while hops < 20 && self.rng.chance(f.drop_permille) {
+            t += f.retransmit_delay.max(1);
+            self.retransmits += 1;
+            hops += 1;
+        }
+        for p in &f.partitions {
+            if self.now >= p.start && self.now < p.heal && p.separates(src, dst) {
+                t = t.max(p.heal + f.link_delay);
+            }
+        }
+        if let Some(up) = self.down_until(dst, t) {
+            t = up;
+        }
+        // FIFO clamp: a link never reorders against itself.
+        let clock = self.link_clock.entry((src, dst)).or_insert(0);
+        t = t.max(*clock);
+        *clock = t;
+        t
+    }
+
+    fn route(&mut self, env: Envelope) {
+        match env.dst {
+            Actor::Client(_) => {
+                if self.rng.chance(self.cfg.faults.client_drop_permille) {
+                    self.client_drops += 1;
+                    return;
+                }
+                let t = self.now + 1;
+                self.push(t, EventKind::Deliver(env));
+            }
+            _ => {
+                let t = self.hop_delay(env.src, env.dst);
+                self.push(t, EventKind::Deliver(env));
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, env: Envelope) -> Result<(), String> {
+        // A message reaching a node inside its crash window waits for
+        // the restart (the restart event carries an earlier sequence
+        // number, so the rebuilt node is up before this re-fires).
+        if let Some(up) = self.down_until(env.dst, self.now) {
+            self.push(up, EventKind::Deliver(env));
+            return Ok(());
+        }
+        self.deliveries += 1;
+        if let Actor::Client(k) = env.dst {
+            if let Payload::ClientResp {
+                txn,
+                observed,
+                was_hit,
+            } = env.payload
+            {
+                self.timeline.push(
+                    obj([
+                        ("t", num_u64(self.now)),
+                        ("dst", Json::Str(env.dst.to_string())),
+                        ("env", envelope_json(&env)),
+                    ])
+                    .to_json(),
+                );
+                self.on_client_resp(k, txn, observed, was_hit);
+                return Ok(());
+            }
+            return Err(format!(
+                "client got non-response payload {}",
+                env.payload.kind()
+            ));
+        }
+
+        self.timeline.push(
+            obj([
+                ("t", num_u64(self.now)),
+                ("dst", Json::Str(env.dst.to_string())),
+                ("env", envelope_json(&env)),
+            ])
+            .to_json(),
+        );
+        let who = env.dst;
+        let req = Request::Deliver {
+            now: self.now,
+            replay: false,
+            env: env.clone(),
+        };
+        let link = self.links.get_mut(&who).expect("known node");
+        let resp = link.rpc(who, &req)?;
+        self.replay_log
+            .entry(who)
+            .or_default()
+            .push((self.now, env));
+        match resp {
+            Response::DeliverOk { outputs, events } => {
+                for line in events {
+                    self.timeline.push(line.clone());
+                    self.node_events.entry(who).or_default().push(line);
+                }
+                for out in outputs {
+                    self.route(out);
+                }
+                Ok(())
+            }
+            Response::Error { msg } => Err(format!("{who}: {msg}")),
+            other => Err(format!("{who}: unexpected reply {other:?}")),
+        }
+    }
+
+    // -- faults ------------------------------------------------------------
+
+    fn on_restart(&mut self, node: Actor) -> Result<(), String> {
+        self.recoveries += 1;
+        self.timeline.push(
+            obj([
+                ("t", num_u64(self.now)),
+                ("dst", Json::Str(node.to_string())),
+                ("restart", Json::Bool(true)),
+            ])
+            .to_json(),
+        );
+        // The crashed instance is gone; build a fresh one…
+        if let Some(old) = self.links.get_mut(&node) {
+            old.kill();
+        }
+        let node_cfg = NodeConfig {
+            role: node,
+            scheme: self.cfg.scheme.clone(),
+            caches: self.cfg.caches,
+            modules: self.cfg.modules,
+            sets: self.cfg.sets,
+            assoc: self.cfg.assoc,
+            block_words: self.cfg.block_words,
+            shared_from: self.cfg.shared_from,
+            bias_entries: self.cfg.bias_entries,
+            tlb_entries: self.cfg.tlb_entries,
+        };
+        let mut link = spawn_link(&self.cfg.mode, &node_cfg)?;
+        // …restore the last checkpoint…
+        if let Some(state) = self.checkpoints.get(&node) {
+            match link.rpc(
+                node,
+                &Request::Restore {
+                    state: state.clone(),
+                },
+            )? {
+                Response::RestoreOk => {}
+                other => return Err(format!("{node}: restore failed: {other:?}")),
+            }
+        }
+        // …and replay the deliveries logged since. The node recomputes
+        // identical outputs; they were already routed before the crash,
+        // so the driver discards them.
+        for (t, env) in self.replay_log.get(&node).cloned().unwrap_or_default() {
+            let req = Request::Deliver {
+                now: t,
+                replay: true,
+                env,
+            };
+            match link.rpc(node, &req)? {
+                Response::DeliverOk { .. } => {}
+                other => return Err(format!("{node}: replay failed: {other:?}")),
+            }
+        }
+        self.links.insert(node, link);
+        Ok(())
+    }
+
+    fn on_checkpoint_tick(&mut self) -> Result<(), String> {
+        let nodes: Vec<Actor> = self.links.keys().copied().collect();
+        for node in nodes {
+            if self.down_until(node, self.now).is_some() {
+                continue; // don't checkpoint a node that is mid-crash
+            }
+            let link = self.links.get_mut(&node).expect("known node");
+            match link.rpc(node, &Request::Checkpoint)? {
+                Response::CheckpointOk { state } => {
+                    self.checkpoints.insert(node, state);
+                    self.replay_log.entry(node).or_default().clear();
+                }
+                other => return Err(format!("{node}: checkpoint failed: {other:?}")),
+            }
+        }
+        if !self.all_done() {
+            let t = self.now + self.cfg.faults.checkpoint_every;
+            self.push(t, EventKind::CheckpointTick);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic fault injection: the knobs and the randomness they draw
+//! from.
+//!
+//! All faults are *driver-side*: the driver owns every link, so delay,
+//! reordering, loss, partitions, and crashes are decisions it makes when
+//! scheduling a delivery — nodes stay deterministic and the whole run is
+//! reproducible from `(config, seed)` alone (DESIGN.md §9).
+//!
+//! Two loss models coexist:
+//!
+//! * **Inter-node links** are reliable FIFO channels. A "dropped" frame
+//!   is modeled as the retransmission the real channel would perform:
+//!   a per-drop latency penalty, never an actual loss. This keeps the
+//!   coherence protocols' in-order-delivery assumption intact while
+//!   still exercising delay and cross-link reordering.
+//! * **The client edge** (driver-resident client ↔ its cache node) is
+//!   genuinely lossy: requests and responses vanish, and the client
+//!   recovers by retrying with the same transaction id (idempotent) under
+//!   exponential backoff.
+
+use crate::wire::Actor;
+
+/// SplitMix64 — the workspace's standard seedable generator for places
+/// that need cheap deterministic streams (same recurrence the workload
+/// crate uses).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds a stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n == 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// `true` with probability `permille`/1000.
+    pub fn chance(&mut self, permille: u64) -> bool {
+        self.below(1000) < permille
+    }
+}
+
+/// A network partition: for virtual times in `start..heal`, messages
+/// between `group` and everyone else are held and delivered after the
+/// cut heals. (Held, not lost: the links are reliable, so a partition is
+/// an extreme delay.)
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// First virtual time of the cut.
+    pub start: u64,
+    /// Virtual time the cut heals.
+    pub heal: u64,
+    /// One side of the cut; the other side is everyone else.
+    pub group: Vec<Actor>,
+}
+
+impl Partition {
+    /// Whether the cut separates `x` and `y`.
+    #[must_use]
+    pub fn separates(&self, x: Actor, y: Actor) -> bool {
+        self.group.contains(&x) != self.group.contains(&y)
+    }
+}
+
+/// A node crash: at virtual time `at` the node loses all state acquired
+/// since its last checkpoint; it is back at `at + down_for`, rebuilt by
+/// the driver from the checkpoint plus a replay of logged deliveries.
+#[derive(Debug, Clone)]
+pub struct Crash {
+    /// Crash instant.
+    pub at: u64,
+    /// The victim ([`Actor::Cache`] or [`Actor::Module`]).
+    pub node: Actor,
+    /// Downtime; deliveries due in the window wait for the restart.
+    pub down_for: u64,
+}
+
+/// The complete fault plan for a run.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Base inter-node delivery delay (virtual time units).
+    pub link_delay: u64,
+    /// Extra uniform delay in `0..=jitter` per hop — this is what makes
+    /// messages on *different* links reorder against each other.
+    pub jitter: u64,
+    /// Per-hop probability (‰) that a frame needs retransmission.
+    pub drop_permille: u64,
+    /// Latency added per retransmission.
+    pub retransmit_delay: u64,
+    /// Probability (‰) that a client-edge message is truly lost.
+    pub client_drop_permille: u64,
+    /// Client retry timeout before the first backoff doubling.
+    pub client_timeout: u64,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crashes.
+    pub crashes: Vec<Crash>,
+    /// Checkpoint cadence (virtual time; 0 = only the initial implicit
+    /// checkpoint, i.e. crash recovery replays from the beginning).
+    pub checkpoint_every: u64,
+}
+
+impl FaultConfig {
+    /// A fault-free plan (pure distribution, no adversity).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            link_delay: 3,
+            jitter: 0,
+            drop_permille: 0,
+            retransmit_delay: 0,
+            client_drop_permille: 0,
+            client_timeout: 500,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            checkpoint_every: 0,
+        }
+    }
+
+    /// The standard adversarial plan used by tests and the smoke run:
+    /// jittered delays (reordering), retransmitted drops, a lossy client
+    /// edge, and one partition that cuts `group` off and heals.
+    #[must_use]
+    pub fn adversarial(group: Vec<Actor>, start: u64, heal: u64) -> Self {
+        FaultConfig {
+            link_delay: 3,
+            jitter: 5,
+            drop_permille: 50,
+            retransmit_delay: 7,
+            client_drop_permille: 30,
+            client_timeout: 600,
+            partitions: vec![Partition { start, heal, group }],
+            crashes: Vec::new(),
+            checkpoint_every: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spreads() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let draws: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(draws, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+        let mut c = Rng::new(43);
+        assert_ne!(draws[0], c.next_u64());
+    }
+
+    #[test]
+    fn partition_separates_across_the_cut_only() {
+        let p = Partition {
+            start: 10,
+            heal: 20,
+            group: vec![Actor::Cache(0), Actor::Module(0)],
+        };
+        assert!(p.separates(Actor::Cache(0), Actor::Cache(1)));
+        assert!(p.separates(Actor::Cache(1), Actor::Module(0)));
+        assert!(!p.separates(Actor::Cache(0), Actor::Module(0)));
+        assert!(!p.separates(Actor::Cache(1), Actor::Module(1)));
+    }
+}

@@ -1,0 +1,277 @@
+//! Linearizability checking for the recorded client history.
+//!
+//! The fleet's correctness claim is end-to-end: whatever the fault plan
+//! did to the messages, the history of client operations must be
+//! *linearizable* — there must exist a total order of the operations,
+//! consistent with real time (an operation that completed before another
+//! was invoked comes first), in which every read returns the version of
+//! the latest preceding write.
+//!
+//! Structure that keeps the search tractable:
+//!
+//! * Blocks are independent registers, so each block is checked alone.
+//! * Each client is *blocking* (one outstanding reference), so a client's
+//!   operations are already totally ordered; a linearization is an
+//!   interleaving of per-client sequences, and the search state is just
+//!   a prefix vector plus the current version.
+//! * Store versions are globally unique (the driver's oracle issues
+//!   them), so a read pins exactly which write precedes it.
+//!
+//! The found linearization is then replayed through the simulator's own
+//! [`Oracle`] as an independent cross-check: the distributed service and
+//! the shared-memory reference implementation must agree on what every
+//! read was allowed to return.
+
+use std::collections::{BTreeMap, HashSet};
+
+use twobit_core::Oracle;
+use twobit_types::{AccessKind, BlockAddr, CacheId, Version};
+
+/// One completed client operation, as recorded by the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Issuing client (= its cache index).
+    pub client: usize,
+    /// Idempotency key the op was retried under.
+    pub txn: u64,
+    /// The block addressed.
+    pub block: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Virtual time of the *first* issue (invocation).
+    pub invoked: u64,
+    /// Virtual time the response was accepted (completion).
+    pub completed: u64,
+    /// Version observed (loads) or published (stores).
+    pub version: u64,
+    /// Whether the cache satisfied it without a directory transaction.
+    pub was_hit: bool,
+    /// Retries the client needed (0 = first send answered).
+    pub retries: u64,
+}
+
+/// Outcome of a successful check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearizationReport {
+    /// Operations checked.
+    pub ops: usize,
+    /// Distinct blocks touched.
+    pub blocks: usize,
+    /// Search states visited across all blocks (effort indicator).
+    pub states_visited: usize,
+}
+
+/// Verifies that `history` is linearizable and that the simulator's
+/// oracle accepts the witness order.
+///
+/// # Errors
+///
+/// Describes the first block whose operations admit no valid
+/// linearization, or (should the checker itself be wrong) an oracle
+/// complaint about the witness.
+pub fn check_history(history: &[OpRecord]) -> Result<LinearizationReport, String> {
+    let mut per_block: BTreeMap<u64, Vec<&OpRecord>> = BTreeMap::new();
+    for op in history {
+        per_block.entry(op.block).or_default().push(op);
+    }
+    let mut states_visited = 0;
+    for (block, ops) in &per_block {
+        let witness = linearize_block(*block, ops, &mut states_visited)?;
+        replay_through_oracle(*block, &witness)?;
+    }
+    Ok(LinearizationReport {
+        ops: history.len(),
+        blocks: per_block.len(),
+        states_visited,
+    })
+}
+
+/// Finds a linearization of one block's operations, or proves none
+/// exists.
+fn linearize_block<'h>(
+    block: u64,
+    ops: &[&'h OpRecord],
+    states_visited: &mut usize,
+) -> Result<Vec<&'h OpRecord>, String> {
+    // Per-client sequences, in invocation order (clients are blocking, so
+    // invocation order == completion order within a client).
+    let mut lanes: Vec<Vec<&OpRecord>> = Vec::new();
+    {
+        let mut by_client: BTreeMap<usize, Vec<&OpRecord>> = BTreeMap::new();
+        for op in ops {
+            by_client.entry(op.client).or_default().push(op);
+        }
+        for (_, mut lane) in by_client {
+            lane.sort_by_key(|o| o.invoked);
+            lanes.push(lane);
+        }
+    }
+
+    // Iterative DFS over (prefix vector, current version) states.
+    let initial = Version::initial().raw();
+    let mut seen: HashSet<(Vec<usize>, u64)> = HashSet::new();
+    // Each stack frame: (prefix vector, current version, chosen so far).
+    let mut stack = vec![(vec![0usize; lanes.len()], initial, Vec::new())];
+    while let Some((prefix, current, chosen)) = stack.pop() {
+        if chosen.len() == ops.len() {
+            return Ok(chosen);
+        }
+        if !seen.insert((prefix.clone(), current)) {
+            continue;
+        }
+        *states_visited += 1;
+        // Real-time rule: the next linearized op must have been invoked
+        // no later than the earliest completion among remaining ops —
+        // otherwise some other op finished entirely before it began.
+        let min_ret = lanes
+            .iter()
+            .zip(&prefix)
+            .filter_map(|(lane, &i)| lane.get(i).map(|o| o.completed))
+            .min()
+            .unwrap_or(u64::MAX);
+        for (c, lane) in lanes.iter().enumerate() {
+            let Some(op) = lane.get(prefix[c]) else {
+                continue;
+            };
+            if op.invoked > min_ret {
+                continue;
+            }
+            let next_version = match op.kind {
+                AccessKind::Read => {
+                    if op.version != current {
+                        continue; // would observe the wrong version
+                    }
+                    current
+                }
+                AccessKind::Write => op.version,
+            };
+            let mut p = prefix.clone();
+            p[c] += 1;
+            let mut ch: Vec<&OpRecord> = chosen.clone();
+            ch.push(op);
+            stack.push((p, next_version, ch));
+        }
+    }
+    // Render the conflicting history so a failure is diagnosable from
+    // the message alone.
+    let mut dump: Vec<&OpRecord> = ops.to_vec();
+    dump.sort_by_key(|o| o.invoked);
+    let lines: Vec<String> = dump
+        .iter()
+        .map(|o| {
+            format!(
+                "  C{} {:?} v{} inv={} ret={} txn={}",
+                o.client, o.kind, o.version, o.invoked, o.completed, o.txn
+            )
+        })
+        .collect();
+    Err(format!(
+        "block {block}: no linearization exists for {} operations:\n{}",
+        ops.len(),
+        lines.join("\n")
+    ))
+}
+
+/// Replays a witness order through a fresh [`Oracle`].
+fn replay_through_oracle(block: u64, witness: &[&OpRecord]) -> Result<(), String> {
+    let a = BlockAddr::new(block);
+    let mut oracle = Oracle::new();
+    for op in witness {
+        match op.kind {
+            AccessKind::Write => oracle.record_write(a, Version::new(op.version)),
+            AccessKind::Read => oracle
+                .check_read(CacheId::new(op.client), a, Version::new(op.version))
+                .map_err(|e| format!("oracle rejects witness: {e}"))?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(client: usize, kind: AccessKind, invoked: u64, completed: u64, version: u64) -> OpRecord {
+        OpRecord {
+            client,
+            txn: invoked, // unique enough for tests
+            block: 0,
+            kind,
+            invoked,
+            completed,
+            version,
+            was_hit: false,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            op(0, AccessKind::Write, 0, 10, 1),
+            op(1, AccessKind::Read, 20, 30, 1),
+            op(0, AccessKind::Write, 40, 50, 2),
+            op(1, AccessKind::Read, 60, 70, 2),
+        ];
+        let r = check_history(&h).unwrap();
+        assert_eq!(r.ops, 4);
+        assert_eq!(r.blocks, 1);
+    }
+
+    #[test]
+    fn concurrent_read_may_see_old_or_new() {
+        // Write (10..50) concurrent with a read (20..30): the read may
+        // see either the initial version or the new one.
+        for observed in [Version::initial().raw(), 9] {
+            let h = vec![
+                op(0, AccessKind::Write, 10, 50, 9),
+                op(1, AccessKind::Read, 20, 30, observed),
+            ];
+            check_history(&h).unwrap();
+        }
+    }
+
+    #[test]
+    fn stale_read_after_write_completed_is_rejected() {
+        // The write completed (t=10) strictly before the read began
+        // (t=20): the read may not observe the initial version.
+        let h = vec![
+            op(0, AccessKind::Write, 0, 10, 9),
+            op(1, AccessKind::Read, 20, 30, Version::initial().raw()),
+        ];
+        let err = check_history(&h).unwrap_err();
+        assert!(err.contains("no linearization"), "{err}");
+    }
+
+    #[test]
+    fn read_of_never_written_version_is_rejected() {
+        let h = vec![op(1, AccessKind::Read, 0, 5, 77)];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn real_time_order_between_clients_is_enforced() {
+        // c0 writes v1 then v2 (both complete); c1's later read must not
+        // return v1.
+        let h = vec![
+            op(0, AccessKind::Write, 0, 10, 1),
+            op(0, AccessKind::Write, 20, 30, 2),
+            op(1, AccessKind::Read, 40, 50, 1),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn blocks_are_independent_registers() {
+        let mut h = vec![
+            op(0, AccessKind::Write, 0, 10, 1),
+            op(1, AccessKind::Read, 20, 30, 1),
+        ];
+        h.push(OpRecord {
+            block: 7,
+            ..op(1, AccessKind::Write, 5, 15, 2)
+        });
+        let r = check_history(&h).unwrap();
+        assert_eq!(r.blocks, 2);
+    }
+}

@@ -1,0 +1,1069 @@
+//! Node-side logic: one cache controller or one memory module wrapped in
+//! a message-in/messages-out step function.
+//!
+//! A node is deterministic and passive: it never spontaneously emits
+//! anything, it only reacts to [`Request::Deliver`]. All ordering, time,
+//! and fault behavior live in the driver; crash-recovery replay therefore
+//! reproduces node state exactly by re-delivering the logged inputs.
+//!
+//! # The invalidation-acknowledgment barrier
+//!
+//! In the shared-memory simulator a broadcast invalidation takes effect
+//! in the same quiescence step as the grant it precedes. Over a real
+//! network that atomicity is gone: a `GETDATA` grant could race ahead of
+//! the `BROADINV` that justifies it, letting a stale copy satisfy a read
+//! *after* a newer write completed — an un-linearizable history. The
+//! memory node therefore withholds every completion message (`GETDATA`,
+//! `MGRANTED`, and the synthesized [`Payload::WtAck`]) for a block until
+//! each invalidation it issued for that block has been acknowledged with
+//! [`Payload::InvAck`]. Commands for the blocked address arriving in the
+//! window are deferred FIFO and submitted after release (DESIGN.md §9).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use twobit_core::snapshot as codec;
+use twobit_core::{
+    build_policy_for, build_protocol_for, CacheAgent, Completion, Controller, CtrlEmit,
+};
+use twobit_obs::json::{num_u64, obj, Json};
+use twobit_obs::{ActorId, SimEvent};
+use twobit_types::{
+    AddressMap, BlockAddr, CacheId, CacheOrg, CacheToMemory, ControllerConcurrency, MemoryToCache,
+    ModuleId, ProtocolKind, SystemConfig, TxnId, Version,
+};
+
+use crate::wire::{Actor, Envelope, NodeConfig, Payload, Request, Response};
+
+/// Maps a scheme name (as carried in [`NodeConfig::scheme`]) to its
+/// [`ProtocolKind`].
+///
+/// # Errors
+///
+/// Rejects unknown names and the bus-snooping protocols (they need a
+/// shared bus, which the star-routed fleet does not model).
+pub fn scheme_kind(name: &str, tlb_entries: u32) -> Result<ProtocolKind, String> {
+    match name {
+        "two-bit" => Ok(ProtocolKind::TwoBit),
+        "two-bit+tlb" => Ok(ProtocolKind::TwoBitTlb {
+            entries: tlb_entries.max(1),
+        }),
+        "full-map" => Ok(ProtocolKind::FullMap),
+        "full-map+local" => Ok(ProtocolKind::FullMapLocal),
+        "classical-wt" => Ok(ProtocolKind::ClassicalWriteThrough),
+        "static-sw" => Ok(ProtocolKind::StaticSoftware),
+        other => Err(format!("scheme `{other}` cannot run distributed")),
+    }
+}
+
+fn block_of_c2m(cmd: &CacheToMemory) -> BlockAddr {
+    match *cmd {
+        CacheToMemory::Request { a, .. }
+        | CacheToMemory::MRequest { a, .. }
+        | CacheToMemory::PutData { a, .. }
+        | CacheToMemory::WriteThrough { a, .. }
+        | CacheToMemory::DirectRead { a, .. } => a,
+        CacheToMemory::Eject { olda, .. } => olda,
+    }
+}
+
+fn block_of_m2c(cmd: &MemoryToCache) -> BlockAddr {
+    match *cmd {
+        MemoryToCache::GetData { a, .. }
+        | MemoryToCache::BroadInv { a, .. }
+        | MemoryToCache::BroadQuery { a, .. }
+        | MemoryToCache::MGranted { a, .. }
+        | MemoryToCache::Inv { a, .. }
+        | MemoryToCache::Purge { a, .. } => a,
+    }
+}
+
+/// Either half of the fleet, behind one step interface.
+#[derive(Debug)]
+pub enum Node {
+    /// A cache-controller node.
+    Cache(CacheNode),
+    /// A memory-module node.
+    Mem(MemNode),
+}
+
+impl Node {
+    /// Builds a node from its init configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bad schemes, bad cache organizations, and client roles
+    /// (clients live inside the driver).
+    pub fn new(cfg: &NodeConfig) -> Result<Node, String> {
+        let kind = scheme_kind(&cfg.scheme, cfg.tlb_entries)?;
+        match cfg.role {
+            Actor::Cache(k) => {
+                if k >= cfg.caches {
+                    return Err(format!("cache index {k} out of range"));
+                }
+                let org = CacheOrg::new(cfg.sets, cfg.assoc, cfg.block_words)
+                    .map_err(|e| format!("bad cache organization: {e:?}"))?;
+                let mut agent = CacheAgent::new(
+                    CacheId::new(k),
+                    org,
+                    build_policy_for(kind, cfg.shared_from),
+                    false,
+                );
+                agent.set_bias_entries(cfg.bias_entries);
+                Ok(Node::Cache(CacheNode {
+                    agent,
+                    id: k,
+                    map: AddressMap::interleaved(cfg.modules),
+                    current: None,
+                    held: None,
+                    done: BTreeMap::new(),
+                }))
+            }
+            Actor::Module(j) => {
+                if j >= cfg.modules {
+                    return Err(format!("module index {j} out of range"));
+                }
+                let sys = SystemConfig::with_defaults(cfg.caches).with_protocol(kind);
+                let ctrl = Controller::new(
+                    ModuleId::new(j),
+                    build_protocol_for(&sys),
+                    cfg.caches,
+                    ControllerConcurrency::PerBlock,
+                );
+                Ok(Node::Mem(MemNode {
+                    ctrl,
+                    module: j,
+                    caches: cfg.caches,
+                    next_barrier: 1,
+                    gates: BTreeMap::new(),
+                }))
+            }
+            Actor::Client(_) => Err("clients run inside the driver, not as nodes".into()),
+        }
+    }
+
+    /// Processes one control request. `Init` is handled by the caller
+    /// (it is what constructs the node); here it is an error.
+    pub fn handle(&mut self, req: &Request) -> Response {
+        match req {
+            Request::Init(_) => Response::Error {
+                msg: "node already initialized".into(),
+            },
+            Request::Deliver { now, env, .. } => {
+                // `replay` does not change node behavior: the node is
+                // deterministic, so re-delivering the logged inputs
+                // rebuilds the state; the *driver* discards the outputs.
+                let r = match self {
+                    Node::Cache(n) => n.deliver(*now, env),
+                    Node::Mem(n) => n.deliver(*now, env),
+                };
+                match r {
+                    Ok((outputs, events)) => Response::DeliverOk { outputs, events },
+                    Err(msg) => Response::Error { msg },
+                }
+            }
+            Request::Checkpoint => Response::CheckpointOk {
+                state: match self {
+                    Node::Cache(n) => n.save_state(),
+                    Node::Mem(n) => n.save_state(),
+                },
+            },
+            Request::Restore { state } => {
+                let r = match self {
+                    Node::Cache(n) => n.restore_state(state),
+                    Node::Mem(n) => n.restore_state(state),
+                };
+                match r {
+                    Ok(()) => Response::RestoreOk,
+                    Err(msg) => Response::Error { msg },
+                }
+            }
+            Request::Shutdown => Response::ShutdownOk,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache node
+// ---------------------------------------------------------------------------
+
+/// One cache controller as a network service.
+///
+/// Wraps the simulator's [`CacheAgent`] with the client-edge idempotency
+/// layer: the client↔cache edge is at-least-once (the driver retries on
+/// timeout), so the node keeps a table of completed transactions and
+/// answers duplicates from it without re-executing.
+#[derive(Debug)]
+pub struct CacheNode {
+    agent: CacheAgent,
+    id: usize,
+    map: AddressMap,
+    /// The transaction being serviced, if any. Set from `ClientReq`
+    /// until its `ClientResp` is emitted; duplicate requests for it are
+    /// dropped (the reply will reach the client when ready).
+    current: Option<TxnId>,
+    /// A completed write-through store whose `ClientResp` waits for the
+    /// memory node's [`Payload::WtAck`] (global visibility). At most one:
+    /// the client is blocking.
+    held: Option<HeldResp>,
+    /// Completed transactions, for duplicate-request replay.
+    done: BTreeMap<u64, (Version, bool)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeldResp {
+    sv: Version,
+    txn: TxnId,
+    observed: Version,
+    was_hit: bool,
+}
+
+impl CacheNode {
+    fn me(&self) -> Actor {
+        Actor::Cache(self.id)
+    }
+
+    fn actor_id(&self) -> ActorId {
+        ActorId::Cache(CacheId::new(self.id))
+    }
+
+    fn route(&self, cmd: CacheToMemory) -> Envelope {
+        let module = self.map.module_of(block_of_c2m(&cmd)).index();
+        Envelope {
+            src: self.me(),
+            dst: Actor::Module(module),
+            payload: Payload::ToMemory { cmd },
+        }
+    }
+
+    fn respond(&mut self, txn: TxnId, observed: Version, was_hit: bool) -> Envelope {
+        self.done.insert(txn.raw(), (observed, was_hit));
+        self.current = None;
+        Envelope {
+            src: self.me(),
+            dst: Actor::Client(self.id),
+            payload: Payload::ClientResp {
+                txn,
+                observed,
+                was_hit,
+            },
+        }
+    }
+
+    fn complete(&mut self, c: &Completion, outputs: &mut Vec<Envelope>) -> Result<(), String> {
+        let txn = self
+            .current
+            .ok_or("completion with no transaction in flight")?;
+        outputs.push(self.respond(txn, c.observed, c.was_hit));
+        Ok(())
+    }
+
+    fn deliver(
+        &mut self,
+        now: u64,
+        env: &Envelope,
+    ) -> Result<(Vec<Envelope>, Vec<String>), String> {
+        let mut outputs = Vec::new();
+        let mut events = Vec::new();
+        match &env.payload {
+            Payload::ClientReq { txn, op, sv } => {
+                if let Some(&(observed, was_hit)) = self.done.get(&txn.raw()) {
+                    // Duplicate of a completed transaction: replay the
+                    // answer, touch nothing.
+                    outputs.push(Envelope {
+                        src: self.me(),
+                        dst: Actor::Client(self.id),
+                        payload: Payload::ClientResp {
+                            txn: *txn,
+                            observed,
+                            was_hit,
+                        },
+                    });
+                    return Ok((outputs, events));
+                }
+                if self.current == Some(*txn) {
+                    // Duplicate of the in-flight transaction: the answer
+                    // is on its way; drop the retry.
+                    return Ok((outputs, events));
+                }
+                if let Some(busy) = self.current {
+                    return Err(format!(
+                        "C{}: new txn {} while {} in flight",
+                        self.id,
+                        txn.raw(),
+                        busy.raw()
+                    ));
+                }
+                self.current = Some(*txn);
+                let store_version = sv.unwrap_or(Version::new(0));
+                let out = self.agent.start(*op, store_version);
+                events.push(
+                    SimEvent::new(
+                        now,
+                        self.actor_id(),
+                        op.addr.block,
+                        format!("txn {} {:?} start", txn.raw(), op.kind),
+                    )
+                    .to_jsonl(),
+                );
+                // A fire-and-forget store (write-through policy or a
+                // static-scheme public store) retires locally but is not
+                // globally visible until memory confirms it; hold the
+                // client response for the WtAck.
+                let through = out.sends.iter().any(|s| {
+                    matches!(s, CacheToMemory::WriteThrough { version, .. } if *version == store_version)
+                });
+                for send in out.sends {
+                    outputs.push(self.route(send));
+                }
+                if let Some(c) = out.completed {
+                    if through {
+                        self.held = Some(HeldResp {
+                            sv: store_version,
+                            txn: *txn,
+                            observed: c.observed,
+                            was_hit: c.was_hit,
+                        });
+                    } else {
+                        self.complete(&c, &mut outputs)?;
+                    }
+                }
+            }
+            Payload::ToCache { cmd, ack } => {
+                events.push(
+                    SimEvent::new(
+                        now,
+                        self.actor_id(),
+                        block_of_m2c(cmd),
+                        format!("deliver {cmd}"),
+                    )
+                    .to_jsonl(),
+                );
+                let out = self
+                    .agent
+                    .on_network(*cmd)
+                    .map_err(|e| format!("C{}: {e}", self.id))?;
+                for send in out.sends {
+                    outputs.push(self.route(send));
+                }
+                // The ack goes after the responses the command provoked,
+                // so a PUT supplied by a purge is already on the (FIFO)
+                // link when the barrier releases.
+                if let Some(barrier) = ack {
+                    outputs.push(Envelope {
+                        src: self.me(),
+                        dst: env.src,
+                        payload: Payload::InvAck { barrier: *barrier },
+                    });
+                }
+                if let Some(c) = out.completed {
+                    self.complete(&c, &mut outputs)?;
+                }
+            }
+            Payload::WtAck { sv } => {
+                let held = self
+                    .held
+                    .take()
+                    .ok_or_else(|| format!("C{}: WtAck with nothing held", self.id))?;
+                if held.sv != *sv {
+                    return Err(format!(
+                        "C{}: WtAck for v{} but v{} held",
+                        self.id,
+                        sv.raw(),
+                        held.sv.raw()
+                    ));
+                }
+                outputs.push(self.respond(held.txn, held.observed, held.was_hit));
+            }
+            other => return Err(format!("C{}: unexpected payload {}", self.id, other.kind())),
+        }
+        Ok((outputs, events))
+    }
+
+    fn save_state(&self) -> Json {
+        let done = self
+            .done
+            .iter()
+            .map(|(txn, (v, hit))| {
+                obj([
+                    ("txn", num_u64(*txn)),
+                    ("v", codec::version_json(*v)),
+                    ("hit", Json::Bool(*hit)),
+                ])
+            })
+            .collect();
+        obj([
+            ("role", Json::Str(self.me().to_string())),
+            ("agent", self.agent.save_state()),
+            (
+                "current",
+                match self.current {
+                    None => Json::Null,
+                    Some(t) => num_u64(t.raw()),
+                },
+            ),
+            (
+                "held",
+                match &self.held {
+                    None => Json::Null,
+                    Some(h) => obj([
+                        ("sv", codec::version_json(h.sv)),
+                        ("txn", num_u64(h.txn.raw())),
+                        ("observed", codec::version_json(h.observed)),
+                        ("hit", Json::Bool(h.was_hit)),
+                    ]),
+                },
+            ),
+            ("done", Json::Arr(done)),
+        ])
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), String> {
+        let role = j.req_str("role")?;
+        if Actor::parse(role)? != self.me() {
+            return Err(format!("checkpoint is for {role}, this is {}", self.me()));
+        }
+        let agent_doc = j.get("agent").ok_or("missing key `agent`")?;
+        self.agent.restore_state(agent_doc)?;
+        self.current = match j.get("current").ok_or("missing key `current`")? {
+            Json::Null => None,
+            t => Some(TxnId::new(t.as_u64().ok_or("`current` is not a u64")?)),
+        };
+        self.held = match j.get("held").ok_or("missing key `held`")? {
+            Json::Null => None,
+            h => Some(HeldResp {
+                sv: codec::version_from(h.get("sv").ok_or("missing `sv`")?)?,
+                txn: TxnId::new(h.req_u64("txn")?),
+                observed: codec::version_from(h.get("observed").ok_or("missing `observed`")?)?,
+                was_hit: h.get("hit").and_then(Json::as_bool).ok_or("bad `hit`")?,
+            }),
+        };
+        let mut done = BTreeMap::new();
+        for e in j
+            .get("done")
+            .and_then(Json::as_array)
+            .ok_or("`done` is not an array")?
+        {
+            done.insert(
+                e.req_u64("txn")?,
+                (
+                    codec::version_from(e.get("v").ok_or("missing `v`")?)?,
+                    e.get("hit").and_then(Json::as_bool).ok_or("bad `hit`")?,
+                ),
+            );
+        }
+        self.done = done;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory node
+// ---------------------------------------------------------------------------
+
+/// One memory module (controller + storage) as a network service.
+///
+/// Wraps the simulator's [`Controller`] with two distribution-only
+/// mechanisms: broadcast expansion (the star network has no bus, so a
+/// `BROADINV` becomes n−1 unicasts the node can count acknowledgments
+/// for) and the invalidation barrier described at module level.
+#[derive(Debug)]
+pub struct MemNode {
+    ctrl: Controller,
+    module: usize,
+    caches: usize,
+    next_barrier: u64,
+    /// Active barriers, keyed by block number. At most one per block.
+    gates: BTreeMap<u64, Gate>,
+}
+
+#[derive(Debug)]
+struct Gate {
+    barrier: u64,
+    outstanding: usize,
+    /// Completion envelopes withheld until release.
+    held: Vec<Envelope>,
+    /// Commands for this block that arrived during the barrier window.
+    deferred: VecDeque<CacheToMemory>,
+}
+
+impl MemNode {
+    fn me(&self) -> Actor {
+        Actor::Module(self.module)
+    }
+
+    fn deliver(
+        &mut self,
+        now: u64,
+        env: &Envelope,
+    ) -> Result<(Vec<Envelope>, Vec<String>), String> {
+        let mut outputs = Vec::new();
+        let mut events = Vec::new();
+        match &env.payload {
+            Payload::ToMemory { cmd } => {
+                events.push(
+                    SimEvent::new(
+                        now,
+                        ActorId::Module(ModuleId::new(self.module)),
+                        block_of_c2m(cmd),
+                        format!("deliver {cmd}"),
+                    )
+                    .to_jsonl(),
+                );
+                self.process(*cmd, &mut outputs)?;
+            }
+            Payload::InvAck { barrier } => {
+                self.on_inv_ack(now, *barrier, &mut outputs, &mut events)?;
+            }
+            other => {
+                return Err(format!(
+                    "M{}: unexpected payload {}",
+                    self.module,
+                    other.kind()
+                ))
+            }
+        }
+        Ok((outputs, events))
+    }
+
+    /// Submits one command to the controller, expanding broadcasts and
+    /// applying the barrier discipline. Commands for a gated block are
+    /// deferred instead.
+    fn process(&mut self, cmd: CacheToMemory, outputs: &mut Vec<Envelope>) -> Result<(), String> {
+        let a = block_of_c2m(&cmd);
+        if let Some(gate) = self.gates.get_mut(&a.number()) {
+            gate.deferred.push_back(cmd);
+            return Ok(());
+        }
+        // The synthesized completion for fire-and-forget stores: the
+        // writer gets a WtAck once the store (and its invalidations) are
+        // globally visible.
+        let wt_ack = match cmd {
+            CacheToMemory::WriteThrough { k, version, .. } => Some(Envelope {
+                src: self.me(),
+                dst: Actor::Cache(k.index()),
+                payload: Payload::WtAck { sv: version },
+            }),
+            _ => None,
+        };
+        let queued_before = self.ctrl.queued();
+        let emits = self
+            .ctrl
+            .submit(cmd)
+            .map_err(|e| format!("M{}: {e}", self.module))?;
+        if wt_ack.is_some() && self.ctrl.queued() > queued_before {
+            // The write-through schemes never make the controller busy,
+            // so a queued WRITETHRU would mean the WtAck below lies about
+            // visibility. Fail loudly rather than break linearizability.
+            return Err(format!("M{}: WRITETHRU was queued", self.module));
+        }
+
+        // Expand emits to unicast envelopes, tagging invalidations.
+        struct Out {
+            dst: usize,
+            cmd: MemoryToCache,
+            needs_ack: bool,
+        }
+        let mut expanded = Vec::new();
+        for emit in emits {
+            match emit {
+                CtrlEmit::Unicast { to, cmd, .. } => {
+                    let needs_ack = matches!(cmd, MemoryToCache::Inv { .. });
+                    expanded.push(Out {
+                        dst: to.index(),
+                        cmd,
+                        needs_ack,
+                    });
+                }
+                CtrlEmit::Broadcast { cmd, exclude, .. } => {
+                    let needs_ack = matches!(cmd, MemoryToCache::BroadInv { .. });
+                    for k in 0..self.caches {
+                        if k == exclude.index() {
+                            continue;
+                        }
+                        expanded.push(Out {
+                            dst: k,
+                            cmd,
+                            needs_ack,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Group by block: any block with invalidations gets a barrier;
+        // completions for it are withheld until the acks return.
+        let blocks: Vec<u64> = {
+            let mut b: Vec<u64> = expanded
+                .iter()
+                .map(|o| block_of_m2c(&o.cmd).number())
+                .collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        for block in blocks {
+            let invs = expanded
+                .iter()
+                .filter(|o| o.needs_ack && block_of_m2c(&o.cmd).number() == block)
+                .count();
+            if invs == 0 {
+                continue;
+            }
+            let barrier = self.next_barrier;
+            self.next_barrier += 1;
+            self.gates.insert(
+                block,
+                Gate {
+                    barrier,
+                    outstanding: invs,
+                    held: Vec::new(),
+                    deferred: VecDeque::new(),
+                },
+            );
+        }
+        // One submit can cover several transactions (the controller
+        // drains its internal queue), e.g. `GETDATA` completing a read
+        // followed by `BROADINV…, GETDATA` for a drained write on the
+        // same block. The first grant logically precedes those
+        // invalidations and must go out ahead of them (FIFO delivers it
+        // before the INV, so the reader fills and is then invalidated);
+        // only completions emitted *after* an invalidation for their
+        // block belong to the invalidating transaction and are withheld.
+        let me = self.me();
+        let mut inv_seen: Vec<u64> = Vec::new();
+        for out in expanded {
+            let block = block_of_m2c(&out.cmd).number();
+            if out.needs_ack && !inv_seen.contains(&block) {
+                inv_seen.push(block);
+            }
+            let gate = self.gates.get_mut(&block);
+            let ack = match (&gate, out.needs_ack) {
+                (Some(g), true) => Some(g.barrier),
+                _ => None,
+            };
+            let env = Envelope {
+                src: me,
+                dst: Actor::Cache(out.dst),
+                payload: Payload::ToCache { cmd: out.cmd, ack },
+            };
+            let is_completion = matches!(
+                env.payload,
+                Payload::ToCache {
+                    cmd: MemoryToCache::GetData { .. } | MemoryToCache::MGranted { .. },
+                    ..
+                }
+            );
+            match gate {
+                Some(g) if is_completion && inv_seen.contains(&block) => g.held.push(env),
+                _ => outputs.push(env),
+            }
+        }
+        if let Some(ack_env) = wt_ack {
+            let block = a.number();
+            match self.gates.get_mut(&block) {
+                Some(g) => g.held.push(ack_env),
+                None => outputs.push(ack_env),
+            }
+        }
+        Ok(())
+    }
+
+    fn on_inv_ack(
+        &mut self,
+        now: u64,
+        barrier: u64,
+        outputs: &mut Vec<Envelope>,
+        events: &mut Vec<String>,
+    ) -> Result<(), String> {
+        let block = *self
+            .gates
+            .iter()
+            .find(|(_, g)| g.barrier == barrier)
+            .map(|(b, _)| b)
+            .ok_or_else(|| format!("M{}: ack for unknown barrier {barrier}", self.module))?;
+        let gate = self.gates.get_mut(&block).expect("gate exists");
+        gate.outstanding -= 1;
+        if gate.outstanding > 0 {
+            return Ok(());
+        }
+        let gate = self.gates.remove(&block).expect("gate exists");
+        events.push(
+            SimEvent::new(
+                now,
+                ActorId::Module(ModuleId::new(self.module)),
+                BlockAddr::new(block),
+                format!("barrier {barrier} released"),
+            )
+            .to_jsonl(),
+        );
+        outputs.extend(gate.held);
+        // Re-submit what queued up behind the barrier, in arrival order.
+        // If one of them starts a new barrier on this block, the rest
+        // re-defer automatically inside `process`.
+        for cmd in gate.deferred {
+            self.process(cmd, outputs)?;
+        }
+        Ok(())
+    }
+
+    fn save_state(&self) -> Json {
+        let gates = self
+            .gates
+            .iter()
+            .map(|(block, g)| {
+                obj([
+                    ("a", num_u64(*block)),
+                    ("barrier", num_u64(g.barrier)),
+                    ("outstanding", num_u64(g.outstanding as u64)),
+                    (
+                        "held",
+                        Json::Arr(g.held.iter().map(crate::wire::envelope_json).collect()),
+                    ),
+                    (
+                        "deferred",
+                        Json::Arr(
+                            g.deferred
+                                .iter()
+                                .map(|c| codec::cache_to_memory_json(*c))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        obj([
+            ("role", Json::Str(self.me().to_string())),
+            ("ctrl", self.ctrl.save_state()),
+            ("next_barrier", num_u64(self.next_barrier)),
+            ("gates", Json::Arr(gates)),
+        ])
+    }
+
+    fn restore_state(&mut self, j: &Json) -> Result<(), String> {
+        let role = j.req_str("role")?;
+        if Actor::parse(role)? != self.me() {
+            return Err(format!("checkpoint is for {role}, this is {}", self.me()));
+        }
+        let ctrl_doc = j.get("ctrl").ok_or("missing key `ctrl`")?;
+        self.ctrl.restore_state(ctrl_doc)?;
+        let next_barrier = j.req_u64("next_barrier")?;
+        let mut gates = BTreeMap::new();
+        for g in j
+            .get("gates")
+            .and_then(Json::as_array)
+            .ok_or("`gates` is not an array")?
+        {
+            let held = g
+                .get("held")
+                .and_then(Json::as_array)
+                .ok_or("`held` is not an array")?
+                .iter()
+                .map(crate::wire::envelope_from)
+                .collect::<Result<Vec<_>, _>>()?;
+            let deferred = g
+                .get("deferred")
+                .and_then(Json::as_array)
+                .ok_or("`deferred` is not an array")?
+                .iter()
+                .map(codec::cache_to_memory_from)
+                .collect::<Result<VecDeque<_>, _>>()?;
+            gates.insert(
+                g.req_u64("a")?,
+                Gate {
+                    barrier: g.req_u64("barrier")?,
+                    outstanding: g.req_u64("outstanding")? as usize,
+                    held,
+                    deferred,
+                },
+            );
+        }
+        self.next_barrier = next_barrier;
+        self.gates = gates;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::{AccessKind, MemRef, WordAddr};
+
+    fn cfg(role: Actor, scheme: &str) -> NodeConfig {
+        NodeConfig {
+            role,
+            scheme: scheme.into(),
+            caches: 3,
+            modules: 2,
+            sets: 8,
+            assoc: 2,
+            block_words: 4,
+            shared_from: 1 << 32,
+            bias_entries: 0,
+            tlb_entries: 4,
+        }
+    }
+
+    fn client_req(k: usize, txn: u64, op: MemRef, sv: Option<Version>) -> Envelope {
+        Envelope {
+            src: Actor::Client(k),
+            dst: Actor::Cache(k),
+            payload: Payload::ClientReq {
+                txn: TxnId::new(txn),
+                op,
+                sv,
+            },
+        }
+    }
+
+    fn deliver(node: &mut Node, env: &Envelope) -> Vec<Envelope> {
+        match node.handle(&Request::Deliver {
+            now: 0,
+            replay: false,
+            env: env.clone(),
+        }) {
+            Response::DeliverOk { outputs, .. } => outputs,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_miss_flows_cache_to_module_and_back() {
+        let mut cache = Node::new(&cfg(Actor::Cache(0), "two-bit")).unwrap();
+        let mut module = Node::new(&cfg(Actor::Module(0), "two-bit")).unwrap();
+        let op = MemRef::read(WordAddr::new(4, 0)); // block 4 → module 0
+        let out = deliver(&mut cache, &client_req(0, 1, op, None));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, Actor::Module(0));
+        let out = deliver(&mut module, &out[0]);
+        assert_eq!(out.len(), 1, "uncached block: immediate grant");
+        let out = deliver(&mut cache, &out[0]);
+        assert_eq!(out.len(), 1);
+        match &out[0].payload {
+            Payload::ClientResp { txn, .. } => assert_eq!(txn.raw(), 1),
+            other => panic!("expected ClientResp, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn duplicate_client_requests_are_idempotent() {
+        let mut cache = Node::new(&cfg(Actor::Cache(0), "two-bit")).unwrap();
+        let mut module = Node::new(&cfg(Actor::Module(0), "two-bit")).unwrap();
+        let op = MemRef::read(WordAddr::new(4, 0));
+        let req = client_req(0, 1, op, None);
+        let to_mem = deliver(&mut cache, &req);
+        // Retry while in flight: dropped.
+        assert!(deliver(&mut cache, &req).is_empty());
+        let grant = deliver(&mut module, &to_mem[0]);
+        let resp1 = deliver(&mut cache, &grant[0]);
+        // Retry after completion: replayed from the dedup table, with the
+        // same observed version, and no new traffic to memory.
+        let resp2 = deliver(&mut cache, &req);
+        assert_eq!(resp1, resp2);
+    }
+
+    #[test]
+    fn write_miss_holds_grant_until_inv_acks() {
+        let mut module = Node::new(&cfg(Actor::Module(0), "two-bit")).unwrap();
+        let mut c0 = Node::new(&cfg(Actor::Cache(0), "two-bit")).unwrap();
+        let mut c1 = Node::new(&cfg(Actor::Cache(1), "two-bit")).unwrap();
+        let mut c2 = Node::new(&cfg(Actor::Cache(2), "two-bit")).unwrap();
+        let a = WordAddr::new(4, 0);
+
+        // c1 and c2 read block 4 → Present* (two sharers).
+        for (k, cache) in [(1usize, &mut c1), (2usize, &mut c2)] {
+            let to_mem = deliver(cache, &client_req(k, k as u64, MemRef::read(a), None));
+            let grant = deliver(&mut module, &to_mem[0]);
+            deliver(cache, &grant[0]);
+        }
+
+        // c0 write-misses: BROADINV to c1+c2, grant withheld.
+        let to_mem = deliver(
+            &mut c0,
+            &client_req(0, 10, MemRef::write(a), Some(Version::new(7))),
+        );
+        let out = deliver(&mut module, &to_mem[0]);
+        let invs: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::ToCache { ack: Some(_), .. }))
+            .collect();
+        assert_eq!(invs.len(), 2, "both sharers get acked invalidations");
+        assert!(
+            !out.iter().any(|e| matches!(
+                &e.payload,
+                Payload::ToCache {
+                    cmd: MemoryToCache::GetData { .. },
+                    ..
+                }
+            )),
+            "grant must wait for the barrier"
+        );
+
+        // Deliver the invalidation to c1 only: barrier still closed.
+        let ack1 = deliver(&mut c1, invs[0]);
+        let after_one = deliver(&mut module, ack1.last().unwrap());
+        assert!(after_one.is_empty());
+
+        // Second ack releases the grant.
+        let ack2 = deliver(&mut c2, invs[1]);
+        let released = deliver(&mut module, ack2.last().unwrap());
+        assert_eq!(released.len(), 1);
+        match &released[0].payload {
+            Payload::ToCache {
+                cmd: MemoryToCache::GetData { exclusive, .. },
+                ..
+            } => assert!(*exclusive),
+            other => panic!("expected held grant, got {}", other.kind()),
+        }
+        let resp = deliver(&mut c0, &released[0]);
+        assert!(
+            matches!(resp[0].payload, Payload::ClientResp { observed, .. } if observed == Version::new(7))
+        );
+    }
+
+    #[test]
+    fn commands_for_a_gated_block_are_deferred() {
+        let mut module = Node::new(&cfg(Actor::Module(0), "two-bit")).unwrap();
+        let mut c1 = Node::new(&cfg(Actor::Cache(1), "two-bit")).unwrap();
+        let a = WordAddr::new(4, 0);
+
+        // c1 shares block 4.
+        let to_mem = deliver(&mut c1, &client_req(1, 1, MemRef::read(a), None));
+        let grant = deliver(&mut module, &to_mem[0]);
+        deliver(&mut c1, &grant[0]);
+
+        // c0 write-misses → barrier on block 4 (one sharer to invalidate).
+        let out = deliver(
+            &mut module,
+            &Envelope {
+                src: Actor::Cache(0),
+                dst: Actor::Module(0),
+                payload: Payload::ToMemory {
+                    cmd: CacheToMemory::Request {
+                        k: CacheId::new(0),
+                        a: BlockAddr::new(4),
+                        rw: AccessKind::Write,
+                    },
+                },
+            },
+        );
+        // Two-bit does not know the sharer's identity: both other caches
+        // get an acked invalidation.
+        let mut c2 = Node::new(&cfg(Actor::Cache(2), "two-bit")).unwrap();
+        let invs: Vec<Envelope> = out
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::ToCache { ack: Some(_), .. }))
+            .cloned()
+            .collect();
+        assert_eq!(invs.len(), 2);
+
+        // c2's read for the same block arrives inside the window: deferred.
+        let deferred = deliver(
+            &mut module,
+            &Envelope {
+                src: Actor::Cache(2),
+                dst: Actor::Module(0),
+                payload: Payload::ToMemory {
+                    cmd: CacheToMemory::Request {
+                        k: CacheId::new(2),
+                        a: BlockAddr::new(4),
+                        rw: AccessKind::Read,
+                    },
+                },
+            },
+        );
+        assert!(deferred.is_empty(), "gated-block command must wait");
+
+        // The first ack keeps the barrier closed; the last one releases
+        // the c0 grant AND processes c2's read, which must see the
+        // *post-write* state (queried from the new owner).
+        let ack1 = deliver(&mut c1, &invs[0]);
+        assert!(deliver(&mut module, ack1.last().unwrap()).is_empty());
+        let ack2 = deliver(&mut c2, &invs[1]);
+        let released = deliver(&mut module, ack2.last().unwrap());
+        assert!(released
+            .iter()
+            .any(|e| matches!(&e.payload, Payload::ToCache { cmd: MemoryToCache::GetData { k, .. }, .. } if k.index() == 0)));
+        // c2's deferred read triggers a query of the new exclusive owner,
+        // not an immediate grant of the stale memory copy.
+        assert!(released.iter().any(|e| matches!(
+            &e.payload,
+            Payload::ToCache {
+                cmd: MemoryToCache::BroadQuery { .. } | MemoryToCache::Purge { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn write_through_store_waits_for_wt_ack() {
+        let mut cache = Node::new(&cfg(Actor::Cache(0), "classical-wt")).unwrap();
+        let mut module = Node::new(&cfg(Actor::Module(0), "classical-wt")).unwrap();
+        let a = WordAddr::new(4, 0);
+        let out = deliver(
+            &mut cache,
+            &client_req(0, 1, MemRef::write(a), Some(Version::new(5))),
+        );
+        // The store posts through but the client response is held.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].payload,
+            Payload::ToMemory {
+                cmd: CacheToMemory::WriteThrough { .. }
+            }
+        ));
+        // The classical scheme broadcasts an invalidation on every
+        // write-through; the WtAck is held until both other caches ack.
+        let out = deliver(&mut module, &out[0]);
+        let invs: Vec<Envelope> = out
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::ToCache { ack: Some(_), .. }))
+            .cloned()
+            .collect();
+        assert_eq!(invs.len(), 2);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e.payload, Payload::WtAck { .. })));
+        let mut c1 = Node::new(&cfg(Actor::Cache(1), "classical-wt")).unwrap();
+        let mut c2 = Node::new(&cfg(Actor::Cache(2), "classical-wt")).unwrap();
+        let ack1 = deliver(&mut c1, &invs[0]);
+        assert!(deliver(&mut module, ack1.last().unwrap()).is_empty());
+        let ack2 = deliver(&mut c2, &invs[1]);
+        let released = deliver(&mut module, ack2.last().unwrap());
+        let wt = released
+            .iter()
+            .find(|e| matches!(e.payload, Payload::WtAck { .. }))
+            .expect("WtAck after barrier");
+        let resp = deliver(&mut cache, wt);
+        assert!(
+            matches!(resp[0].payload, Payload::ClientResp { observed, .. } if observed == Version::new(5))
+        );
+    }
+
+    #[test]
+    fn node_checkpoint_roundtrips_through_text() {
+        let mut cache = Node::new(&cfg(Actor::Cache(0), "two-bit")).unwrap();
+        let mut module = Node::new(&cfg(Actor::Module(0), "two-bit")).unwrap();
+        let op = MemRef::read(WordAddr::new(4, 0));
+        let to_mem = deliver(&mut cache, &client_req(0, 1, op, None));
+        let grant = deliver(&mut module, &to_mem[0]);
+        deliver(&mut cache, &grant[0]);
+
+        for node in [&mut cache, &mut module] {
+            let state = match node.handle(&Request::Checkpoint) {
+                Response::CheckpointOk { state } => state,
+                other => panic!("unexpected: {other:?}"),
+            };
+            let text = state.to_json();
+            let parsed = twobit_obs::json::parse(&text).unwrap();
+            assert!(matches!(
+                node.handle(&Request::Restore { state: parsed }),
+                Response::RestoreOk
+            ));
+            let again = match node.handle(&Request::Checkpoint) {
+                Response::CheckpointOk { state } => state,
+                other => panic!("unexpected: {other:?}"),
+            };
+            assert_eq!(again.to_json(), text, "checkpoint must be canonical");
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The wire vocabulary of the distributed fleet.
+//!
+//! Two message families share the JSONL framing of
+//! [`twobit_interconnect::transport`]:
+//!
+//! * **Control** ([`Request`]/[`Response`]) — the driver↔node RPC. Every
+//!   exchange is strict request/response: the driver sends one line and
+//!   blocks for exactly one reply line, which is what makes virtual-time
+//!   execution deterministic regardless of OS scheduling.
+//! * **Envelopes** ([`Envelope`]/[`Payload`]) — node-to-node messages,
+//!   always routed *through* the driver (star topology), never directly
+//!   between nodes. The driver owns delivery time, ordering, and the
+//!   fault plan; nodes only see `Deliver` calls.
+//!
+//! Coherence commands inside envelopes reuse the checkpoint codecs of
+//! [`twobit_core::snapshot`], so the wire format and the checkpoint
+//! format cannot drift apart.
+
+use std::fmt;
+use twobit_core::snapshot as codec;
+use twobit_obs::json::{num_u64, obj, parse, Json};
+use twobit_types::{CacheToMemory, MemRef, MemoryToCache, TxnId, Version};
+
+/// A fleet endpoint: a cache-controller node, a memory-module node, or
+/// the (driver-resident) client that drives one cache's processor side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Actor {
+    /// Cache-controller node `C_k` (one process per cache).
+    Cache(usize),
+    /// Memory-module node `K_j`+`M_j` (one process per module).
+    Module(usize),
+    /// The workload client attached to cache `k`. Lives inside the
+    /// driver; only the `C_k`↔client edge is lossy.
+    Client(usize),
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Actor::Cache(k) => write!(f, "C{k}"),
+            Actor::Module(j) => write!(f, "M{j}"),
+            Actor::Client(k) => write!(f, "L{k}"),
+        }
+    }
+}
+
+impl Actor {
+    /// Parses the `Display` form (`C0`, `M1`, `L2`).
+    pub fn parse(s: &str) -> Result<Actor, String> {
+        let (tag, idx) = s.split_at(1.min(s.len()));
+        let n: usize = idx.parse().map_err(|_| format!("bad actor `{s}`"))?;
+        match tag {
+            "C" => Ok(Actor::Cache(n)),
+            "M" => Ok(Actor::Module(n)),
+            "L" => Ok(Actor::Client(n)),
+            _ => Err(format!("bad actor `{s}`")),
+        }
+    }
+}
+
+/// A routed node-to-node message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sender.
+    pub src: Actor,
+    /// Recipient.
+    pub dst: Actor,
+    /// Content.
+    pub payload: Payload,
+}
+
+/// What an envelope carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Client → cache node: one processor reference. Retries reuse the
+    /// same `txn` *and* the same `sv` (the pre-assigned store version),
+    /// so a node that already serviced the transaction can answer from
+    /// its dedup table without re-executing.
+    ClientReq {
+        /// Idempotency key, unique per logical reference.
+        txn: TxnId,
+        /// The reference.
+        op: MemRef,
+        /// Pre-assigned store version (writes only) — the driver's
+        /// oracle hands out globally unique versions at issue time.
+        sv: Option<Version>,
+    },
+    /// Cache node → client: the reference retired.
+    ClientResp {
+        /// Echoed idempotency key.
+        txn: TxnId,
+        /// Data version observed (loads) or written (stores).
+        observed: Version,
+        /// Whether it was satisfied without a directory transaction.
+        was_hit: bool,
+    },
+    /// Cache node → memory node: a coherence command.
+    ToMemory {
+        /// The command.
+        cmd: CacheToMemory,
+    },
+    /// Memory node → cache node: a coherence command. `ack` carries a
+    /// barrier id when the memory node needs delivery confirmed (the
+    /// invalidation-acknowledgment barrier of DESIGN.md §9).
+    ToCache {
+        /// The command.
+        cmd: MemoryToCache,
+        /// Barrier to acknowledge after processing, if any.
+        ack: Option<u64>,
+    },
+    /// Cache node → memory node: invalidation processed.
+    InvAck {
+        /// The barrier being acknowledged.
+        barrier: u64,
+    },
+    /// Memory node → cache node: a write-through (or public store) with
+    /// store version `sv` is globally visible; the held client response
+    /// may be released.
+    WtAck {
+        /// The store version whose write is now visible.
+        sv: Version,
+    },
+}
+
+impl Payload {
+    /// Short tag for timeline rendering.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::ClientReq { .. } => "client_req",
+            Payload::ClientResp { .. } => "client_resp",
+            Payload::ToMemory { .. } => "to_mem",
+            Payload::ToCache { .. } => "to_cache",
+            Payload::InvAck { .. } => "inv_ack",
+            Payload::WtAck { .. } => "wt_ack",
+        }
+    }
+}
+
+/// Everything a node needs to build its half of the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// This node's identity ([`Actor::Cache`] or [`Actor::Module`]).
+    pub role: Actor,
+    /// Scheme name as in [`twobit_core::DirectoryProtocol::name`].
+    pub scheme: String,
+    /// Number of caches in the fleet.
+    pub caches: usize,
+    /// Number of memory modules (interleaved address map).
+    pub modules: usize,
+    /// Cache organization: sets.
+    pub sets: u32,
+    /// Cache organization: associativity.
+    pub assoc: u32,
+    /// Cache organization: words per block.
+    pub block_words: u32,
+    /// First public block (static software scheme contract).
+    pub shared_from: u64,
+    /// BIAS filter capacity (0 disables).
+    pub bias_entries: u32,
+    /// Translation-buffer capacity for `two-bit+tlb`.
+    pub tlb_entries: u32,
+}
+
+/// Driver → node control messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// First message on every connection: who the node is and how to
+    /// build its core objects. (The Maelstrom `init` shape — see
+    /// DESIGN.md §9.)
+    Init(Box<NodeConfig>),
+    /// Deliver one envelope at virtual time `now`. With `replay` the
+    /// node executes identically but the driver discards the reply's
+    /// outputs (they were already delivered before the crash).
+    Deliver {
+        /// Virtual delivery time.
+        now: u64,
+        /// Whether this is a crash-recovery replay.
+        replay: bool,
+        /// The message.
+        env: Envelope,
+    },
+    /// Serialize complete node state.
+    Checkpoint,
+    /// Replace node state with a checkpoint document.
+    Restore {
+        /// The document from a previous `CheckpointOk`.
+        state: Json,
+    },
+    /// Exit cleanly after replying.
+    Shutdown,
+}
+
+/// Node → driver control replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Init accepted.
+    InitOk,
+    /// Delivery processed.
+    DeliverOk {
+        /// Envelopes to send, in issue order.
+        outputs: Vec<Envelope>,
+        /// Node-local trace events (SimEvent JSONL lines).
+        events: Vec<String>,
+    },
+    /// Checkpoint document.
+    CheckpointOk {
+        /// Complete node state.
+        state: Json,
+    },
+    /// Restore accepted.
+    RestoreOk,
+    /// About to exit.
+    ShutdownOk,
+    /// The node cannot continue (protocol violation, malformed input).
+    Error {
+        /// What happened.
+        msg: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+fn actor_json(a: Actor) -> Json {
+    Json::Str(a.to_string())
+}
+
+fn actor_from(j: &Json) -> Result<Actor, String> {
+    Actor::parse(j.as_str().ok_or("actor is not a string")?)
+}
+
+/// Encodes an envelope.
+#[must_use]
+pub fn envelope_json(env: &Envelope) -> Json {
+    let payload = match &env.payload {
+        Payload::ClientReq { txn, op, sv } => obj([
+            ("t", Json::Str("client_req".into())),
+            ("txn", num_u64(txn.raw())),
+            ("op", codec::mem_ref_json(*op)),
+            (
+                "sv",
+                match sv {
+                    None => Json::Null,
+                    Some(v) => codec::version_json(*v),
+                },
+            ),
+        ]),
+        Payload::ClientResp {
+            txn,
+            observed,
+            was_hit,
+        } => obj([
+            ("t", Json::Str("client_resp".into())),
+            ("txn", num_u64(txn.raw())),
+            ("observed", codec::version_json(*observed)),
+            ("hit", Json::Bool(*was_hit)),
+        ]),
+        Payload::ToMemory { cmd } => obj([
+            ("t", Json::Str("to_mem".into())),
+            ("cmd", codec::cache_to_memory_json(*cmd)),
+        ]),
+        Payload::ToCache { cmd, ack } => obj([
+            ("t", Json::Str("to_cache".into())),
+            ("cmd", codec::memory_to_cache_json(*cmd)),
+            (
+                "ack",
+                match ack {
+                    None => Json::Null,
+                    Some(b) => num_u64(*b),
+                },
+            ),
+        ]),
+        Payload::InvAck { barrier } => obj([
+            ("t", Json::Str("inv_ack".into())),
+            ("barrier", num_u64(*barrier)),
+        ]),
+        Payload::WtAck { sv } => obj([
+            ("t", Json::Str("wt_ack".into())),
+            ("sv", codec::version_json(*sv)),
+        ]),
+    };
+    obj([
+        ("src", actor_json(env.src)),
+        ("dst", actor_json(env.dst)),
+        ("payload", payload),
+    ])
+}
+
+fn req<'j>(j: &'j Json, key: &str) -> Result<&'j Json, String> {
+    j.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+/// Decodes an envelope.
+pub fn envelope_from(j: &Json) -> Result<Envelope, String> {
+    let p = req(j, "payload")?;
+    let payload = match req(p, "t")?.as_str() {
+        Some("client_req") => Payload::ClientReq {
+            txn: TxnId::new(p.req_u64("txn")?),
+            op: codec::mem_ref_from(req(p, "op")?)?,
+            sv: match req(p, "sv")? {
+                Json::Null => None,
+                v => Some(codec::version_from(v)?),
+            },
+        },
+        Some("client_resp") => Payload::ClientResp {
+            txn: TxnId::new(p.req_u64("txn")?),
+            observed: codec::version_from(req(p, "observed")?)?,
+            was_hit: req(p, "hit")?.as_bool().ok_or("`hit` is not a bool")?,
+        },
+        Some("to_mem") => Payload::ToMemory {
+            cmd: codec::cache_to_memory_from(req(p, "cmd")?)?,
+        },
+        Some("to_cache") => Payload::ToCache {
+            cmd: codec::memory_to_cache_from(req(p, "cmd")?)?,
+            ack: match req(p, "ack")? {
+                Json::Null => None,
+                b => Some(b.as_u64().ok_or("`ack` is not a u64")?),
+            },
+        },
+        Some("inv_ack") => Payload::InvAck {
+            barrier: p.req_u64("barrier")?,
+        },
+        Some("wt_ack") => Payload::WtAck {
+            sv: codec::version_from(req(p, "sv")?)?,
+        },
+        other => return Err(format!("bad payload tag {other:?}")),
+    };
+    Ok(Envelope {
+        src: actor_from(req(j, "src")?)?,
+        dst: actor_from(req(j, "dst")?)?,
+        payload,
+    })
+}
+
+fn node_config_json(c: &NodeConfig) -> Json {
+    obj([
+        ("role", actor_json(c.role)),
+        ("scheme", Json::Str(c.scheme.clone())),
+        ("caches", num_u64(c.caches as u64)),
+        ("modules", num_u64(c.modules as u64)),
+        ("sets", num_u64(u64::from(c.sets))),
+        ("assoc", num_u64(u64::from(c.assoc))),
+        ("block_words", num_u64(u64::from(c.block_words))),
+        ("shared_from", num_u64(c.shared_from)),
+        ("bias_entries", num_u64(u64::from(c.bias_entries))),
+        ("tlb_entries", num_u64(u64::from(c.tlb_entries))),
+    ])
+}
+
+fn node_config_from(j: &Json) -> Result<NodeConfig, String> {
+    Ok(NodeConfig {
+        role: actor_from(req(j, "role")?)?,
+        scheme: j.req_str("scheme")?.to_string(),
+        caches: j.req_u64("caches")? as usize,
+        modules: j.req_u64("modules")? as usize,
+        sets: j.req_u64("sets")? as u32,
+        assoc: j.req_u64("assoc")? as u32,
+        block_words: j.req_u64("block_words")? as u32,
+        shared_from: j.req_u64("shared_from")?,
+        bias_entries: j.req_u64("bias_entries")? as u32,
+        tlb_entries: j.req_u64("tlb_entries")? as u32,
+    })
+}
+
+/// Renders a request as one frame.
+#[must_use]
+pub fn request_line(r: &Request) -> String {
+    let j = match r {
+        Request::Init(c) => obj([
+            ("t", Json::Str("init".into())),
+            ("config", node_config_json(c)),
+        ]),
+        Request::Deliver { now, replay, env } => obj([
+            ("t", Json::Str("deliver".into())),
+            ("now", num_u64(*now)),
+            ("replay", Json::Bool(*replay)),
+            ("env", envelope_json(env)),
+        ]),
+        Request::Checkpoint => obj([("t", Json::Str("checkpoint".into()))]),
+        Request::Restore { state } => {
+            obj([("t", Json::Str("restore".into())), ("state", state.clone())])
+        }
+        Request::Shutdown => obj([("t", Json::Str("shutdown".into()))]),
+    };
+    j.to_json()
+}
+
+/// Parses one frame as a request.
+pub fn request_from_line(line: &str) -> Result<Request, String> {
+    let j = parse(line)?;
+    match req(&j, "t")?.as_str() {
+        Some("init") => Ok(Request::Init(Box::new(node_config_from(req(
+            &j, "config",
+        )?)?))),
+        Some("deliver") => Ok(Request::Deliver {
+            now: j.req_u64("now")?,
+            replay: req(&j, "replay")?.as_bool().ok_or("`replay` not a bool")?,
+            env: envelope_from(req(&j, "env")?)?,
+        }),
+        Some("checkpoint") => Ok(Request::Checkpoint),
+        Some("restore") => Ok(Request::Restore {
+            state: req(&j, "state")?.clone(),
+        }),
+        Some("shutdown") => Ok(Request::Shutdown),
+        other => Err(format!("bad request tag {other:?}")),
+    }
+}
+
+/// Renders a response as one frame.
+#[must_use]
+pub fn response_line(r: &Response) -> String {
+    let j = match r {
+        Response::InitOk => obj([("t", Json::Str("init_ok".into()))]),
+        Response::DeliverOk { outputs, events } => obj([
+            ("t", Json::Str("deliver_ok".into())),
+            (
+                "outputs",
+                Json::Arr(outputs.iter().map(envelope_json).collect()),
+            ),
+            (
+                "events",
+                Json::Arr(events.iter().map(|e| Json::Str(e.clone())).collect()),
+            ),
+        ]),
+        Response::CheckpointOk { state } => obj([
+            ("t", Json::Str("checkpoint_ok".into())),
+            ("state", state.clone()),
+        ]),
+        Response::RestoreOk => obj([("t", Json::Str("restore_ok".into()))]),
+        Response::ShutdownOk => obj([("t", Json::Str("shutdown_ok".into()))]),
+        Response::Error { msg } => obj([
+            ("t", Json::Str("error".into())),
+            ("msg", Json::Str(msg.clone())),
+        ]),
+    };
+    j.to_json()
+}
+
+/// Parses one frame as a response.
+pub fn response_from_line(line: &str) -> Result<Response, String> {
+    let j = parse(line)?;
+    match req(&j, "t")?.as_str() {
+        Some("init_ok") => Ok(Response::InitOk),
+        Some("deliver_ok") => {
+            let outputs = req(&j, "outputs")?
+                .as_array()
+                .ok_or("`outputs` is not an array")?
+                .iter()
+                .map(envelope_from)
+                .collect::<Result<Vec<_>, _>>()?;
+            let events = req(&j, "events")?
+                .as_array()
+                .ok_or("`events` is not an array")?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "event is not a string".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::DeliverOk { outputs, events })
+        }
+        Some("checkpoint_ok") => Ok(Response::CheckpointOk {
+            state: req(&j, "state")?.clone(),
+        }),
+        Some("restore_ok") => Ok(Response::RestoreOk),
+        Some("shutdown_ok") => Ok(Response::ShutdownOk),
+        Some("error") => Ok(Response::Error {
+            msg: j.req_str("msg")?.to_string(),
+        }),
+        other => Err(format!("bad response tag {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_types::{AccessKind, BlockAddr, CacheId, WordAddr};
+
+    #[test]
+    fn actor_display_parse_roundtrip() {
+        for a in [Actor::Cache(0), Actor::Module(13), Actor::Client(2)] {
+            assert_eq!(Actor::parse(&a.to_string()).unwrap(), a);
+        }
+        assert!(Actor::parse("X1").is_err());
+        assert!(Actor::parse("").is_err());
+    }
+
+    #[test]
+    fn envelope_roundtrips_every_payload() {
+        let envs = vec![
+            Envelope {
+                src: Actor::Client(1),
+                dst: Actor::Cache(1),
+                payload: Payload::ClientReq {
+                    txn: TxnId::new(7),
+                    op: MemRef::write(WordAddr::new(5, 0)),
+                    sv: Some(Version::new(3)),
+                },
+            },
+            Envelope {
+                src: Actor::Cache(1),
+                dst: Actor::Client(1),
+                payload: Payload::ClientResp {
+                    txn: TxnId::new(7),
+                    observed: Version::new(3),
+                    was_hit: false,
+                },
+            },
+            Envelope {
+                src: Actor::Cache(0),
+                dst: Actor::Module(1),
+                payload: Payload::ToMemory {
+                    cmd: CacheToMemory::Request {
+                        k: CacheId::new(0),
+                        a: BlockAddr::new(9),
+                        rw: AccessKind::Read,
+                    },
+                },
+            },
+            Envelope {
+                src: Actor::Module(1),
+                dst: Actor::Cache(2),
+                payload: Payload::ToCache {
+                    cmd: MemoryToCache::BroadInv {
+                        a: BlockAddr::new(9),
+                        exclude: CacheId::new(0),
+                    },
+                    ack: Some(4),
+                },
+            },
+            Envelope {
+                src: Actor::Cache(2),
+                dst: Actor::Module(1),
+                payload: Payload::InvAck { barrier: 4 },
+            },
+            Envelope {
+                src: Actor::Module(1),
+                dst: Actor::Cache(0),
+                payload: Payload::WtAck {
+                    sv: Version::new(8),
+                },
+            },
+        ];
+        for env in envs {
+            let line = envelope_json(&env).to_json();
+            let back = envelope_from(&parse(&line).unwrap()).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let reqs = vec![
+            Request::Init(Box::new(NodeConfig {
+                role: Actor::Module(0),
+                scheme: "two-bit".into(),
+                caches: 4,
+                modules: 2,
+                sets: 8,
+                assoc: 2,
+                block_words: 4,
+                shared_from: 1 << 32,
+                bias_entries: 0,
+                tlb_entries: 0,
+            })),
+            Request::Checkpoint,
+            Request::Restore { state: Json::Null },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(request_from_line(&request_line(&r)).unwrap(), r);
+        }
+        let resps = vec![
+            Response::InitOk,
+            Response::DeliverOk {
+                outputs: vec![],
+                events: vec!["{}".into()],
+            },
+            Response::CheckpointOk { state: Json::Null },
+            Response::RestoreOk,
+            Response::ShutdownOk,
+            Response::Error { msg: "boom".into() },
+        ];
+        for r in resps {
+            assert_eq!(response_from_line(&response_line(&r)).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end fleet runs: all six schemes under the adversarial fault
+//! plan, determinism of the merged timeline, crash/restart recovery, and
+//! the process/TCP hosting modes.
+
+use std::path::PathBuf;
+
+use twobit_dist::driver::{run, Mode, RunConfig};
+use twobit_dist::faults::{Crash, FaultConfig};
+use twobit_dist::wire::Actor;
+
+const SCHEMES: [&str; 6] = [
+    "two-bit",
+    "two-bit+tlb",
+    "full-map",
+    "full-map+local",
+    "classical-wt",
+    "static-sw",
+];
+
+fn adversarial_cfg(scheme: &str, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::quick(scheme, seed);
+    // Delay + jitter (reordering), retransmitted drops, lossy client
+    // edge, and one partition cutting cache 0 off mid-run, then healing.
+    cfg.faults = FaultConfig::adversarial(vec![Actor::Cache(0)], 300, 700);
+    cfg
+}
+
+#[test]
+fn all_schemes_linearizable_under_faults() {
+    for scheme in SCHEMES {
+        let report = run(&adversarial_cfg(scheme, 0xA5A5)).unwrap_or_else(|e| {
+            panic!("{scheme}: {e}");
+        });
+        assert_eq!(report.total_refs, 400, "{scheme}: all refs must complete");
+        assert_eq!(report.checker.ops, 400);
+        assert_eq!(report.heal_lag.len(), 1);
+        assert!(
+            report.retries > 0 || report.retransmits > 0,
+            "{scheme}: the fault plan must actually bite"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_timeline() {
+    let a = run(&adversarial_cfg("two-bit", 77)).unwrap();
+    let b = run(&adversarial_cfg("two-bit", 77)).unwrap();
+    assert_eq!(a.timeline, b.timeline, "same seed must replay exactly");
+    assert_eq!(a.ops, b.ops);
+
+    let c = run(&adversarial_cfg("two-bit", 78)).unwrap();
+    assert_ne!(
+        a.timeline, c.timeline,
+        "different seed should explore a different schedule"
+    );
+}
+
+#[test]
+fn crash_and_restart_resumes_all_schemes() {
+    for scheme in SCHEMES {
+        let mut cfg = RunConfig::quick(scheme, 0xBEEF);
+        cfg.refs_per_client = 60;
+        cfg.faults.jitter = 4;
+        cfg.faults.checkpoint_every = 150;
+        // One cache controller and one memory module crash mid-run, each
+        // losing in-memory state; the driver restores the checkpoint and
+        // replays the logged deliveries.
+        cfg.faults.crashes = vec![
+            Crash {
+                at: 260,
+                node: Actor::Cache(1),
+                down_for: 80,
+            },
+            Crash {
+                at: 420,
+                node: Actor::Module(0),
+                down_for: 80,
+            },
+        ];
+        let report = run(&cfg).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert_eq!(report.total_refs, 240, "{scheme}");
+        assert_eq!(report.recoveries, 2, "{scheme}: both crashes must fire");
+    }
+}
+
+fn node_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_dist_node"))
+}
+
+#[test]
+fn process_mode_matches_in_proc_timeline() {
+    let mut inproc = adversarial_cfg("two-bit", 9);
+    inproc.refs_per_client = 40;
+    let mut process = inproc.clone();
+    process.mode = Mode::Process {
+        node_bin: node_bin(),
+    };
+    let a = run(&inproc).unwrap();
+    let b = run(&process).unwrap();
+    assert_eq!(
+        a.timeline, b.timeline,
+        "hosting mode must not affect the schedule"
+    );
+}
+
+#[test]
+fn tcp_mode_smoke() {
+    let mut cfg = RunConfig::quick("full-map", 5);
+    cfg.refs_per_client = 30;
+    cfg.mode = Mode::Tcp {
+        node_bin: node_bin(),
+    };
+    let report = run(&cfg).unwrap();
+    assert_eq!(report.total_refs, 120);
+}

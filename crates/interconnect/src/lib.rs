@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod transport;
+
 use serde::{Deserialize, Serialize};
 use twobit_obs::{ActorId, Profiler, SimEvent, Tracer};
 use twobit_types::{BlockAddr, CacheId, ModuleId, NetworkStats};

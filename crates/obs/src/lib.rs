@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod json;
 pub mod metrics;
 pub mod perf;
 pub mod timeline;

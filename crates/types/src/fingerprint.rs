@@ -83,8 +83,8 @@ impl Fingerprinter {
         self.write_u64(u64::from(v));
     }
 
-    /// Absorbs a small discriminant tag. Identical to [`write_u64`]
-    /// (`Self::write_u64`); the separate name documents intent at call
+    /// Absorbs a small discriminant tag. Identical to
+    /// [`write_u64`](Self::write_u64); the separate name documents intent at call
     /// sites that encode enum variants.
     #[inline]
     pub fn write_tag(&mut self, v: u64) {
