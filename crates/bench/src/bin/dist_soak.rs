@@ -1,24 +1,29 @@
 //! Dist-Soak: run the distributed coherence fleet for every directory
-//! scheme under the adversarial fault plan and serialize the results as
-//! a `BENCH_dist_<label>.json` document (schema `twobit-bench/v1`, kind
-//! `dist_soak`; documented in EXPERIMENTS.md).
+//! scheme under the adversarial fault plan, sweeping client arrival
+//! schedules, and serialize the results as a `BENCH_dist_<label>.json`
+//! document (schema `twobit-bench/v1`, kind `dist_soak`; documented in
+//! EXPERIMENTS.md).
 //!
 //! ```text
 //! dist_soak [--label NAME] [--out PATH] [--seed N] [--refs N]
-//!           [--caches N] [--modules N] [--mode inproc|process] [--quick]
+//!           [--caches N] [--modules N] [--mode inproc|process|tcp]
+//!           [--schedules CSV] [--quick]
 //! ```
 //!
 //! Every run carries the same seeded plan: base link delay plus jitter
 //! (reordering), retransmitted drops on the inter-node links, a lossy
 //! client edge recovered by idempotent retry, and one partition cutting
-//! cache 0 off mid-run before healing. The linearizability checker must
-//! accept every scheme's history or the binary exits nonzero — a soak
-//! that merely "finishes" proves nothing.
+//! cache 0 off mid-run before healing. The schedule sweep (default:
+//! closed loop plus fixed-rate and bursty open-loop arrivals) measures
+//! client-perceived latency per request class — the queueing effects a
+//! closed loop structurally understates. The linearizability checker
+//! must accept every history or the binary exits nonzero — a soak that
+//! merely "finishes" proves nothing.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use twobit_dist::driver::{run, Mode, RunConfig};
+use twobit_dist::driver::{run, ArrivalSchedule, Mode, RunConfig};
 use twobit_dist::faults::FaultConfig;
 use twobit_dist::wire::Actor;
 use twobit_obs::json::{num_u64, obj, Json};
@@ -32,6 +37,10 @@ const ALL_SCHEMES: [&str; 6] = [
     "static-sw",
 ];
 
+/// Default sweep: the closed loop (PR 8 behavior) plus three fixed
+/// open-loop rates and one bursty schedule — ≥ 4 distinct request rates.
+const DEFAULT_SCHEDULES: &str = "closed,fixed:60,fixed:25,fixed:10,burst:40:8:6";
+
 struct Args {
     label: String,
     out: Option<String>,
@@ -40,12 +49,14 @@ struct Args {
     caches: usize,
     modules: usize,
     mode: String,
+    schedules: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dist_soak [--label NAME] [--out PATH] [--seed N] [--refs N] \
-         [--caches N] [--modules N] [--mode inproc|process] [--quick]"
+         [--caches N] [--modules N] [--mode inproc|process|tcp] \
+         [--schedules CSV] [--quick]"
     );
     std::process::exit(2);
 }
@@ -59,6 +70,7 @@ fn parse_args() -> Args {
         caches: 4,
         modules: 2,
         mode: "inproc".to_string(),
+        schedules: DEFAULT_SCHEDULES.to_string(),
     };
     let mut args = std::env::args().skip(1);
     let next_value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
@@ -83,6 +95,7 @@ fn parse_args() -> Args {
             "--caches" => a.caches = numeric("--caches") as usize,
             "--modules" => a.modules = numeric("--modules") as usize,
             "--mode" => a.mode = next_value("--mode", &mut args),
+            "--schedules" => a.schedules = next_value("--schedules", &mut args),
             "--quick" => a.refs = 100,
             "--help" | "-h" => usage(),
             other => {
@@ -111,8 +124,9 @@ fn main() -> ExitCode {
     let a = parse_args();
     let mode = match a.mode.as_str() {
         "inproc" => Mode::InProc,
-        "process" => match node_bin() {
-            Ok(bin) => Mode::Process { node_bin: bin },
+        "process" | "tcp" => match node_bin() {
+            Ok(bin) if a.mode == "process" => Mode::Process { node_bin: bin },
+            Ok(bin) => Mode::Tcp { node_bin: bin },
             Err(e) => {
                 eprintln!("dist_soak: {e} (build twobit-dist first)");
                 return ExitCode::FAILURE;
@@ -120,6 +134,19 @@ fn main() -> ExitCode {
         },
         other => {
             eprintln!("dist_soak: unknown mode {other:?}");
+            usage()
+        }
+    };
+    let schedules: Vec<ArrivalSchedule> = match a
+        .schedules
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(ArrivalSchedule::parse)
+        .collect()
+    {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("dist_soak: {e}");
             usage()
         }
     };
@@ -131,45 +158,62 @@ fn main() -> ExitCode {
     let mut runs: Vec<Json> = Vec::new();
     let mut failed = false;
     for scheme in ALL_SCHEMES {
-        let mut cfg = RunConfig::quick(scheme, a.seed);
-        cfg.caches = a.caches;
-        cfg.modules = a.modules;
-        cfg.refs_per_client = a.refs;
-        cfg.mode = mode.clone();
-        cfg.faults = FaultConfig::adversarial(vec![Actor::Cache(0)], start, heal);
-        match run(&cfg) {
-            Ok(report) => {
-                let wall_s = (report.wall_ms as f64 / 1000.0).max(1e-9);
-                let mut doc = report.to_json();
-                if let Json::Obj(map) = &mut doc {
-                    // Per-node (client lane) throughput, the headline
-                    // figure EXPERIMENTS.md tabulates.
-                    map.insert(
-                        "per_client_refs_per_sec".to_string(),
-                        Json::Arr(
-                            report
-                                .per_client_refs
-                                .iter()
-                                .map(|&n| Json::Num(n as f64 / wall_s))
-                                .collect(),
-                        ),
+        for schedule in &schedules {
+            let mut cfg = RunConfig::quick(scheme, a.seed);
+            cfg.caches = a.caches;
+            cfg.modules = a.modules;
+            cfg.refs_per_client = a.refs;
+            cfg.mode = mode.clone();
+            cfg.schedule = schedule.clone();
+            cfg.faults = FaultConfig::adversarial(vec![Actor::Cache(0)], start, heal);
+            match run(&cfg) {
+                Ok(report) => {
+                    let wall_s = (report.wall_ms as f64 / 1000.0).max(1e-9);
+                    let mut doc = report.to_json();
+                    if let Json::Obj(map) = &mut doc {
+                        // Per-node (client lane) throughput, the headline
+                        // figure EXPERIMENTS.md tabulates.
+                        map.insert(
+                            "per_client_refs_per_sec".to_string(),
+                            Json::Arr(
+                                report
+                                    .per_client_refs
+                                    .iter()
+                                    .map(|&n| Json::Num(n as f64 / wall_s))
+                                    .collect(),
+                            ),
+                        );
+                    }
+                    let lat: Vec<String> = report
+                        .latency
+                        .iter()
+                        .filter(|(_, h)| h.count() > 0)
+                        .map(|(class, h)| {
+                            format!(
+                                "{class} p50={} p99={}",
+                                h.percentile(0.50),
+                                h.percentile(0.99)
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "{scheme} [{}]: {} refs linearizable ({} retries, {} retransmits, \
+                         heal lag {:?}, vt {}, {} ms; {})",
+                        report.schedule,
+                        report.total_refs,
+                        report.retries,
+                        report.retransmits,
+                        report.heal_lag,
+                        report.virtual_end,
+                        report.wall_ms,
+                        lat.join(", "),
                     );
+                    runs.push(doc);
                 }
-                println!(
-                    "{scheme}: {} refs linearizable ({} retries, {} retransmits, \
-                     heal lag {:?}, vt {}, {} ms)",
-                    report.total_refs,
-                    report.retries,
-                    report.retransmits,
-                    report.heal_lag,
-                    report.virtual_end,
-                    report.wall_ms,
-                );
-                runs.push(doc);
-            }
-            Err(e) => {
-                eprintln!("{scheme}: FAILED: {e}");
-                failed = true;
+                Err(e) => {
+                    eprintln!("{scheme} [{}]: FAILED: {e}", schedule.label());
+                    failed = true;
+                }
             }
         }
     }
@@ -185,6 +229,10 @@ fn main() -> ExitCode {
         ("caches", num_u64(a.caches as u64)),
         ("modules", num_u64(a.modules as u64)),
         ("mode", Json::Str(a.mode.clone())),
+        (
+            "schedules",
+            Json::Arr(schedules.iter().map(|s| Json::Str(s.label())).collect()),
+        ),
         ("partition_start", num_u64(start)),
         ("partition_heal", num_u64(heal)),
         ("runs", Json::Arr(runs)),

@@ -7,12 +7,16 @@
 //! ```
 //!
 //! `--scheme all` runs every directory scheme in sequence. The exit code
-//! is nonzero if any run fails its linearizability check.
+//! is nonzero if any run fails its linearizability check. `--schedule`
+//! selects the client arrival model (`closed`, `fixed:I[:J]`, or
+//! `burst:I:E:S`) — open-loop schedules keep issuing at the configured
+//! rate regardless of completions, so client-perceived latency includes
+//! queueing.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use twobit_dist::driver::{run, Mode, RunConfig};
+use twobit_dist::driver::{run, ArrivalSchedule, Mode, RunConfig};
 use twobit_dist::faults::{Crash, FaultConfig, Partition};
 use twobit_dist::wire::Actor;
 
@@ -76,6 +80,7 @@ fn parse_args() -> Result<Cli, String> {
                     .map_err(|e| format!("--modules: {e}"))?;
             }
             "--mode" => mode = val("--mode")?,
+            "--schedule" => cfg.schedule = ArrivalSchedule::parse(&val("--schedule")?)?,
             "--trace-dir" => cfg.trace_dir = Some(PathBuf::from(val("--trace-dir")?)),
             "--faults" => {
                 cfg.faults = match val("--faults")?.as_str() {
@@ -150,9 +155,22 @@ fn main() -> ExitCode {
                 if cli.json {
                     println!("{}", report.to_json().to_json());
                 } else {
+                    let lat: Vec<String> = report
+                        .latency
+                        .iter()
+                        .filter(|(_, h)| h.count() > 0)
+                        .map(|(class, h)| {
+                            format!(
+                                "{class} p50={} p99={}",
+                                h.percentile(0.50),
+                                h.percentile(0.99)
+                            )
+                        })
+                        .collect();
                     println!(
-                        "{scheme}: {} refs linearizable ({} retries, {} retransmits, \
-                         {} drops, {} recoveries, vt {}, {} ms)",
+                        "{scheme} [{}]: {} refs linearizable ({} retries, {} retransmits, \
+                         {} drops, {} recoveries, vt {}, {} ms; {})",
+                        report.schedule,
                         report.total_refs,
                         report.retries,
                         report.retransmits,
@@ -160,6 +178,7 @@ fn main() -> ExitCode {
                         report.recoveries,
                         report.virtual_end,
                         report.wall_ms,
+                        lat.join(", "),
                     );
                 }
             }

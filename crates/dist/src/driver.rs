@@ -4,15 +4,34 @@
 //! # Determinism
 //!
 //! The driver is a star router running on *virtual time*. Every message
-//! is a calendar entry ordered by `(time, seq)`; the driver pops the
-//! earliest entry, performs exactly one blocking request/response
-//! exchange with the target node, and schedules whatever came back.
-//! Because a node never speaks unprompted and the driver never has two
-//! exchanges in flight, OS scheduling cannot influence the order of
-//! anything — the whole run, including every fault decision (drawn from
-//! a seeded [`Rng`]), is a pure function of `(RunConfig, seed)`. Running
-//! the same configuration twice yields byte-identical merged timelines,
-//! which is the property the `same_seed_same_timeline` test pins.
+//! is a calendar entry ordered by `(time, seq)`, and the driver consumes
+//! entries strictly in that order. Exchanges with the nodes are
+//! *multiplexed*: a maximal run of same-instant deliveries is dispatched
+//! as one batch over a [`PollTransport`] — phase one sends every node
+//! request in `seq` order, phase two consumes the replies and routes
+//! their outputs in the same `seq` order. The batch is equivalent to the
+//! old one-exchange-at-a-time loop because a node answers each request
+//! before reading the next (per-connection FIFO), every output is
+//! scheduled as a *later* calendar entry with a strictly larger `seq`,
+//! and all observable effects (timeline lines, rng draws, routing) happen
+//! in phase two's deterministic order. OS scheduling decides only *when*
+//! replies arrive, never the order anything is applied — so the whole
+//! run, including every fault decision (drawn from a seeded [`Rng`]), is
+//! a pure function of `(RunConfig, seed)`. Running the same configuration
+//! twice — or under a different hosting [`Mode`] — yields byte-identical
+//! merged timelines, which is the property the `same_seed_same_timeline`
+//! and cross-hosting e2e tests pin.
+//!
+//! # Load model
+//!
+//! Clients are either *closed-loop* (a new request the instant the
+//! previous one completes — the PR 8 behavior, and still the default) or
+//! *open-loop*: an [`ArrivalSchedule`] drives request arrivals from the
+//! seeded virtual-time calendar at a configurable rate, independent of
+//! completions. Arrivals queue driver-side (a cache node admits one
+//! client transaction at a time); client-perceived latency is measured
+//! from *arrival* to completion, so queueing delay — the thing a closed
+//! loop structurally cannot see — shows up in the per-class histograms.
 //!
 //! # Fault model
 //!
@@ -23,23 +42,32 @@
 //! truly loses messages — recovered by idempotent retry.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-use std::io::BufReader;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use twobit_core::Oracle;
-use twobit_interconnect::transport::{tcp_accept, LineTransport, Transport};
+use twobit_interconnect::poll::{PollTransport, Token};
+use twobit_interconnect::transport::tcp_accept_stream;
 use twobit_obs::json::{num_u64, obj, Json};
-use twobit_types::{AccessKind, MemRef, TxnId, Version, WordAddr};
+use twobit_obs::Histogram;
+use twobit_types::{AccessKind, AddressMap, BlockAddr, MemRef, TxnId, Version, WordAddr};
 
-use crate::faults::{FaultConfig, Rng};
+use crate::faults::{FaultConfig, Partition, Rng};
 use crate::history::{check_history, LinearizationReport, OpRecord};
 use crate::node::Node;
 use crate::wire::{
     envelope_json, request_line, response_from_line, Actor, Envelope, NodeConfig, Payload, Request,
     Response,
 };
+
+/// How long the driver waits for a spawned node to dial back (TCP mode).
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long the driver waits for a node's reply to one request.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long the driver waits for a shutdown acknowledgement.
+const SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How node processes are hosted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +85,92 @@ pub enum Mode {
         /// Path to the `dist_node` binary.
         node_bin: PathBuf,
     },
+}
+
+/// How client requests arrive at the fleet.
+///
+/// The schedule draws only from the seeded virtual-time calendar and the
+/// per-client [`Rng`] streams, so every flavor preserves the
+/// run-is-a-pure-function-of-`(config, seed)` property.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ArrivalSchedule {
+    /// Closed loop: the next request arrives when the previous completes.
+    #[default]
+    Closed,
+    /// Open loop: one arrival per client every `interval (+ jitter)`
+    /// virtual-time units, regardless of completions.
+    Fixed {
+        /// Virtual time between arrivals.
+        interval: u64,
+        /// Extra uniform delay in `0..=jitter` per arrival.
+        jitter: u64,
+    },
+    /// Open loop with bursts: arrivals every `interval`, and every
+    /// `every`-th arrival brings `size` requests at once.
+    Burst {
+        /// Virtual time between arrival events.
+        interval: u64,
+        /// Burst cadence (every `every`-th arrival is a burst).
+        every: u64,
+        /// Requests per burst.
+        size: u64,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Parses `closed`, `fixed:INTERVAL[:JITTER]`, or
+    /// `burst:INTERVAL:EVERY:SIZE`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let field = |part: Option<&str>, name: &str| -> Result<u64, String> {
+            part.ok_or_else(|| format!("schedule `{s}`: missing {name}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("schedule `{s}`: bad {name}"))
+        };
+        let mut parts = s.split(':');
+        match parts.next() {
+            Some("closed") => Ok(ArrivalSchedule::Closed),
+            Some("fixed") => {
+                let interval = field(parts.next(), "interval")?.max(1);
+                let jitter = match parts.next() {
+                    Some(j) => field(Some(j), "jitter")?,
+                    None => 0,
+                };
+                Ok(ArrivalSchedule::Fixed { interval, jitter })
+            }
+            Some("burst") => Ok(ArrivalSchedule::Burst {
+                interval: field(parts.next(), "interval")?.max(1),
+                every: field(parts.next(), "every")?.max(1),
+                size: field(parts.next(), "size")?.max(1),
+            }),
+            _ => Err(format!(
+                "schedule `{s}`: expected closed | fixed:I[:J] | burst:I:E:S"
+            )),
+        }
+    }
+
+    /// The canonical spelling (round-trips through [`parse`](Self::parse)).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalSchedule::Closed => "closed".into(),
+            ArrivalSchedule::Fixed { interval, jitter } => {
+                if *jitter == 0 {
+                    format!("fixed:{interval}")
+                } else {
+                    format!("fixed:{interval}:{jitter}")
+                }
+            }
+            ArrivalSchedule::Burst {
+                interval,
+                every,
+                size,
+            } => format!("burst:{interval}:{every}:{size}"),
+        }
+    }
 }
 
 /// Complete description of one distributed run.
@@ -91,6 +205,8 @@ pub struct RunConfig {
     pub tlb_entries: u32,
     /// Node hosting.
     pub mode: Mode,
+    /// Client arrival model.
+    pub schedule: ArrivalSchedule,
     /// The fault plan.
     pub faults: FaultConfig,
     /// Where to write per-node and merged JSONL timelines.
@@ -100,7 +216,7 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// A small four-cache / two-module fleet, fault-free.
+    /// A small four-cache / two-module fleet, fault-free, closed-loop.
     #[must_use]
     pub fn quick(scheme: &str, seed: u64) -> Self {
         RunConfig {
@@ -118,6 +234,7 @@ impl RunConfig {
             bias_entries: 0,
             tlb_entries: 8,
             mode: Mode::InProc,
+            schedule: ArrivalSchedule::Closed,
             faults: FaultConfig::none(),
             trace_dir: None,
             max_events: 5_000_000,
@@ -132,6 +249,8 @@ pub struct RunReport {
     pub scheme: String,
     /// Seed it ran under.
     pub seed: u64,
+    /// Arrival schedule label.
+    pub schedule: String,
     /// References completed (all clients).
     pub total_refs: usize,
     /// Client-edge retries (timeout resends).
@@ -150,9 +269,12 @@ pub struct RunReport {
     pub wall_ms: u64,
     /// References completed per client.
     pub per_client_refs: Vec<usize>,
-    /// Per partition: virtual time from heal until every op invoked
-    /// before the heal had completed.
+    /// Per partition: lag from the heal edge until the last
+    /// partition-straddling op completed (see [`heal_lag`]).
     pub heal_lag: Vec<u64>,
+    /// Client-perceived latency (arrival → completion, virtual time),
+    /// one histogram per request class (`read`, `write`).
+    pub latency: Vec<(String, Histogram)>,
     /// Linearizability checker effort/result.
     pub checker: LinearizationReport,
     /// The merged timeline (one JSONL line per delivery or node event).
@@ -166,11 +288,30 @@ impl RunReport {
     #[must_use]
     pub fn to_json(&self) -> Json {
         let wall_s = (self.wall_ms as f64 / 1000.0).max(1e-9);
+        let latency = Json::Obj(
+            self.latency
+                .iter()
+                .map(|(class, h)| {
+                    (
+                        class.clone(),
+                        obj([
+                            ("count", num_u64(h.count())),
+                            ("mean", Json::Num(h.mean())),
+                            ("p50", num_u64(h.percentile(0.50))),
+                            ("p90", num_u64(h.percentile(0.90))),
+                            ("p99", num_u64(h.percentile(0.99))),
+                            ("max", num_u64(h.max())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         obj([
             ("schema", Json::Str("twobit-bench/v1".into())),
             ("kind", Json::Str("dist_soak".into())),
             ("scheme", Json::Str(self.scheme.clone())),
             ("seed", num_u64(self.seed)),
+            ("schedule", Json::Str(self.schedule.clone())),
             ("total_refs", num_u64(self.total_refs as u64)),
             ("retries", num_u64(self.retries)),
             ("retransmits", num_u64(self.retransmits)),
@@ -193,6 +334,7 @@ impl RunReport {
                 "heal_lag",
                 Json::Arr(self.heal_lag.iter().map(|&t| num_u64(t)).collect()),
             ),
+            ("latency", latency),
             (
                 "checker",
                 obj([
@@ -205,51 +347,85 @@ impl RunReport {
     }
 }
 
+/// Per partition: how far past the heal edge the *partition-straddling*
+/// traffic needed to drain.
+///
+/// An op counts toward a partition's lag iff it was in flight across the
+/// heal (`invoked < heal < completed`) **and** its endpoints — the
+/// client's cache and the block's home module — were on opposite sides
+/// of the cut, so the partition itself is what delayed it. The lag is
+/// measured from the heal edge (`completed - heal`). The previous metric
+/// took the max `completed` over *every* op invoked before the heal, so
+/// one op slowed by an unrelated fault stage (a retransmit storm on an
+/// unseparated link, say) inflated the reported lag arbitrarily.
+#[must_use]
+pub fn heal_lag(ops: &[OpRecord], partitions: &[Partition], modules: usize) -> Vec<u64> {
+    let map = AddressMap::interleaved(modules.max(1));
+    partitions
+        .iter()
+        .map(|p| {
+            ops.iter()
+                .filter(|o| o.invoked < p.heal && o.completed > p.heal)
+                .filter(|o| {
+                    let home = map.module_of(BlockAddr::new(o.block)).index();
+                    p.separates(Actor::Cache(o.client), Actor::Module(home))
+                })
+                .map(|o| o.completed - p.heal)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Node links
 // ---------------------------------------------------------------------------
 
 enum NodeLink {
     InProc(Box<Node>),
-    Child {
-        child: Child,
-        io: Box<dyn Transport>,
-    },
+    Child { child: Child, token: Token },
 }
 
 impl NodeLink {
-    fn rpc(&mut self, who: Actor, req: &Request) -> Result<Response, String> {
-        match self {
-            NodeLink::InProc(n) => Ok(n.handle(req)),
-            NodeLink::Child { io, .. } => {
-                io.send(&request_line(req))
-                    .map_err(|e| format!("{who}: send failed: {e}"))?;
-                let line = io
-                    .recv()
-                    .map_err(|e| format!("{who}: recv failed: {e}"))?
-                    .ok_or_else(|| format!("{who}: node exited unexpectedly"))?;
-                response_from_line(&line).map_err(|e| format!("{who}: bad response: {e}"))
-            }
-        }
-    }
-
-    fn shutdown(&mut self, who: Actor) {
-        let _ = self.rpc(who, &Request::Shutdown);
-        if let NodeLink::Child { child, .. } = self {
-            let _ = child.wait();
-        }
-    }
-
-    fn kill(&mut self) {
-        if let NodeLink::Child { child, .. } = self {
+    fn kill(&mut self, poll: &mut PollTransport) {
+        if let NodeLink::Child { child, token } = self {
             let _ = child.kill();
             let _ = child.wait();
+            poll.deregister(*token);
         }
     }
 }
 
-fn spawn_link(mode: &Mode, node_cfg: &NodeConfig) -> Result<NodeLink, String> {
+/// One blocking request/response exchange (used off the hot path: init,
+/// restore, replay, checkpoint — places where pipelining buys nothing).
+fn rpc(
+    link: &mut NodeLink,
+    poll: &mut PollTransport,
+    who: Actor,
+    req: &Request,
+) -> Result<Response, String> {
+    match link {
+        NodeLink::InProc(n) => Ok(n.handle(req)),
+        NodeLink::Child { token, .. } => {
+            poll.send(*token, &request_line(req))
+                .map_err(|e| format!("{who}: send failed: {e}"))?;
+            let line = poll
+                .recv_deadline(*token, RPC_TIMEOUT)
+                .map_err(|e| format!("{who}: recv failed: {e}"))?
+                .ok_or_else(|| format!("{who}: node exited unexpectedly"))?;
+            response_from_line(&line).map_err(|e| format!("{who}: bad response: {e}"))
+        }
+    }
+}
+
+fn spawn_link(
+    mode: &Mode,
+    node_cfg: &NodeConfig,
+    poll: &mut PollTransport,
+) -> Result<NodeLink, String> {
     let mut link = match mode {
+        // `Node::new` already applies the config; only children need the
+        // Init exchange.
         Mode::InProc => return Ok(NodeLink::InProc(Box::new(Node::new(node_cfg)?))),
         Mode::Process { node_bin } => {
             let mut child = Command::new(node_bin)
@@ -260,10 +436,8 @@ fn spawn_link(mode: &Mode, node_cfg: &NodeConfig) -> Result<NodeLink, String> {
                 .map_err(|e| format!("spawn {}: {e}", node_bin.display()))?;
             let stdin = child.stdin.take().expect("piped stdin");
             let stdout = child.stdout.take().expect("piped stdout");
-            NodeLink::Child {
-                child,
-                io: Box::new(LineTransport::new(BufReader::new(stdout), stdin)),
-            }
+            let token = poll.register_pipe(stdout, stdin);
+            NodeLink::Child { child, token }
         }
         Mode::Tcp { node_bin } => {
             let listener =
@@ -277,14 +451,22 @@ fn spawn_link(mode: &Mode, node_cfg: &NodeConfig) -> Result<NodeLink, String> {
                 .stderr(Stdio::inherit())
                 .spawn()
                 .map_err(|e| format!("spawn {}: {e}", node_bin.display()))?;
-            let io = tcp_accept(&listener).map_err(|e| format!("accept: {e}"))?;
-            NodeLink::Child {
-                child,
-                io: Box::new(io),
-            }
+            // A node that dies before dialing back surfaces as a typed
+            // timeout here instead of hanging the driver in accept(2).
+            let stream = tcp_accept_stream(&listener, ACCEPT_TIMEOUT)
+                .map_err(|e| format!("{}: {e}", node_cfg.role))?;
+            let token = poll
+                .register_tcp(stream)
+                .map_err(|e| format!("register: {e}"))?;
+            NodeLink::Child { child, token }
         }
     };
-    match link.rpc(node_cfg.role, &Request::Init(Box::new(node_cfg.clone())))? {
+    match rpc(
+        &mut link,
+        poll,
+        node_cfg.role,
+        &Request::Init(Box::new(node_cfg.clone())),
+    )? {
         Response::InitOk => Ok(link),
         Response::Error { msg } => Err(format!("{}: init rejected: {msg}", node_cfg.role)),
         other => Err(format!(
@@ -301,7 +483,7 @@ fn spawn_link(mode: &Mode, node_cfg: &NodeConfig) -> Result<NodeLink, String> {
 #[derive(Debug)]
 enum EventKind {
     Deliver(Envelope),
-    ClientIssue(usize),
+    ClientArrival(usize),
     ClientTimeout { client: usize, txn: u64 },
     Restart(Actor),
     CheckpointTick,
@@ -335,11 +517,23 @@ impl Ord for Event {
 // Clients
 // ---------------------------------------------------------------------------
 
+/// An arrived request waiting for the client's single admission slot
+/// (a cache node admits one client transaction at a time).
+#[derive(Debug)]
+struct PendingOp {
+    op: MemRef,
+    arrived: u64,
+}
+
 #[derive(Debug)]
 struct Outstanding {
     txn: u64,
     op: MemRef,
     sv: Option<Version>,
+    /// When the request arrived at the client (queueing starts here).
+    arrived: u64,
+    /// When it was submitted to the cache (the linearizability
+    /// checker's invocation point).
     invoked: u64,
     retries: u64,
     backoff: u64,
@@ -348,7 +542,13 @@ struct Outstanding {
 #[derive(Debug)]
 struct Client {
     rng: Rng,
+    /// Requests generated so far (arrival side).
+    issued: usize,
+    /// Requests completed so far.
     done: usize,
+    /// Arrival events seen (for burst cadence).
+    arrivals: u64,
+    pending: VecDeque<PendingOp>,
     outstanding: Option<Outstanding>,
 }
 
@@ -356,9 +556,25 @@ struct Client {
 // Driver
 // ---------------------------------------------------------------------------
 
+/// Phase-one outcome of one batched delivery, consumed by phase two in
+/// the same `seq` order.
+enum Slot {
+    /// Destination is mid-crash; the delivery was re-pushed.
+    Requeued,
+    /// A client-edge delivery (handled entirely driver-side).
+    Client(Envelope),
+    /// A node delivery whose request is in flight. `early` carries the
+    /// response when the node is in-process (answered synchronously).
+    Sent {
+        env: Envelope,
+        early: Option<Response>,
+    },
+}
+
 struct Driver<'c> {
     cfg: &'c RunConfig,
     rng: Rng,
+    poll: PollTransport,
     links: BTreeMap<Actor, NodeLink>,
     calendar: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
@@ -371,6 +587,8 @@ struct Driver<'c> {
     ops: Vec<OpRecord>,
     timeline: Vec<String>,
     node_events: BTreeMap<Actor, Vec<String>>,
+    lat_read: Histogram,
+    lat_write: Histogram,
     retries: u64,
     retransmits: u64,
     client_drops: u64,
@@ -391,26 +609,11 @@ pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
     let mut d = Driver::new(cfg)?;
     let result = d.drive();
     // Always try to shut the fleet down, even on error.
-    for (who, link) in &mut d.links {
-        link.shutdown(*who);
-    }
+    d.shutdown_fleet();
     result?;
 
     let checker = check_history(&d.ops)?;
-    let heal_lag = cfg
-        .faults
-        .partitions
-        .iter()
-        .map(|p| {
-            d.ops
-                .iter()
-                .filter(|o| o.invoked < p.heal)
-                .map(|o| o.completed)
-                .max()
-                .unwrap_or(0)
-                .saturating_sub(p.heal)
-        })
-        .collect();
+    let heal_lag = heal_lag(&d.ops, &cfg.faults.partitions, cfg.modules);
 
     if let Some(dir) = &cfg.trace_dir {
         write_traces(dir, &d.timeline, &d.node_events)?;
@@ -419,6 +622,7 @@ pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
     Ok(RunReport {
         scheme: cfg.scheme.clone(),
         seed: cfg.seed,
+        schedule: cfg.schedule.label(),
         total_refs: d.clients.iter().map(|c| c.done).sum(),
         retries: d.retries,
         retransmits: d.retransmits,
@@ -429,6 +633,10 @@ pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
         wall_ms: wall_start.elapsed().as_millis() as u64,
         per_client_refs: d.clients.iter().map(|c| c.done).collect(),
         heal_lag,
+        latency: vec![
+            ("read".to_string(), d.lat_read),
+            ("write".to_string(), d.lat_write),
+        ],
         checker,
         timeline: d.timeline,
         ops: d.ops,
@@ -457,6 +665,7 @@ fn write_traces(
 
 impl<'c> Driver<'c> {
     fn new(cfg: &'c RunConfig) -> Result<Self, String> {
+        let mut poll = PollTransport::new();
         let mut links = BTreeMap::new();
         let mut node_events = BTreeMap::new();
         let roles = (0..cfg.caches)
@@ -475,19 +684,26 @@ impl<'c> Driver<'c> {
                 bias_entries: cfg.bias_entries,
                 tlb_entries: cfg.tlb_entries,
             };
-            links.insert(role, spawn_link(&cfg.mode, &node_cfg)?);
+            links.insert(role, spawn_link(&cfg.mode, &node_cfg, &mut poll)?);
             node_events.insert(role, Vec::new());
         }
+        // Stream 0 is the driver's fault stream; clients get 1..=caches.
+        // Each is a full splitmix64 mix of (seed, index), so streams
+        // share no structure even for adjacent indices.
         let clients = (0..cfg.caches)
             .map(|k| Client {
-                rng: Rng::new(cfg.seed ^ (0x5eed_c11e_u64.wrapping_add(k as u64 * 0x9e37))),
+                rng: Rng::stream(cfg.seed, 1 + k as u64),
+                issued: 0,
                 done: 0,
+                arrivals: 0,
+                pending: VecDeque::new(),
                 outstanding: None,
             })
             .collect();
         Ok(Driver {
             cfg,
-            rng: Rng::new(cfg.seed),
+            rng: Rng::stream(cfg.seed, 0),
+            poll,
             links,
             calendar: BinaryHeap::new(),
             next_seq: 0,
@@ -500,6 +716,8 @@ impl<'c> Driver<'c> {
             ops: Vec::new(),
             timeline: Vec::new(),
             node_events: node_events.into_iter().collect(),
+            lat_read: Histogram::new(),
+            lat_write: Histogram::new(),
             retries: 0,
             retransmits: 0,
             client_drops: 0,
@@ -507,6 +725,29 @@ impl<'c> Driver<'c> {
             recoveries: 0,
             now: 0,
         })
+    }
+
+    fn shutdown_fleet(&mut self) {
+        // Phase 1: tell everyone at once (the multiplexed transport
+        // makes shutdown latency the max, not the sum).
+        for link in self.links.values_mut() {
+            match link {
+                NodeLink::InProc(n) => {
+                    let _ = n.handle(&Request::Shutdown);
+                }
+                NodeLink::Child { token, .. } => {
+                    let _ = self.poll.send(*token, &request_line(&Request::Shutdown));
+                }
+            }
+        }
+        // Phase 2: reap.
+        for link in self.links.values_mut() {
+            if let NodeLink::Child { child, token } = link {
+                let _ = self.poll.recv_deadline(*token, SHUTDOWN_TIMEOUT);
+                let _ = child.wait();
+                self.poll.deregister(*token);
+            }
+        }
     }
 
     fn push(&mut self, t: u64, kind: EventKind) {
@@ -533,27 +774,50 @@ impl<'c> Driver<'c> {
             self.push(t, EventKind::CheckpointTick);
         }
         for k in 0..self.cfg.caches {
-            self.push(0, EventKind::ClientIssue(k));
+            self.push(0, EventKind::ClientArrival(k));
         }
 
         let mut processed: u64 = 0;
         while let Some(Reverse(ev)) = self.calendar.pop() {
             processed += 1;
-            if processed > self.cfg.max_events {
-                return Err(format!(
-                    "livelock: {} events without quiescence (done: {:?})",
-                    processed,
-                    self.clients.iter().map(|c| c.done).collect::<Vec<_>>()
-                ));
-            }
             debug_assert!(ev.t >= self.now, "calendar went backwards");
             self.now = ev.t;
             match ev.kind {
-                EventKind::Deliver(env) => self.on_deliver(env)?,
-                EventKind::ClientIssue(k) => self.on_issue(k),
+                EventKind::Deliver(env) => {
+                    // Gather the maximal run of same-instant deliveries
+                    // (they are the top of the heap, in seq order) and
+                    // dispatch them as one multiplexed batch. Any other
+                    // event kind, or a later instant, ends the batch.
+                    let mut batch = vec![env];
+                    while let Some(Reverse(peek)) = self.calendar.peek() {
+                        if peek.t != self.now || !matches!(peek.kind, EventKind::Deliver(_)) {
+                            break;
+                        }
+                        let Some(Reverse(Event {
+                            kind: EventKind::Deliver(e),
+                            ..
+                        })) = self.calendar.pop()
+                        else {
+                            unreachable!("peeked a same-instant delivery");
+                        };
+                        processed += 1;
+                        batch.push(e);
+                    }
+                    self.deliver_batch(batch)?;
+                }
+                EventKind::ClientArrival(k) => self.on_arrival(k),
                 EventKind::ClientTimeout { client, txn } => self.on_timeout(client, txn),
                 EventKind::Restart(node) => self.on_restart(node)?,
                 EventKind::CheckpointTick => self.on_checkpoint_tick()?,
+            }
+            if processed > self.cfg.max_events {
+                let tail_from = self.timeline.len().saturating_sub(12);
+                return Err(format!(
+                    "livelock: {} events without quiescence (done: {:?}); timeline tail:\n{}",
+                    processed,
+                    self.clients.iter().map(|c| c.done).collect::<Vec<_>>(),
+                    self.timeline[tail_from..].join("\n")
+                ));
             }
         }
         if self.all_done() {
@@ -592,23 +856,71 @@ impl<'c> Driver<'c> {
         }
     }
 
-    fn on_issue(&mut self, k: usize) {
-        if self.clients[k].done >= self.cfg.refs_per_client {
+    /// One arrival event for client `k`: generate the op(s), queue them,
+    /// submit if the admission slot is free, and — for the open-loop
+    /// schedules — book the next arrival.
+    fn on_arrival(&mut self, k: usize) {
+        let remaining = self
+            .cfg
+            .refs_per_client
+            .saturating_sub(self.clients[k].issued);
+        if remaining == 0 {
             return;
         }
-        debug_assert!(self.clients[k].outstanding.is_none());
-        let op = self.gen_op(k);
+        let burst = match self.cfg.schedule {
+            ArrivalSchedule::Burst { every, size, .. }
+                if (self.clients[k].arrivals + 1).is_multiple_of(every) =>
+            {
+                size as usize
+            }
+            _ => 1,
+        };
+        self.clients[k].arrivals += 1;
+        for _ in 0..burst.min(remaining) {
+            let op = self.gen_op(k);
+            let c = &mut self.clients[k];
+            c.issued += 1;
+            c.pending.push_back(PendingOp {
+                op,
+                arrived: self.now,
+            });
+        }
+        self.try_submit(k);
+        if self.clients[k].issued < self.cfg.refs_per_client {
+            match self.cfg.schedule {
+                // Closed loop: the next arrival is chained from the
+                // completion, not from the clock.
+                ArrivalSchedule::Closed => {}
+                ArrivalSchedule::Fixed { interval, jitter } => {
+                    let j = self.clients[k].rng.below(jitter + 1);
+                    self.push(self.now + interval + j, EventKind::ClientArrival(k));
+                }
+                ArrivalSchedule::Burst { interval, .. } => {
+                    self.push(self.now + interval, EventKind::ClientArrival(k));
+                }
+            }
+        }
+    }
+
+    /// Moves the head of `k`'s pending queue into its single admission
+    /// slot (a cache node rejects a second in-flight client txn).
+    fn try_submit(&mut self, k: usize) {
+        if self.clients[k].outstanding.is_some() || self.clients[k].pending.is_empty() {
+            return;
+        }
+        let p = self.clients[k].pending.pop_front().expect("checked");
         let txn = self.next_txn;
         self.next_txn += 1;
-        let sv = match op.kind {
+        let sv = match p.op.kind {
             AccessKind::Write => Some(self.oracle.fresh_version()),
             AccessKind::Read => None,
         };
         let backoff = self.cfg.faults.client_timeout;
         self.clients[k].outstanding = Some(Outstanding {
             txn,
-            op,
+            op: p.op,
             sv,
+            arrived: p.arrived,
             invoked: self.now,
             retries: 0,
             backoff,
@@ -672,16 +984,27 @@ impl<'c> Driver<'c> {
             txn: o.txn,
             block: o.op.addr.block.number(),
             kind: o.op.kind,
+            arrived: o.arrived,
             invoked: o.invoked,
             completed: self.now,
             version: observed.raw(),
             was_hit,
             retries: o.retries,
         });
-        self.clients[k].done += 1;
-        if self.clients[k].done < self.cfg.refs_per_client {
-            self.push(self.now + 1, EventKind::ClientIssue(k));
+        // Client-perceived latency includes driver-side queueing: the
+        // clock starts at arrival, not submission.
+        let latency = self.now - o.arrived;
+        match o.op.kind {
+            AccessKind::Read => self.lat_read.record(latency),
+            AccessKind::Write => self.lat_write.record(latency),
         }
+        self.clients[k].done += 1;
+        if matches!(self.cfg.schedule, ArrivalSchedule::Closed)
+            && self.clients[k].issued < self.cfg.refs_per_client
+        {
+            self.push(self.now + 1, EventKind::ClientArrival(k));
+        }
+        self.try_submit(k);
     }
 
     // -- network -----------------------------------------------------------
@@ -739,73 +1062,130 @@ impl<'c> Driver<'c> {
         }
     }
 
-    fn on_deliver(&mut self, env: Envelope) -> Result<(), String> {
-        // A message reaching a node inside its crash window waits for
-        // the restart (the restart event carries an earlier sequence
-        // number, so the rebuilt node is up before this re-fires).
-        if let Some(up) = self.down_until(env.dst, self.now) {
-            self.push(up, EventKind::Deliver(env));
-            return Ok(());
-        }
-        self.deliveries += 1;
-        if let Actor::Client(k) = env.dst {
-            if let Payload::ClientResp {
-                txn,
-                observed,
-                was_hit,
-            } = env.payload
-            {
-                self.timeline.push(
-                    obj([
-                        ("t", num_u64(self.now)),
-                        ("dst", Json::Str(env.dst.to_string())),
-                        ("env", envelope_json(&env)),
-                    ])
-                    .to_json(),
-                );
-                self.on_client_resp(k, txn, observed, was_hit);
-                return Ok(());
+    /// Dispatches one same-instant batch of deliveries.
+    ///
+    /// Phase one walks the batch in `seq` order and *starts* every node
+    /// exchange (in-process nodes answer synchronously and the response
+    /// is parked in the slot; child requests go out pipelined over the
+    /// poll transport). Phase two walks the slots in the same order,
+    /// consumes each reply, and applies all observable effects —
+    /// timeline lines, history records, output routing, rng draws — so
+    /// the result is identical to having performed the exchanges one at
+    /// a time, while the children compute concurrently.
+    fn deliver_batch(&mut self, batch: Vec<Envelope>) -> Result<(), String> {
+        let mut slots = Vec::with_capacity(batch.len());
+        for env in batch {
+            // A message reaching a node inside its crash window waits
+            // for the restart (the restart event carries an earlier
+            // sequence number, so the rebuilt node is up before this
+            // re-fires).
+            if let Some(up) = self.down_until(env.dst, self.now) {
+                self.push(up, EventKind::Deliver(env));
+                slots.push(Slot::Requeued);
+                continue;
             }
-            return Err(format!(
-                "client got non-response payload {}",
-                env.payload.kind()
-            ));
+            if matches!(env.dst, Actor::Client(_)) {
+                slots.push(Slot::Client(env));
+                continue;
+            }
+            let who = env.dst;
+            let req = Request::Deliver {
+                now: self.now,
+                replay: false,
+                env: env.clone(),
+            };
+            let link = self.links.get_mut(&who).expect("known node");
+            let early = match link {
+                NodeLink::InProc(n) => Some(n.handle(&req)),
+                NodeLink::Child { token, .. } => {
+                    self.poll
+                        .send(*token, &request_line(&req))
+                        .map_err(|e| format!("{who}: send failed: {e}"))?;
+                    None
+                }
+            };
+            self.replay_log
+                .entry(who)
+                .or_default()
+                .push((self.now, env.clone()));
+            slots.push(Slot::Sent { env, early });
         }
 
-        self.timeline.push(
-            obj([
-                ("t", num_u64(self.now)),
-                ("dst", Json::Str(env.dst.to_string())),
-                ("env", envelope_json(&env)),
-            ])
-            .to_json(),
-        );
-        let who = env.dst;
-        let req = Request::Deliver {
-            now: self.now,
-            replay: false,
-            env: env.clone(),
-        };
-        let link = self.links.get_mut(&who).expect("known node");
-        let resp = link.rpc(who, &req)?;
-        self.replay_log
-            .entry(who)
-            .or_default()
-            .push((self.now, env));
-        match resp {
-            Response::DeliverOk { outputs, events } => {
-                for line in events {
-                    self.timeline.push(line.clone());
-                    self.node_events.entry(who).or_default().push(line);
+        for slot in slots {
+            match slot {
+                Slot::Requeued => {}
+                Slot::Client(env) => {
+                    self.deliveries += 1;
+                    let Payload::ClientResp {
+                        txn,
+                        observed,
+                        was_hit,
+                    } = env.payload
+                    else {
+                        return Err(format!(
+                            "client got non-response payload {}",
+                            env.payload.kind()
+                        ));
+                    };
+                    self.timeline.push(
+                        obj([
+                            ("t", num_u64(self.now)),
+                            ("dst", Json::Str(env.dst.to_string())),
+                            ("env", envelope_json(&env)),
+                        ])
+                        .to_json(),
+                    );
+                    let Actor::Client(k) = env.dst else {
+                        unreachable!("matched in phase one");
+                    };
+                    self.on_client_resp(k, txn, observed, was_hit);
                 }
-                for out in outputs {
-                    self.route(out);
+                Slot::Sent { env, early } => {
+                    self.deliveries += 1;
+                    self.timeline.push(
+                        obj([
+                            ("t", num_u64(self.now)),
+                            ("dst", Json::Str(env.dst.to_string())),
+                            ("env", envelope_json(&env)),
+                        ])
+                        .to_json(),
+                    );
+                    let who = env.dst;
+                    let resp = match early {
+                        Some(r) => r,
+                        None => self.recv_child(who)?,
+                    };
+                    match resp {
+                        Response::DeliverOk { outputs, events } => {
+                            for line in events {
+                                self.timeline.push(line.clone());
+                                self.node_events.entry(who).or_default().push(line);
+                            }
+                            for out in outputs {
+                                self.route(out);
+                            }
+                        }
+                        Response::Error { msg } => return Err(format!("{who}: {msg}")),
+                        other => return Err(format!("{who}: unexpected reply {other:?}")),
+                    }
                 }
-                Ok(())
             }
-            Response::Error { msg } => Err(format!("{who}: {msg}")),
-            other => Err(format!("{who}: unexpected reply {other:?}")),
         }
+        Ok(())
+    }
+
+    /// Receives the next pipelined reply from a child node.
+    fn recv_child(&mut self, who: Actor) -> Result<Response, String> {
+        let link = self.links.get_mut(&who).expect("known node");
+        let NodeLink::Child { token, .. } = link else {
+            unreachable!("in-process responses are captured in phase one");
+        };
+        let line = self
+            .poll
+            .recv_deadline(*token, RPC_TIMEOUT)
+            .map_err(|e| format!("{who}: recv failed: {e}"))?
+            .ok_or_else(|| format!("{who}: node exited unexpectedly"))?;
+        response_from_line(&line).map_err(|e| format!("{who}: bad response: {e}"))
     }
 
     // -- faults ------------------------------------------------------------
@@ -821,8 +1201,8 @@ impl<'c> Driver<'c> {
             .to_json(),
         );
         // The crashed instance is gone; build a fresh one…
-        if let Some(old) = self.links.get_mut(&node) {
-            old.kill();
+        if let Some(mut old) = self.links.remove(&node) {
+            old.kill(&mut self.poll);
         }
         let node_cfg = NodeConfig {
             role: node,
@@ -836,15 +1216,10 @@ impl<'c> Driver<'c> {
             bias_entries: self.cfg.bias_entries,
             tlb_entries: self.cfg.tlb_entries,
         };
-        let mut link = spawn_link(&self.cfg.mode, &node_cfg)?;
+        let mut link = spawn_link(&self.cfg.mode, &node_cfg, &mut self.poll)?;
         // …restore the last checkpoint…
-        if let Some(state) = self.checkpoints.get(&node) {
-            match link.rpc(
-                node,
-                &Request::Restore {
-                    state: state.clone(),
-                },
-            )? {
+        if let Some(state) = self.checkpoints.get(&node).cloned() {
+            match rpc(&mut link, &mut self.poll, node, &Request::Restore { state })? {
                 Response::RestoreOk => {}
                 other => return Err(format!("{node}: restore failed: {other:?}")),
             }
@@ -858,7 +1233,7 @@ impl<'c> Driver<'c> {
                 replay: true,
                 env,
             };
-            match link.rpc(node, &req)? {
+            match rpc(&mut link, &mut self.poll, node, &req)? {
                 Response::DeliverOk { .. } => {}
                 other => return Err(format!("{node}: replay failed: {other:?}")),
             }
@@ -874,7 +1249,7 @@ impl<'c> Driver<'c> {
                 continue; // don't checkpoint a node that is mid-crash
             }
             let link = self.links.get_mut(&node).expect("known node");
-            match link.rpc(node, &Request::Checkpoint)? {
+            match rpc(link, &mut self.poll, node, &Request::Checkpoint)? {
                 Response::CheckpointOk { state } => {
                     self.checkpoints.insert(node, state);
                     self.replay_log.entry(node).or_default().clear();
@@ -887,5 +1262,91 @@ impl<'c> Driver<'c> {
             self.push(t, EventKind::CheckpointTick);
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: usize, block: u64, invoked: u64, completed: u64) -> OpRecord {
+        OpRecord {
+            client,
+            txn: 1,
+            block,
+            kind: AccessKind::Read,
+            arrived: invoked,
+            invoked,
+            completed,
+            version: 0,
+            was_hit: false,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn heal_lag_counts_only_partition_straddling_ops() {
+        // Two modules, interleaved home map: block 0 → M0, block 1 → M1.
+        // The cut isolates Cache(0).
+        let p = Partition {
+            start: 100,
+            heal: 200,
+            group: vec![Actor::Cache(0)],
+        };
+        // Straddles the heal on a separated route (C0 ↔ M0): counts,
+        // lag measured from the heal edge = 260 − 200 = 60.
+        let a = rec(0, 0, 150, 260);
+        // The regression case: an op on an UNSEPARATED route (C1 ↔ M1,
+        // both outside the group) that an unrelated fault stage dragged
+        // out to t=500. The old metric took the max `completed` over
+        // every op invoked before the heal, reporting 500 − 200 = 300.
+        let b = rec(1, 1, 50, 500);
+        // Separated client, but completed before the heal: not in
+        // flight across the edge, no lag contribution.
+        let c = rec(0, 1, 120, 180);
+        let ops = vec![a, b, c];
+
+        assert_eq!(heal_lag(&ops, std::slice::from_ref(&p), 2), vec![60]);
+
+        // Reconstruct the old over-count to pin what this fix removes.
+        let old = ops
+            .iter()
+            .filter(|o| o.invoked < p.heal)
+            .map(|o| o.completed)
+            .max()
+            .unwrap()
+            .saturating_sub(p.heal);
+        assert_eq!(old, 300, "the unrelated op inflated the old metric 5x");
+    }
+
+    #[test]
+    fn heal_lag_is_zero_without_straddling_traffic() {
+        let p = Partition {
+            start: 100,
+            heal: 200,
+            group: vec![Actor::Cache(0)],
+        };
+        // Only unseparated traffic in flight across the heal.
+        let ops = vec![rec(1, 1, 50, 400)];
+        assert_eq!(heal_lag(&ops, &[p], 2), vec![0]);
+    }
+
+    #[test]
+    fn schedules_parse_and_round_trip() {
+        for s in ["closed", "fixed:60", "fixed:25:5", "burst:40:8:6"] {
+            let sched = ArrivalSchedule::parse(s).unwrap();
+            assert_eq!(sched.label(), s);
+            assert_eq!(ArrivalSchedule::parse(&sched.label()).unwrap(), sched);
+        }
+        assert_eq!(
+            ArrivalSchedule::parse("fixed:10").unwrap(),
+            ArrivalSchedule::Fixed {
+                interval: 10,
+                jitter: 0
+            }
+        );
+        for bad in ["", "open", "fixed", "fixed:x", "burst:10", "burst:1:2:x"] {
+            assert!(ArrivalSchedule::parse(bad).is_err(), "{bad} should fail");
+        }
     }
 }

@@ -38,7 +38,13 @@ pub struct OpRecord {
     pub block: u64,
     /// Load or store.
     pub kind: AccessKind,
-    /// Virtual time of the *first* issue (invocation).
+    /// Virtual time the request arrived at the client (open-loop
+    /// schedules queue arrivals driver-side; `invoked - arrived` is the
+    /// queueing delay). Equal to `invoked` under the closed loop.
+    pub arrived: u64,
+    /// Virtual time of the *first* issue (invocation). Linearizability
+    /// is judged against this, not `arrived`: an op is concurrent with
+    /// others only once it is actually in flight.
     pub invoked: u64,
     /// Virtual time the response was accepted (completion).
     pub completed: u64,
@@ -197,6 +203,7 @@ mod tests {
             txn: invoked, // unique enough for tests
             block: 0,
             kind,
+            arrived: invoked,
             invoked,
             completed,
             version,

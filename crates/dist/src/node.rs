@@ -590,72 +590,59 @@ impl MemNode {
             }
         }
 
-        // Group by block: any block with invalidations gets a barrier;
-        // completions for it are withheld until the acks return.
-        let blocks: Vec<u64> = {
-            let mut b: Vec<u64> = expanded
-                .iter()
-                .map(|o| block_of_m2c(&o.cmd).number())
-                .collect();
-            b.sort_unstable();
-            b.dedup();
-            b
-        };
-        for block in blocks {
-            let invs = expanded
-                .iter()
-                .filter(|o| o.needs_ack && block_of_m2c(&o.cmd).number() == block)
-                .count();
-            if invs == 0 {
-                continue;
-            }
-            let barrier = self.next_barrier;
-            self.next_barrier += 1;
-            self.gates.insert(
-                block,
-                Gate {
-                    barrier,
-                    outstanding: invs,
-                    held: Vec::new(),
-                    deferred: VecDeque::new(),
-                },
-            );
-        }
-        // One submit can cover several transactions (the controller
-        // drains its internal queue), e.g. `GETDATA` completing a read
-        // followed by `BROADINV…, GETDATA` for a drained write on the
-        // same block. The first grant logically precedes those
-        // invalidations and must go out ahead of them (FIFO delivers it
-        // before the INV, so the reader fills and is then invalidated);
-        // only completions emitted *after* an invalidation for their
-        // block belong to the invalidating transaction and are withheld.
+        // Barrier discipline, applied in emission order. The first
+        // invalidation for a block opens a gate (one submit can cover
+        // several transactions — the controller drains its internal
+        // queue — so a `GETDATA` completing a read may precede the
+        // `BROADINV…, GETDATA` of a drained write on the same block; that
+        // first grant logically precedes the invalidations and goes out
+        // ahead of them). Once a gate is open, *every* later emission for
+        // that block is withheld until release, not just the completions:
+        // a drained follow-up transaction's PURGE must not overtake the
+        // withheld grant it logically follows, or the purged cache sees
+        // the purge before the data and the controller waits forever for
+        // a PUT that never comes. Only the invalidations themselves go
+        // straight out — they are what the gate counts acks for.
         let me = self.me();
-        let mut inv_seen: Vec<u64> = Vec::new();
         for out in expanded {
             let block = block_of_m2c(&out.cmd).number();
-            if out.needs_ack && !inv_seen.contains(&block) {
-                inv_seen.push(block);
+            if out.needs_ack {
+                if !self.gates.contains_key(&block) {
+                    let barrier = self.next_barrier;
+                    self.next_barrier += 1;
+                    self.gates.insert(
+                        block,
+                        Gate {
+                            barrier,
+                            outstanding: 0,
+                            held: Vec::new(),
+                            deferred: VecDeque::new(),
+                        },
+                    );
+                }
+                let gate = self.gates.get_mut(&block).expect("gate just ensured");
+                gate.outstanding += 1;
+                outputs.push(Envelope {
+                    src: me,
+                    dst: Actor::Cache(out.dst),
+                    payload: Payload::ToCache {
+                        cmd: out.cmd,
+                        ack: Some(gate.barrier),
+                    },
+                });
+                continue;
             }
-            let gate = self.gates.get_mut(&block);
-            let ack = match (&gate, out.needs_ack) {
-                (Some(g), true) => Some(g.barrier),
-                _ => None,
-            };
             let env = Envelope {
                 src: me,
                 dst: Actor::Cache(out.dst),
-                payload: Payload::ToCache { cmd: out.cmd, ack },
+                payload: Payload::ToCache {
+                    cmd: out.cmd,
+                    ack: None,
+                },
             };
-            let is_completion = matches!(
-                env.payload,
-                Payload::ToCache {
-                    cmd: MemoryToCache::GetData { .. } | MemoryToCache::MGranted { .. },
-                    ..
-                }
-            );
-            match gate {
-                Some(g) if is_completion && inv_seen.contains(&block) => g.held.push(env),
-                _ => outputs.push(env),
+            match self.gates.get_mut(&block) {
+                Some(g) => g.held.push(env),
+                None => outputs.push(env),
             }
         }
         if let Some(ack_env) = wt_ack {

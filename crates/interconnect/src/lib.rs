@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod poll;
 pub mod transport;
 
 use serde::{Deserialize, Serialize};

@@ -29,6 +29,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A bidirectional, ordered, reliable message stream.
 ///
@@ -129,17 +130,98 @@ pub fn tcp_connect(
     Ok(LineTransport::new(reader, stream))
 }
 
-/// Accepts one inbound connection on `listener`.
+/// Why an accept with a deadline did not produce a connection.
+///
+/// The driver spawns a node and then waits for it to dial back; a node
+/// that crashes before connecting must surface as this typed error, not
+/// as a driver hung in `accept(2)` forever.
+#[derive(Debug)]
+pub enum AcceptError {
+    /// No peer connected within the deadline.
+    Timeout {
+        /// How long the call waited before giving up.
+        waited: Duration,
+    },
+    /// The listener itself failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for AcceptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceptError::Timeout { waited } => {
+                write!(f, "no inbound connection within {} ms", waited.as_millis())
+            }
+            AcceptError::Io(e) => write!(f, "accept failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcceptError {}
+
+impl From<io::Error> for AcceptError {
+    fn from(e: io::Error) -> Self {
+        AcceptError::Io(e)
+    }
+}
+
+/// Accepts one inbound connection on `listener`, waiting at most
+/// `timeout`. The raw-stream flavor of [`tcp_accept`], for callers (the
+/// multiplexed driver) that hand the stream to a
+/// [`crate::poll::PollTransport`] instead of framing it here.
+///
+/// The listener is temporarily switched to non-blocking mode and
+/// restored before returning; the accepted stream is explicitly set
+/// blocking (non-blocking inheritance across `accept` is
+/// platform-dependent).
 ///
 /// # Errors
 ///
-/// Propagates accept/clone errors.
+/// [`AcceptError::Timeout`] if no peer connects in time, otherwise the
+/// listener's I/O error.
+pub fn tcp_accept_stream(
+    listener: &TcpListener,
+    timeout: Duration,
+) -> Result<TcpStream, AcceptError> {
+    listener.set_nonblocking(true)?;
+    let start = Instant::now();
+    let outcome = loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => break Ok(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= timeout {
+                    break Err(AcceptError::Timeout {
+                        waited: start.elapsed(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => break Err(AcceptError::Io(e)),
+        }
+    };
+    // Restore the listener for any later (possibly blocking) caller.
+    listener.set_nonblocking(false)?;
+    let stream = outcome?;
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Accepts one inbound connection on `listener`, waiting at most
+/// `timeout`.
+///
+/// # Errors
+///
+/// [`AcceptError::Timeout`] if no peer connects within the deadline —
+/// a node that died before dialing back must not hang the driver —
+/// otherwise the underlying accept/clone error.
 pub fn tcp_accept(
     listener: &TcpListener,
-) -> io::Result<LineTransport<BufReader<TcpStream>, TcpStream>> {
-    let (stream, _peer) = listener.accept()?;
-    stream.set_nodelay(true)?;
-    let reader = BufReader::new(stream.try_clone()?);
+    timeout: Duration,
+) -> Result<LineTransport<BufReader<TcpStream>, TcpStream>, AcceptError> {
+    let stream = tcp_accept_stream(listener, timeout)?;
+    let reader = BufReader::new(stream.try_clone().map_err(AcceptError::Io)?);
     Ok(LineTransport::new(reader, stream))
 }
 
@@ -247,13 +329,39 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let join = std::thread::spawn(move || {
-            let mut server = tcp_accept(&listener).unwrap();
+            let mut server = tcp_accept(&listener, std::time::Duration::from_secs(10)).unwrap();
             let got = server.recv().unwrap().unwrap();
             server.send(&format!("echo:{got}")).unwrap();
         });
         let mut client = tcp_connect(addr).unwrap();
         client.send("hello").unwrap();
         assert_eq!(client.recv().unwrap().as_deref(), Some("echo:hello"));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_accept_times_out_when_no_peer_connects() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let started = std::time::Instant::now();
+        match tcp_accept(&listener, std::time::Duration::from_millis(50)) {
+            Err(AcceptError::Timeout { waited }) => {
+                assert!(waited >= std::time::Duration::from_millis(50));
+                assert!(
+                    started.elapsed() < std::time::Duration::from_secs(5),
+                    "the wait must be bounded by the deadline, not unbounded"
+                );
+            }
+            Ok(_) => panic!("no peer exists, accept cannot succeed"),
+            Err(other) => panic!("expected Timeout, got {other}"),
+        }
+        // The listener is restored to blocking mode and still usable.
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let mut client = tcp_connect(addr).unwrap();
+            client.send("late").unwrap();
+        });
+        let mut server = tcp_accept(&listener, std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(server.recv().unwrap().as_deref(), Some("late"));
         join.join().unwrap();
     }
 
