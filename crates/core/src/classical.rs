@@ -14,7 +14,9 @@ use crate::directory::{
 };
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
-use crate::transitions::{ActionKind, Delivery, EventKind, EventSpec, StateSet, TransitionTable};
+use crate::transitions::{
+    ActionKind, Delivery, EventKind, EventSpec, OrderGuarantee, StateSet, TransitionTable,
+};
 use std::sync::OnceLock;
 use twobit_types::{
     BlockAddr, CacheId, Fingerprinter, GlobalState, MemoryToCache, Version, WritebackKind,
@@ -142,11 +144,16 @@ pub(crate) fn classical_table() -> &'static TransitionTable {
             ],
             rules: vec![
                 crate::rule!("read-miss", E::ReadMiss, here).action(A::Grant { exclusive: false }),
+                // The write-through acknowledgment the distributed
+                // deployment synthesizes for this rule is held behind the
+                // inv-ack gate, ordering the invalidation broadcast before
+                // the store's completion.
                 crate::rule!("write-through", E::WriteThrough, here)
                     .action(A::WriteMemory)
                     .action(A::Invalidate {
                         delivery: Delivery::Broadcast,
-                    }),
+                    })
+                    .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!("eject-clean", E::EjectClean, here),
             ],
         }

@@ -18,7 +18,7 @@ use crate::directory::{
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use crate::transitions::{
-    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+    ActionKind, Cond, Delivery, EventKind, EventSpec, OrderGuarantee, StateSet, TransitionTable,
 };
 use crate::two_bit::Waiting;
 use std::collections::HashMap;
@@ -426,7 +426,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                 crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
                     .action(A::Invalidate { delivery: targeted })
                     .action(A::Grant { exclusive: true })
-                    .to(StateSet::only(G::PresentM)),
+                    .to(StateSet::only(G::PresentM))
+                    .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "write-miss-exclusive",
                     E::WriteMiss,
@@ -438,7 +439,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                     .requires(Cond::Fresh, true)
                     .action(A::Invalidate { delivery: targeted })
                     .action(A::ModifyGrant { granted: true })
-                    .to(StateSet::only(G::PresentM)),
+                    .to(StateSet::only(G::PresentM))
+                    .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "modify-stale-state",
                     E::Modify,

@@ -55,6 +55,7 @@ mod classical;
 mod controller;
 mod directory;
 mod exec;
+pub mod flow;
 mod fp;
 mod full_map;
 mod full_map_local;
@@ -80,11 +81,13 @@ pub use full_map::FullMapDirectory;
 pub use full_map_local::FullMapLocalDirectory;
 pub use local::LocalState;
 pub use memory::MemoryImage;
-pub use model_check::{Action, Counterexample, Exploration, ModelChecker, Node, State};
+pub use model_check::{
+    Action, Counterexample, Exploration, FlightMsg, GuidedSearch, ModelChecker, Node, State,
+};
 pub use owner_set::OwnerSet;
 pub use tlb::{TranslationBuffer, TwoBitTlbDirectory};
 pub use transitions::{
-    shipped_tables, ActionKind, Cond, Delivery, EventKind, EventSpec, Next, Reconciled, Rule,
-    StateSet, TransitionTable, ViolationSink,
+    shipped_tables, ActionKind, Cond, Delivery, EventKind, EventSpec, Next, OrderGuarantee,
+    Reconciled, Rule, StateSet, TransitionTable, ViolationSink,
 };
 pub use two_bit::TwoBitDirectory;

@@ -57,8 +57,8 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use twobit_obs::{ActorId, Metrics, NullTracer, RingTracer, SimEvent, Tracer};
 use twobit_types::{
-    AccessKind, BlockAddr, CacheId, CacheToMemory, ConfigError, Fingerprint, Fingerprinter, MemRef,
-    MemoryToCache, ModuleId, ProtocolError, SystemConfig, Version,
+    AccessKind, BlockAddr, CacheId, CacheToMemory, ConfigError, Fingerprint, Fingerprinter,
+    GlobalState, MemRef, MemoryToCache, ModuleId, ProtocolError, SystemConfig, Version,
 };
 
 /// A channel endpoint (encoded for deterministic `BTreeMap` ordering).
@@ -161,6 +161,44 @@ pub struct Exploration {
     /// the full recorded DAG, so `interleavings` and
     /// `stale_reads_observed` stay exact regardless.
     pub depth_conflicts: u64,
+}
+
+/// The coarse class of one in-flight message, exposed to guided-search
+/// predicates ([`ModelChecker::probe_channels`]). Collapses the
+/// broadcast/unicast shapes the flow analyses already abstract over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightMsg {
+    /// `GETDATA` toward a cache; `exclusive` carries write permission.
+    Grant {
+        /// Whether the fill grants write permission.
+        exclusive: bool,
+    },
+    /// `MGRANTED` toward a cache (granted or denied).
+    UpgradeAck,
+    /// `INV`/`BROADINV` toward a cache.
+    Inv,
+    /// `PURGE`/`BROADQUERY` toward a cache.
+    Recall,
+    /// Any cache→memory command.
+    Command,
+}
+
+/// Outcome of a guided best-first search
+/// ([`ModelChecker::explore_guided`]).
+#[derive(Debug, Clone, Default)]
+pub struct GuidedSearch {
+    /// Action path from the initial state to the first discovered state
+    /// matching the target predicate (not necessarily the shortest such
+    /// path), or `None` if the budget drained without a hit.
+    pub hit: Option<Vec<Action>>,
+    /// A protocol violation stumbled on while steering, if any. The
+    /// guided search stops at the first one, like the dedup search.
+    pub violation: Option<Box<Counterexample>>,
+    /// States expanded.
+    pub states_visited: u64,
+    /// `true` when the node budget drained with candidate states still
+    /// pooled.
+    pub truncated: bool,
 }
 
 /// A protocol violation with the exact action path that reaches it from
@@ -602,6 +640,137 @@ impl ModelChecker {
             }
         }
         invariants::check_system(&state.agents, &state.controllers, self.config.address_map)
+    }
+
+    /// The directory state and awaiting flag of block `a` at its home
+    /// module — a probe for guided-search predicates.
+    #[must_use]
+    pub fn probe_directory(&self, state: &State, a: BlockAddr) -> (GlobalState, bool) {
+        let module = self.config.address_map.module_of(a);
+        let protocol = state.controllers[module.index()].protocol();
+        (protocol.global_state(a), protocol.awaiting(a))
+    }
+
+    /// Every nonempty channel with the coarse classes of its queued
+    /// messages in delivery order, in deterministic channel-key order —
+    /// a probe for guided-search predicates (e.g. "some module→cache
+    /// link holds a grant with a recall queued behind it").
+    #[must_use]
+    pub fn probe_channels(&self, state: &State) -> Vec<((Node, Node), Vec<FlightMsg>)> {
+        state
+            .channels
+            .iter()
+            .map(|(&key, queue)| {
+                let kinds = queue
+                    .iter()
+                    .map(|msg| match msg {
+                        Msg::ToModule(_) => FlightMsg::Command,
+                        Msg::ToCache(cmd) => match cmd {
+                            MemoryToCache::GetData { exclusive, .. } => FlightMsg::Grant {
+                                exclusive: *exclusive,
+                            },
+                            MemoryToCache::MGranted { .. } => FlightMsg::UpgradeAck,
+                            MemoryToCache::Inv { .. } | MemoryToCache::BroadInv { .. } => {
+                                FlightMsg::Inv
+                            }
+                            MemoryToCache::Purge { .. } | MemoryToCache::BroadQuery { .. } => {
+                                FlightMsg::Recall
+                            }
+                        },
+                    })
+                    .collect();
+                (key, kinds)
+            })
+            .collect()
+    }
+
+    /// Guided best-first search: expands states in descending `score`
+    /// order (FIFO among equal scores) until a state satisfying
+    /// `target` is found or `node_budget` states have been expanded.
+    /// This is the static analyses' confirmation hook — a flow-level
+    /// finding names implicated directory states and in-flight message
+    /// shapes, and the guided search steers the same DAG the dedup
+    /// search explores toward them, returning a replayable action path
+    /// as dynamic evidence.
+    ///
+    /// Both callbacks receive the checker (for its probes) and a
+    /// candidate state; they must be deterministic. The hit path is the
+    /// discovery path, not necessarily the shortest. For a fixed
+    /// `(node_budget, jobs)` the result is deterministic across runs;
+    /// changing `jobs` changes the batch size and may change which hit
+    /// is discovered first (never whether one exists within budget).
+    #[must_use]
+    pub fn explore_guided(
+        &self,
+        node_budget: u64,
+        jobs: usize,
+        score: &(dyn Fn(&ModelChecker, &State) -> u64 + Sync),
+        target: &(dyn Fn(&ModelChecker, &State) -> bool + Sync),
+    ) -> GuidedSearch {
+        let jobs = jobs.max(1);
+        let mut out = GuidedSearch::default();
+        let initial = self.initial_state();
+        let root_fp = self.fingerprint(&initial);
+        if target(self, &initial) {
+            out.hit = Some(Vec::new());
+            return out;
+        }
+        let mut parents: HashMap<Fingerprint, (Fingerprint, Action)> = HashMap::new();
+        let mut known: std::collections::HashSet<Fingerprint> =
+            std::collections::HashSet::from([root_fp]);
+        // The candidate pool: (score, discovery sequence, fp, state).
+        let mut pool: Vec<(u64, u64, Fingerprint, State)> =
+            vec![(score(self, &initial), 0, root_fp, initial)];
+        let mut seq: u64 = 1;
+        while !pool.is_empty() && out.states_visited < node_budget {
+            pool.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let batch_n = pool
+                .len()
+                .min((jobs * 8).max(16))
+                .min((node_budget - out.states_visited) as usize)
+                .max(1);
+            let batch: Vec<(Fingerprint, State)> = pool
+                .drain(..batch_n)
+                .map(|(_, _, fp, st)| (fp, st))
+                .collect();
+            let chunk_size = batch.len().div_ceil(jobs).max(1);
+            let mut chunks: Vec<Vec<(Fingerprint, State)>> = Vec::new();
+            let mut rest = batch;
+            while !rest.is_empty() {
+                let tail = rest.split_off(chunk_size.min(rest.len()));
+                chunks.push(std::mem::replace(&mut rest, tail));
+            }
+            let outs = parallel_map(chunks, jobs, |chunk| self.expand_chunk(chunk));
+            for o in outs {
+                out.states_visited += o.expanded;
+                if let Some((at_fp, action, error)) = o.violation {
+                    if out.violation.is_none() {
+                        let mut path = Self::path_to(&parents, root_fp, at_fp);
+                        if let Some(a) = action {
+                            path.push(a);
+                        }
+                        out.violation = Some(Box::new(Counterexample { error, path }));
+                    }
+                    continue;
+                }
+                for (sfp, pfp, action, succ) in o.successors {
+                    if !known.insert(sfp) {
+                        continue;
+                    }
+                    parents.insert(sfp, (pfp, action));
+                    if out.hit.is_none() && target(self, &succ) {
+                        out.hit = Some(Self::path_to(&parents, root_fp, sfp));
+                    }
+                    pool.push((score(self, &succ), seq, sfp, succ));
+                    seq += 1;
+                }
+            }
+            if out.hit.is_some() || out.violation.is_some() {
+                return out;
+            }
+        }
+        out.truncated = !pool.is_empty();
+        out
     }
 
     /// Parallel, state-deduplicating exhaustive search over the
@@ -1358,6 +1527,59 @@ mod tests {
             ModelChecker::new(bus, vec![vec![], vec![]]).is_err(),
             "bus protocols"
         );
+    }
+
+    /// The guided search steers toward an implicated in-flight shape —
+    /// here, an invalidation queued on some module→cache channel while
+    /// the home directory holds the block present-modified — and the
+    /// discovery path it returns replays cleanly.
+    #[test]
+    fn guided_search_reaches_an_implicated_shape() {
+        let mc = checker(
+            ProtocolKind::TwoBit,
+            vec![vec![rd(1), wr(1)], vec![rd(1), wr(1)]],
+        );
+        let block = BlockAddr::new(1);
+        let score = |mc: &ModelChecker, s: &State| -> u64 {
+            let in_flight: usize = mc.probe_channels(s).iter().map(|(_, q)| q.len()).sum();
+            in_flight as u64
+        };
+        let target = |mc: &ModelChecker, s: &State| -> bool {
+            let (dir, _) = mc.probe_directory(s, block);
+            dir == GlobalState::PresentM
+                && mc.probe_channels(s).iter().any(|((_, dst), q)| {
+                    matches!(dst, Node::Cache(_)) && q.contains(&FlightMsg::Inv)
+                })
+        };
+        let found = mc.explore_guided(500_000, 2, &score, &target);
+        assert!(found.violation.is_none());
+        let hit = found.hit.expect("the write race puts an Inv in flight");
+        assert!(!hit.is_empty());
+        mc.replay(&hit).expect("discovery path replays");
+        // Deterministic for fixed (budget, jobs).
+        let again = mc.explore_guided(500_000, 2, &score, &target);
+        assert_eq!(again.hit, Some(hit));
+    }
+
+    /// An unsatisfiable target drains the budget and is flagged as
+    /// truncated rather than reported as a miss on a complete search.
+    #[test]
+    fn guided_search_flags_truncation() {
+        let mc = checker(
+            ProtocolKind::TwoBit,
+            vec![vec![rd(1), wr(1), rd(2)], vec![rd(1), wr(1), rd(2)]],
+        );
+        let never = |_: &ModelChecker, _: &State| false;
+        let flat = |_: &ModelChecker, _: &State| 0u64;
+        let out = mc.explore_guided(50, 1, &flat, &never);
+        assert!(out.hit.is_none());
+        assert!(out.truncated, "frontier was abandoned");
+        assert!(out.states_visited >= 50);
+
+        // The same predicate over the full DAG completes un-truncated.
+        let full = mc.explore_guided(2_000_000, 2, &flat, &never);
+        assert!(full.hit.is_none());
+        assert!(!full.truncated, "search exhausted the DAG");
     }
 
     /// Fingerprints separate distinct states and identify equal ones.

@@ -28,7 +28,7 @@ use crate::directory::{DirSend, DirStep, DirectoryProtocol, OpenKind, SendCost};
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use crate::transitions::{
-    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+    ActionKind, Cond, Delivery, EventKind, EventSpec, OrderGuarantee, StateSet, TransitionTable,
 };
 use crate::two_bit::TwoBitDirectory;
 use std::collections::HashMap;
@@ -509,7 +509,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                 crate::rule!("write-miss-shared", E::WriteMiss, StateSet::SHARED)
                     .action(A::Invalidate { delivery: either })
                     .action(A::Grant { exclusive: true })
-                    .to(StateSet::only(G::PresentM)),
+                    .to(StateSet::only(G::PresentM))
+                    .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "write-miss-modified",
                     E::WriteMiss,
@@ -533,7 +534,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                 .requires(Cond::Fresh, true)
                 .action(A::Invalidate { delivery: either })
                 .action(A::ModifyGrant { granted: true })
-                .to(StateSet::only(G::PresentM)),
+                .to(StateSet::only(G::PresentM))
+                .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "modify-stale-state",
                     E::Modify,

@@ -230,6 +230,41 @@ pub enum ActionKind {
     WriteMemory,
 }
 
+/// A documented message-ordering guarantee a rule's emissions rely on.
+///
+/// The whole-system flow analyses (`twobit-lint`) flag every pair of
+/// emissions whose delivery order is load-bearing; each flagged pair
+/// must be covered by one of these declared guarantees or it is a
+/// finding. The guarantees are *implemented* by the deployment layers:
+/// `FifoLink` by both network models in `twobit-interconnect` (per-
+/// connection FIFO framing) and the model checker's per-(source,
+/// destination) channel queues; `AckBarrier` by the memory node's
+/// inv-ack gate in `crates/dist/src/node.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderGuarantee {
+    /// Per-(source, destination) links deliver messages in emission
+    /// order. Orders any two emissions toward the *same* node that
+    /// leave the source in a known order.
+    FifoLink,
+    /// The inv-ack barrier: completion replies emitted alongside an
+    /// invalidation are withheld until every invalidation is
+    /// acknowledged, and commands for the gated block are deferred, so
+    /// nothing emitted for the block can overtake the invalidation
+    /// round. Orders an invalidation before its rule's completion even
+    /// across *different* destination nodes, where `FifoLink` says
+    /// nothing.
+    AckBarrier,
+}
+
+impl fmt::Display for OrderGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OrderGuarantee::FifoLink => "fifo-link",
+            OrderGuarantee::AckBarrier => "ack-barrier",
+        })
+    }
+}
+
 /// The successor-state constraint of a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Next {
@@ -290,6 +325,12 @@ pub struct Rule {
     /// `false` when the rule leaves the transaction awaiting a
     /// [`EventKind::Supply`].
     pub completes: bool,
+    /// Ordering guarantees the rule's emissions rely on: declared when
+    /// swapping two of the rule's emissions (or an emission of this
+    /// rule with one of a successor rule) would change protocol
+    /// behavior. The flow analyses check every such pair against these
+    /// declarations.
+    pub guarantees: Vec<OrderGuarantee>,
 }
 
 impl Rule {
@@ -313,6 +354,7 @@ impl Rule {
             actions: Vec::new(),
             next: Next::Same,
             completes: true,
+            guarantees: Vec::new(),
         }
     }
 
@@ -341,6 +383,13 @@ impl Rule {
     #[must_use]
     pub fn awaits(mut self) -> Rule {
         self.completes = false;
+        self
+    }
+
+    /// Declares an ordering guarantee the rule's emissions rely on.
+    #[must_use]
+    pub fn guarded_by(mut self, guarantee: OrderGuarantee) -> Rule {
+        self.guarantees.push(guarantee);
         self
     }
 

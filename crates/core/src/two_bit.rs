@@ -37,7 +37,7 @@ use crate::directory::{
 use crate::memory::MemoryImage;
 use crate::owner_set::OwnerSet;
 use crate::transitions::{
-    ActionKind, Cond, Delivery, EventKind, EventSpec, StateSet, TransitionTable,
+    ActionKind, Cond, Delivery, EventKind, EventSpec, OrderGuarantee, StateSet, TransitionTable,
 };
 use std::sync::OnceLock;
 use twobit_obs::json::{num_u64, obj, Json};
@@ -386,7 +386,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                         delivery: broadcast,
                     })
                     .action(A::Grant { exclusive: true })
-                    .to(StateSet::only(G::PresentM)),
+                    .to(StateSet::only(G::PresentM))
+                    .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "write-miss-modified",
                     E::WriteMiss,
@@ -414,7 +415,8 @@ pub(crate) fn table() -> &'static TransitionTable {
                     delivery: broadcast,
                 })
                 .action(A::ModifyGrant { granted: true })
-                .to(StateSet::only(G::PresentM)),
+                .to(StateSet::only(G::PresentM))
+                .guarded_by(OrderGuarantee::AckBarrier),
                 crate::rule!(
                     "modify-stale-state",
                     E::Modify,

@@ -33,6 +33,7 @@
 
 pub mod driver;
 pub mod faults;
+pub mod flow;
 pub mod history;
 pub mod node;
 pub mod wire;

@@ -1,0 +1,181 @@
+//! Frame-reassembly edge cases for the multiplexed poll transport —
+//! the boundaries the in-module unit tests do not reach: a partial
+//! frame cut off by TCP EOF, partial frames interleaved across two
+//! connections, and a single frame wider than one 8 KiB intake read.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+use twobit_interconnect::poll::PollTransport;
+
+/// A blocking reader fed by a channel — stands in for a child's stdout.
+/// Chunks larger than the caller's buffer are carried over, so tests
+/// may push arbitrarily large writes.
+struct ChanReader {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+}
+
+impl ChanReader {
+    fn new(rx: Receiver<Vec<u8>>) -> Self {
+        ChanReader {
+            rx,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Read for ChanReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pending.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.pending = chunk,
+                Err(_) => return Ok(0), // sender dropped: EOF
+            }
+        }
+        let n = self.pending.len().min(out.len());
+        out[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+}
+
+/// Outbound half of the pipe stand-in; these tests never read it back.
+struct ChanWriter(Sender<Vec<u8>>);
+
+impl Write for ChanWriter {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.0
+            .send(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))?;
+        Ok(bytes.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+/// A peer that dies mid-frame over TCP: one complete frame, then a
+/// partial line cut off by the write-side shutdown. The complete frame
+/// arrives intact, the unterminated tail is delivered as a final frame
+/// (matching `LineTransport::recv`), and the stream then reports EOF.
+#[test]
+fn tcp_partial_frame_at_eof_is_delivered_before_eof() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let peer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"complete\npartial-tail").unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Hold the read half open so the driver sees EOF, not a reset.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    });
+
+    let mut poll = PollTransport::new();
+    let (stream, _) = listener.accept().unwrap();
+    let t = poll.register_tcp(stream).unwrap();
+    assert_eq!(
+        poll.recv_deadline(t, DEADLINE).unwrap().as_deref(),
+        Some("complete")
+    );
+    assert_eq!(
+        poll.recv_deadline(t, DEADLINE).unwrap().as_deref(),
+        Some("partial-tail")
+    );
+    assert_eq!(poll.recv_deadline(t, DEADLINE).unwrap(), None);
+    poll.deregister(t);
+    peer.join().unwrap();
+}
+
+/// Two connections each trickling a frame in fragments, arrivals
+/// interleaved. Per-connection input buffers must keep the fragments
+/// apart: each frame reassembles from its own connection's bytes only,
+/// and a fragment for B arriving mid-wait on A is neither lost nor
+/// spliced into A's frame.
+#[test]
+fn interleaved_partial_frames_stay_per_connection() {
+    let mut poll = PollTransport::new();
+    let (in_a, rx_a) = std::sync::mpsc::channel();
+    let (in_b, rx_b) = std::sync::mpsc::channel();
+    let (out_a, _keep_a) = std::sync::mpsc::channel();
+    let (out_b, _keep_b) = std::sync::mpsc::channel();
+    let a = poll.register_pipe(ChanReader::new(rx_a), ChanWriter(out_a));
+    let b = poll.register_pipe(ChanReader::new(rx_b), ChanWriter(out_b));
+
+    // A and B alternate fragments; neither frame is complete until the
+    // fourth send, and B's completes first.
+    in_a.send(b"alpha-".to_vec()).unwrap();
+    in_b.send(b"beta-".to_vec()).unwrap();
+    in_b.send(b"two\nb-next-".to_vec()).unwrap();
+    in_a.send(b"one\n".to_vec()).unwrap();
+
+    assert_eq!(
+        poll.recv_deadline(a, DEADLINE).unwrap().as_deref(),
+        Some("alpha-one")
+    );
+    // B's completed frame was buffered while the driver waited on A.
+    assert_eq!(
+        poll.recv_deadline(b, DEADLINE).unwrap().as_deref(),
+        Some("beta-two")
+    );
+    // B's trailing fragment is still pending, not a frame.
+    assert!(!poll.has_frame(b));
+    in_b.send(b"frame\n".to_vec()).unwrap();
+    assert_eq!(
+        poll.recv_deadline(b, DEADLINE).unwrap().as_deref(),
+        Some("b-next-frame")
+    );
+}
+
+/// One frame far wider than the transport's 8 KiB intake buffer, sent
+/// over TCP so the poll loop must stitch it together across many
+/// non-blocking reads (and likely several `poll_once` passes, since the
+/// sender is pushing through a real socket). A small frame behind it
+/// proves the split leaves no residue.
+#[test]
+fn tcp_frame_larger_than_one_read_buffer_reassembles() {
+    let payload = "0123456789abcdef".repeat(6 * 1024); // 96 KiB, ≥ 12 intake-buffer fills
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sent = payload.clone();
+    let peer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(sent.as_bytes()).unwrap();
+        stream.write_all(b"\nsmall\n").unwrap();
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    });
+
+    let mut poll = PollTransport::new();
+    let (stream, _) = listener.accept().unwrap();
+    let t = poll.register_tcp(stream).unwrap();
+    let big = poll.recv_deadline(t, DEADLINE).unwrap().unwrap();
+    assert_eq!(big.len(), payload.len());
+    assert_eq!(big, payload);
+    assert_eq!(
+        poll.recv_deadline(t, DEADLINE).unwrap().as_deref(),
+        Some("small")
+    );
+    poll.deregister(t);
+    peer.join().unwrap();
+}
+
+/// The same over-wide frame through the pumped-pipe path: the pump
+/// thread's own 8 KiB chunking must not split or reorder bytes within
+/// a connection.
+#[test]
+fn pipe_frame_larger_than_one_read_buffer_reassembles() {
+    let payload = "fedcba9876543210".repeat(2 * 1024); // 32 KiB
+    let mut poll = PollTransport::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (out, _keep) = std::sync::mpsc::channel();
+    let t = poll.register_pipe(ChanReader::new(rx), ChanWriter(out));
+    tx.send(format!("{payload}\n").into_bytes()).unwrap();
+    let big = poll.recv_deadline(t, DEADLINE).unwrap().unwrap();
+    assert_eq!(big, payload);
+}

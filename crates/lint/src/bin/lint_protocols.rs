@@ -1,10 +1,12 @@
-//! Lints every shipped protocol's transition table and (optionally)
-//! differentially cross-checks the tables against the model checker's
-//! explored state graphs. Exits nonzero on any finding.
+//! Lints every shipped protocol's transition table — the five
+//! per-table analyses plus the three whole-system flow analyses
+//! (unserviced messages, wait cycles, reorder sensitivity) — and
+//! (optionally) differentially cross-checks the tables against the
+//! model checker's explored state graphs. Exits nonzero on any finding.
 //!
 //! ```text
 //! lint_protocols [--json PATH] [--cross-check] [--budget N] [--jobs N]
-//!                [--demo-drop-invalidate]
+//!                [--demo-drop-invalidate] [--demo-barrier-livelock]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -13,7 +15,10 @@ use std::process::ExitCode;
 
 use twobit_core::transitions::ActionKind;
 use twobit_core::DirectoryProtocol;
-use twobit_lint::{cross_check, lint_table, render_human, render_json, Finding};
+use twobit_dist::flow::GateSpec;
+use twobit_lint::confirm::confirm_livelock_findings;
+use twobit_lint::flow_graph::lint_flow;
+use twobit_lint::{cross_check, dedup_findings, lint_table, render_human, render_json, Finding};
 
 struct Options {
     json: Option<String>,
@@ -21,6 +26,7 @@ struct Options {
     budget: u64,
     jobs: usize,
     demo_drop_invalidate: bool,
+    demo_barrier_livelock: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
         budget: 150_000,
         jobs: 2,
         demo_drop_invalidate: false,
+        demo_barrier_livelock: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,10 +54,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
             }
             "--demo-drop-invalidate" => opts.demo_drop_invalidate = true,
+            "--demo-barrier-livelock" => opts.demo_barrier_livelock = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lint_protocols [--json PATH] [--cross-check] [--budget N] \
-                     [--jobs N] [--demo-drop-invalidate]"
+                     [--jobs N] [--demo-drop-invalidate] [--demo-barrier-livelock]"
                         .to_string(),
                 )
             }
@@ -78,6 +86,23 @@ fn demo_drop_invalidate() -> Vec<Finding> {
     lint_table(&table)
 }
 
+/// Seeds the PR 9 livelock — the pre-fix inv-ack gate that held
+/// completions but let later recalls pass straight through — and runs
+/// the flow analyses over the two-bit scheme under it. The resulting
+/// unserviced-liveness finding is then confirmed dynamically: a guided
+/// model-checker search is steered toward the implicated race window
+/// and the reaching path rendered as a replayable timeline.
+fn demo_barrier_livelock(budget: u64, jobs: usize) -> Vec<Finding> {
+    let table = twobit_core::TwoBitDirectory::new()
+        .transition_table()
+        .expect("two-bit ships a table");
+    println!("seeded bug: gate discipline set to the pre-fix barrier");
+    println!("(completions are withheld for inv-acks, but later recalls pass the open gate)\n");
+    let mut findings = lint_flow(table, GateSpec::pr9_regression());
+    confirm_livelock_findings(&mut findings, budget, jobs);
+    findings
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -90,18 +115,24 @@ fn main() -> ExitCode {
     let mut findings = Vec::new();
     if opts.demo_drop_invalidate {
         findings.extend(demo_drop_invalidate());
-    } else {
+    }
+    if opts.demo_barrier_livelock {
+        findings.extend(demo_barrier_livelock(opts.budget, opts.jobs));
+    }
+    if !opts.demo_drop_invalidate && !opts.demo_barrier_livelock {
+        let gate = GateSpec::shipped();
         for table in twobit_core::shipped_tables() {
-            let before = findings.len();
-            findings.extend(lint_table(table));
-            let n = findings.len() - before;
+            let mut these = lint_table(table);
+            these.extend(lint_flow(table, gate));
             println!(
                 "lint {:<14} {} rule(s), {} finding(s)",
                 table.scheme,
                 table.rules.len(),
-                n
+                these.len()
             );
+            findings.extend(these);
         }
+        findings = dedup_findings(findings);
         if opts.cross_check {
             println!(
                 "cross-check: replaying model-checker edges against the tables \

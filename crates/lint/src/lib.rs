@@ -24,14 +24,25 @@
 //!   appear only on write-sharing transitions; any other occurrence is
 //!   gratuitous traffic the table must justify.
 //!
+//! Three further analyses run over the **whole-system message-flow
+//! graph** (all three roles: client, cache, memory, assembled per
+//! scheme in [`flow_graph`]): unserviced-message detection, wait-cycle
+//! detection, and reorder sensitivity. Candidate liveness findings can
+//! be dynamically confirmed by steering the model checker toward the
+//! implicated states ([`confirm`]).
+//!
 //! Each [`Finding`] carries the offending rule's provenance (file:line
 //! of the table entry). [`lint_table`] runs everything on one table;
-//! [`cross_check`] wraps the bounded model checker's protocols in
-//! reconciling decorators and differentially replays every explored DAG
-//! edge against the tables.
+//! [`lint_shipped`] adds the flow analyses and deduplicates identical
+//! findings across schemes; [`cross_check`] wraps the bounded model
+//! checker's protocols in reconciling decorators and differentially
+//! replays every explored DAG edge against the tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod confirm;
+pub mod flow_graph;
 
 use twobit_core::transitions::{
     ActionKind, Cond, EventKind, EventSpec, Next, Rule, StateSet, TransitionTable,
@@ -53,6 +64,14 @@ pub struct Finding {
     pub provenance: Option<String>,
     /// Human-readable description of the defect.
     pub message: String,
+    /// Dynamic-confirmation verdict, when the model checker was asked:
+    /// `"CONFIRMED"` (the implicated window was reached; `evidence`
+    /// holds the replayable timeline) or `"PLAUSIBLE"` (the search
+    /// budget ran out before reaching it).
+    pub verdict: Option<&'static str>,
+    /// The confirmation's evidence: a replayed observation timeline of
+    /// the action path that reaches the implicated window.
+    pub evidence: Option<String>,
 }
 
 impl Finding {
@@ -63,6 +82,8 @@ impl Finding {
             rule: None,
             provenance: None,
             message,
+            verdict: None,
+            evidence: None,
         }
     }
 
@@ -78,6 +99,8 @@ impl Finding {
             rule: Some(rule.name.to_string()),
             provenance: Some(rule.provenance()),
             message,
+            verdict: None,
+            evidence: None,
         }
     }
 }
@@ -91,8 +114,43 @@ impl std::fmt::Display for Finding {
         if let Some(prov) = &self.provenance {
             write!(f, " ({prov})")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.message)?;
+        if let Some(v) = self.verdict {
+            write!(f, " [{v}]")?;
+        }
+        Ok(())
     }
+}
+
+/// Merges findings that are identical except for the scheme: analyses
+/// over shared machinery (the dist-layer flow rules, the stateless
+/// comparators' common shapes) repeat verbatim across tables, and one
+/// line naming every affected scheme reads better than six copies. The
+/// merged finding keeps the first scheme's position and accumulates the
+/// others into its `scheme` field, comma-separated.
+#[must_use]
+pub fn dedup_findings(findings: Vec<Finding>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        if let Some(prev) = out.iter_mut().find(|p| {
+            p.analysis == f.analysis
+                && p.rule == f.rule
+                && p.provenance == f.provenance
+                && p.message == f.message
+        }) {
+            if !prev.scheme.split(", ").any(|s| s == f.scheme) {
+                prev.scheme.push_str(", ");
+                prev.scheme.push_str(&f.scheme);
+            }
+            if prev.verdict.is_none() {
+                prev.verdict = f.verdict;
+                prev.evidence = f.evidence;
+            }
+            continue;
+        }
+        out.push(f);
+    }
+    out
 }
 
 /// All boolean assignments over `conds`, as `(cond, value)` vectors.
@@ -497,13 +555,22 @@ pub fn lint_table(table: &TransitionTable) -> Vec<Finding> {
     findings
 }
 
-/// Lints every shipped scheme's table.
+/// Lints every shipped scheme's table — the five per-table analyses
+/// plus the three whole-system flow analyses under the shipped gate
+/// discipline — and deduplicates identical findings across schemes.
 #[must_use]
 pub fn lint_shipped() -> Vec<Finding> {
-    twobit_core::shipped_tables()
-        .iter()
-        .flat_map(|t| lint_table(t))
-        .collect()
+    let gate = twobit_dist::flow::GateSpec::shipped();
+    dedup_findings(
+        twobit_core::shipped_tables()
+            .iter()
+            .flat_map(|t| {
+                let mut findings = lint_table(t);
+                findings.extend(flow_graph::lint_flow(t, gate));
+                findings
+            })
+            .collect(),
+    )
 }
 
 /// The model-checked race scenarios the cross-check replays — the same
@@ -591,6 +658,8 @@ pub fn cross_check(budget: u64, jobs: usize) -> Vec<Finding> {
                     rule: None,
                     provenance: None,
                     message: format!("{label}: checker rejected the scenario: {e}"),
+                    verdict: None,
+                    evidence: None,
                 });
                 continue;
             }
@@ -608,6 +677,8 @@ pub fn cross_check(budget: u64, jobs: usize) -> Vec<Finding> {
                         "{label}: model checker found a protocol violation: {}",
                         cex.error
                     ),
+                    verdict: None,
+                    evidence: None,
                 });
             }
         }
@@ -618,19 +689,29 @@ pub fn cross_check(budget: u64, jobs: usize) -> Vec<Finding> {
                 rule: None,
                 provenance: None,
                 message: format!("{label}: {violation}"),
+                verdict: None,
+                evidence: None,
             });
         }
     }
     findings
 }
 
-/// Renders findings for terminals: one line per finding plus a summary.
+/// Renders findings for terminals: one line per finding (confirmation
+/// evidence indented beneath it) plus a summary.
 #[must_use]
 pub fn render_human(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&f.to_string());
         out.push('\n');
+        if let Some(evidence) = &f.evidence {
+            for line in evidence.lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
     }
     if findings.is_empty() {
         out.push_str("no findings\n");
@@ -657,11 +738,15 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders findings as a JSON document (hand-rolled; the workspace
-/// vendors no JSON serializer). Schema:
-/// `{"findings": [{"analysis", "scheme", "rule", "provenance", "message"}]}`.
+/// vendors no JSON serializer). Schema `twobit-lint/v2`:
+/// `{"schema": "twobit-lint/v2", "findings": [{"analysis", "scheme",
+/// "rule", "provenance", "message", "verdict", "evidence"}], "count"}`
+/// — v2 adds the top-level `schema` tag and the per-finding dynamic
+/// confirmation fields (`verdict`: `"CONFIRMED"`/`"PLAUSIBLE"`/null,
+/// `evidence`: the replayed timeline or null).
 #[must_use]
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
+    let mut out = String::from("{\n  \"schema\": \"twobit-lint/v2\",\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -677,7 +762,15 @@ pub fn render_json(findings: &[Finding]) -> String {
             Some(p) => out.push_str(&format!("\"provenance\": \"{}\", ", json_escape(p))),
             None => out.push_str("\"provenance\": null, "),
         }
-        out.push_str(&format!("\"message\": \"{}\"}}", json_escape(&f.message)));
+        out.push_str(&format!("\"message\": \"{}\", ", json_escape(&f.message)));
+        match f.verdict {
+            Some(v) => out.push_str(&format!("\"verdict\": \"{}\", ", json_escape(v))),
+            None => out.push_str("\"verdict\": null, "),
+        }
+        match &f.evidence {
+            Some(e) => out.push_str(&format!("\"evidence\": \"{}\"}}", json_escape(e))),
+            None => out.push_str("\"evidence\": null}"),
+        }
     }
     if findings.is_empty() {
         out.push_str("],\n");
@@ -707,7 +800,36 @@ mod tests {
     #[test]
     fn json_document_shape() {
         let doc = render_json(&[]);
+        assert!(doc.contains("\"schema\": \"twobit-lint/v2\""));
         assert!(doc.contains("\"findings\": []"));
         assert!(doc.contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn json_findings_carry_the_v2_fields() {
+        let mut f = Finding::of_table(
+            "flow-unserviced",
+            twobit_core::shipped_tables().first().unwrap(),
+            "m".to_string(),
+        );
+        f.verdict = Some("CONFIRMED");
+        f.evidence = Some("timeline".to_string());
+        let doc = render_json(&[f]);
+        assert!(doc.contains("\"verdict\": \"CONFIRMED\""));
+        assert!(doc.contains("\"evidence\": \"timeline\""));
+    }
+
+    #[test]
+    fn dedup_merges_identical_findings_across_schemes() {
+        let tables = twobit_core::shipped_tables();
+        let a = Finding::of_table("flow-unserviced", tables[0], "same".to_string());
+        let b = Finding::of_table("flow-unserviced", tables[1], "same".to_string());
+        let c = Finding::of_table("flow-unserviced", tables[0], "different".to_string());
+        let out = dedup_findings(vec![a, b, c]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].scheme,
+            format!("{}, {}", tables[0].scheme, tables[1].scheme)
+        );
     }
 }

@@ -257,6 +257,49 @@ fn shipped_tables_lint_clean() {
     }
 }
 
+/// Golden run for the whole pipeline the binary executes by default:
+/// five per-table analyses plus the three flow analyses under the
+/// shipped gate, deduplicated — still zero findings.
+#[test]
+fn lint_shipped_including_flow_analyses_is_clean() {
+    let findings = twobit_lint::lint_shipped();
+    assert!(
+        findings.is_empty(),
+        "lint_shipped findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The `--demo-barrier-livelock` path end to end: the pre-fix gate
+/// discipline produces the PR 9 unserviced-liveness finding statically,
+/// and the guided model-checker search confirms the implicated race
+/// window with a replayable timeline.
+#[test]
+fn demo_barrier_livelock_is_flagged_and_confirmed() {
+    let table = twobit_core::shipped_tables()
+        .into_iter()
+        .find(|t| t.scheme == "two-bit")
+        .expect("two-bit ships");
+    let mut findings =
+        twobit_lint::flow_graph::lint_flow(table, twobit_dist::flow::GateSpec::pr9_regression());
+    twobit_lint::confirm::confirm_livelock_findings(&mut findings, 500_000, 2);
+    let livelock = findings
+        .iter()
+        .find(|f| f.analysis == "flow-unserviced" && f.message.contains("overtake"))
+        .expect("the PR 9 livelock class must be flagged");
+    assert_eq!(livelock.verdict, Some("CONFIRMED"), "{livelock}");
+    let evidence = livelock.evidence.as_deref().expect("evidence attached");
+    assert!(
+        evidence.contains("timeline for blk:"),
+        "evidence must carry the replayed obs timeline:\n{evidence}"
+    );
+    assert!(findings.iter().any(|f| f.analysis == "flow-wait-cycle"));
+}
+
 /// Differential smoke: the model checker's explored edges are all
 /// explained by the tables. Small budget here; CI runs the binary's
 /// full `--cross-check` over all six schemes with a larger one.
